@@ -1,0 +1,59 @@
+//! E9 — extends §3.6's remark ("the implementations can have different
+//! power consumption due to the different area usage and different signal
+//! activities"): per-implementation energy from measured toggle counts
+//! under the technology model, forming the area/energy/precision Pareto.
+//!
+//! ```sh
+//! cargo run -p dsra-bench --release --bin dct_energy
+//! ```
+
+use dsra_bench::{banner, da_activity};
+use dsra_core::fabric::{Fabric, MeshSpec};
+use dsra_core::place::{place, PlacerOptions};
+use dsra_core::route::{route, RouterOptions};
+use dsra_dct::{all_impls, measure_accuracy, DaParams};
+use dsra_tech::{dsra_cost, TechModel};
+
+fn main() {
+    banner("E9", "§3.6: area/activity/power differences across the mappings");
+    let fabric = Fabric::da_array(20, 14, MeshSpec::mixed());
+    let model = TechModel::default();
+    println!(
+        "{:<10} {:>9} {:>10} {:>12} {:>13} {:>11}",
+        "impl", "clusters", "area", "E/cycle", "E/block", "max |err|"
+    );
+    let mut rows = Vec::new();
+    for imp in all_impls(DaParams::precise()).unwrap() {
+        let nl = imp.netlist();
+        let placement = place(nl, &fabric, PlacerOptions::default()).unwrap();
+        let routing = route(nl, &fabric, &placement, RouterOptions::default()).unwrap();
+        let act = da_activity(nl, 256);
+        let cost = dsra_cost(nl, &routing.stats, &act, &model);
+        let acc = measure_accuracy(imp.as_ref(), 8, 2047, 0xE9).unwrap();
+        let e_block = cost.dyn_energy_per_cycle * imp.cycles_per_block() as f64;
+        println!(
+            "{:<10} {:>9} {:>10.1} {:>12.1} {:>13.1} {:>11.3}",
+            imp.name(),
+            nl.resource_report().total_clusters(),
+            cost.area,
+            cost.dyn_energy_per_cycle,
+            e_block,
+            acc.max_abs_err
+        );
+        rows.push((imp.name().to_owned(), cost.area, e_block, acc.max_abs_err));
+    }
+    // Pareto front over (area, energy/block, error).
+    println!("\nPareto-optimal mappings (no other beats them on area, energy and error at once):");
+    for (i, a) in rows.iter().enumerate() {
+        let dominated = rows.iter().enumerate().any(|(j, b)| {
+            j != i && b.1 <= a.1 && b.2 <= a.2 && b.3 <= a.3 && (b.1 < a.1 || b.2 < a.2 || b.3 < a.3)
+        });
+        if !dominated {
+            println!("  {}", a.0);
+        }
+    }
+    println!(
+        "\nThis is the table the run-time policies (dsra-platform) select\n\
+         from when conditions change — §5's low-battery argument."
+    );
+}

@@ -1,0 +1,94 @@
+//! E7 — dynamic reconfiguration (§5): switching costs between all pairs of
+//! DCT configurations on the shared DA array, plus the battery-drop encode
+//! scenario.
+//!
+//! ```sh
+//! cargo run -p dsra-bench --release --bin dynamic_switch
+//! ```
+
+use dsra_bench::banner;
+use dsra_dct::DaParams;
+use dsra_me::SearchParams;
+use dsra_platform::{
+    dynamic_encode, profile_all_impls, standard_da_fabric, Condition, ReconfigManager, SocConfig,
+};
+use dsra_tech::TechModel;
+use dsra_video::{EncodeConfig, SequenceConfig, SyntheticSequence};
+
+fn main() {
+    banner("E7", "§5 claim: dynamic reconfiguration under run-time constraints");
+    let fabric = standard_da_fabric();
+    let mut mgr = ReconfigManager::new(SocConfig::default());
+    let impls = profile_all_impls(
+        DaParams::precise(),
+        &fabric,
+        &TechModel::default(),
+        &mut mgr,
+    )
+    .unwrap();
+
+    // Pairwise switching costs.
+    println!("\npartial-reconfiguration cost matrix (bits to rewrite):");
+    let names: Vec<String> = impls.iter().map(|p| p.profile.name.clone()).collect();
+    print!("{:<10}", "");
+    for n in &names {
+        print!("{n:>10}");
+    }
+    println!();
+    for from in &names {
+        mgr.switch_to(from).unwrap();
+        print!("{from:<10}");
+        for to in &names {
+            let rep = mgr.switch_to(to).unwrap();
+            print!("{:>10}", rep.bits_written);
+            mgr.switch_to(from).unwrap();
+        }
+        println!();
+    }
+
+    // Battery-drop scenario.
+    let seq = SyntheticSequence::generate(SequenceConfig {
+        width: 48,
+        height: 48,
+        frames: 5,
+        ..Default::default()
+    });
+    let conditions = [
+        Condition::HighQuality,
+        Condition::HighQuality,
+        Condition::LowBattery,
+        Condition::LowBattery,
+    ];
+    let cfg = EncodeConfig {
+        search: SearchParams {
+            block: 16,
+            range: 3,
+        },
+        ..Default::default()
+    };
+    let mut mgr = ReconfigManager::new(SocConfig::default());
+    let impls = profile_all_impls(
+        DaParams::precise(),
+        &fabric,
+        &TechModel::default(),
+        &mut mgr,
+    )
+    .unwrap();
+    let frames = dynamic_encode(seq.frames(), &conditions, &impls, &mut mgr, &cfg).unwrap();
+    println!("\nbattery-drop scenario:");
+    println!("frame  condition      impl        PSNR(dB)  reconfig cost");
+    for f in &frames {
+        let rc = match f.reconfig {
+            Some(r) => format!("{} bits, {} cycles ({:.2} us)", r.bits_written, r.cycles, r.micros),
+            None => "-".to_owned(),
+        };
+        println!(
+            "{:>5}  {:<13} {:<11} {:>7.2}  {}",
+            f.frame_index,
+            format!("{:?}", f.condition),
+            f.impl_name,
+            f.stats.psnr_db,
+            rc
+        );
+    }
+}

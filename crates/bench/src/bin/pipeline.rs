@@ -1,0 +1,60 @@
+//! E10 — the end-to-end mobile-video workload: motion-compensated residual
+//! coding with hardware DCT, PSNR/rate across quantiser settings and DCT
+//! mappings (the paper's §5 flexibility claim made measurable).
+//!
+//! ```sh
+//! cargo run -p dsra-bench --release --bin pipeline
+//! ```
+
+use dsra_bench::banner;
+use dsra_dct::{BasicDa, Cordic2, DaParams, DctImpl, SccFull};
+use dsra_me::SearchParams;
+use dsra_video::{encode_frame, EncodeConfig, Quantizer, SequenceConfig, SyntheticSequence};
+
+fn main() {
+    banner("E10", "mini MPEG-4-style encode loop on the arrays");
+    let seq = SyntheticSequence::generate(SequenceConfig {
+        width: 64,
+        height: 64,
+        frames: 3,
+        pan: (1.0, 0.5),
+        objects: 2,
+        noise: 2,
+        ..Default::default()
+    });
+    let impls: Vec<Box<dyn DctImpl>> = vec![
+        Box::new(BasicDa::new(DaParams::precise()).unwrap()),
+        Box::new(SccFull::new(DaParams::precise()).unwrap()),
+        Box::new(Cordic2::new(DaParams::precise()).unwrap()),
+    ];
+    println!(
+        "{:<10} {:>6} {:>12} {:>10} {:>12}",
+        "impl", "QP", "nz levels", "PSNR dB", "DCT cycles"
+    );
+    for imp in &impls {
+        for qp in [4.0, 10.0, 24.0] {
+            let cfg = EncodeConfig {
+                search: SearchParams {
+                    block: 16,
+                    range: 3,
+                },
+                quantizer: Quantizer::uniform(qp),
+            };
+            let (_, stats) =
+                encode_frame(seq.frame(1), seq.frame(0), imp.as_ref(), &cfg).unwrap();
+            println!(
+                "{:<10} {:>6.0} {:>12} {:>10.2} {:>12}",
+                imp.name(),
+                qp,
+                stats.nonzero_levels,
+                stats.psnr_db,
+                stats.dct_cycles
+            );
+        }
+    }
+    println!(
+        "\nShape: rate (nonzero levels) falls and PSNR drops as QP grows;\n\
+         all mappings sit on the same rate-distortion curve — they are\n\
+         interchangeable implementations of one transform."
+    );
+}

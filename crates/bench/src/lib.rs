@@ -1,0 +1,80 @@
+//! # dsra-bench — experiment harness
+//!
+//! One binary per paper artifact (see DESIGN.md §4 for the experiment
+//! index) plus Criterion micro-benchmarks. Shared workload builders live
+//! here so binaries and benches measure the same things.
+
+#![warn(missing_docs)]
+
+use dsra_core::netlist::Netlist;
+use dsra_me::Plane;
+use dsra_sim::{Activity, Simulator};
+
+/// Deterministic hash-noise planes with a known shift (no displacement
+/// aliasing) — the standard ME workload.
+pub fn shifted_planes(w: usize, h: usize, shift: (i32, i32)) -> (Plane, Plane) {
+    let pat = |x: i64, y: i64| -> u8 {
+        let h = (x.wrapping_mul(0x9E37_79B9) ^ y.wrapping_mul(0x85EB_CA6B)) as u64;
+        ((h ^ (h >> 13)) & 0xFF) as u8
+    };
+    let mut refd = Vec::with_capacity(w * h);
+    let mut curd = Vec::with_capacity(w * h);
+    for y in 0..h as i64 {
+        for x in 0..w as i64 {
+            refd.push(pat(x, y));
+            curd.push(pat(x + i64::from(shift.0), y + i64::from(shift.1)));
+        }
+    }
+    (Plane::new(w, h, curd), Plane::new(w, h, refd))
+}
+
+/// Representative switching activity for the 2-D systolic ME array.
+pub fn me_activity(nl: &Netlist, cycles: u64) -> Activity {
+    let mut sim = Simulator::new(nl).expect("valid ME netlist");
+    let cols = nl
+        .input_nodes()
+        .into_iter()
+        .filter(|id| nl.node(*id).name.starts_with("cur"))
+        .count() as u64;
+    for c in 0..cycles {
+        for j in 0..cols {
+            let _ = sim.set(&format!("cur{j}"), (c * 31 + j * 7) % 256);
+            let _ = sim.set(&format!("ref{j}"), (c * 17 + j * 13) % 256);
+        }
+        for m in 0..4 {
+            let _ = sim.set(&format!("men{m}"), 1);
+        }
+        sim.step();
+    }
+    sim.activity().clone()
+}
+
+/// Representative switching activity for a DA/DCT netlist (generic control
+/// duty cycle; 12-bit random-ish samples).
+pub fn da_activity(nl: &Netlist, cycles: u64) -> Activity {
+    let mut sim = Simulator::new(nl).expect("valid DA netlist");
+    let inputs: Vec<String> = nl
+        .input_nodes()
+        .into_iter()
+        .map(|id| nl.node(id).name.clone())
+        .collect();
+    for c in 0..cycles {
+        for (i, name) in inputs.iter().enumerate() {
+            let v = if name.starts_with("ctl_") {
+                u64::from((c + i as u64).is_multiple_of(14))
+            } else {
+                (c * 97 + i as u64 * 55) % 4096
+            };
+            let _ = sim.set(name, v);
+        }
+        sim.step();
+    }
+    sim.activity().clone()
+}
+
+/// Prints a header line for experiment binaries.
+pub fn banner(experiment: &str, artifact: &str) {
+    println!("==============================================================");
+    println!("{experiment} — reproduces {artifact}");
+    println!("==============================================================");
+}

@@ -1,0 +1,305 @@
+//! Bitstream assembly and partial-reconfiguration accounting.
+//!
+//! A [`Bitstream`] gathers every configuration bit a mapped design needs:
+//! cluster function/mode bits (including LUT/ROM contents) and routing switch
+//! bits. Two bitstreams for the *same fabric* can be diffed to obtain the
+//! number of bits that must actually be rewritten when dynamically switching
+//! between implementations — the quantity behind the paper's run-time
+//! reconfiguration claim (§5) and experiment E7.
+
+use std::collections::BTreeMap;
+
+use crate::fabric::Fabric;
+use crate::netlist::{Netlist, NodeKind};
+use crate::place::Placement;
+use crate::route::{Routing, TrackClass};
+
+/// Configuration frame address: where on the fabric a group of bits lives.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum FrameAddr {
+    /// Cluster site frame.
+    Site {
+        /// Site x coordinate.
+        x: u16,
+        /// Site y coordinate.
+        y: u16,
+    },
+    /// Routing frame for one mesh edge and track class.
+    Edge {
+        /// Edge id from the router's grid.
+        id: u32,
+        /// `true` for the bus-track plane, `false` for bit tracks.
+        bus: bool,
+    },
+}
+
+/// A fully assembled configuration for one fabric.
+#[derive(Debug, Clone, Default)]
+pub struct Bitstream {
+    frames: BTreeMap<FrameAddr, Vec<u64>>,
+    cluster_bits: u64,
+    routing_bits: u64,
+}
+
+impl Bitstream {
+    /// Assembles the bitstream of a placed-and-routed design.
+    ///
+    /// The per-frame words are a deterministic encoding of the cluster
+    /// configuration (function select, element modes, memory contents) and of
+    /// the occupied routing lanes, so that diffing two bitstreams counts real
+    /// configuration differences.
+    pub fn generate(
+        netlist: &Netlist,
+        _fabric: &Fabric,
+        placement: &Placement,
+        routing: &Routing,
+    ) -> Self {
+        let mut bs = Bitstream::default();
+        for (idx, node) in netlist.nodes().iter().enumerate() {
+            let id = crate::netlist::NodeId(idx as u32);
+            if let NodeKind::Cluster(cfg) = &node.kind {
+                if let Some((x, y)) = placement.loc(id) {
+                    let words = encode_cluster(cfg);
+                    bs.cluster_bits += u64::from(cfg.config_bits());
+                    bs.frames.insert(FrameAddr::Site { x, y }, words);
+                }
+            }
+        }
+        for route in &routing.routes {
+            for edge in &route.edges {
+                let addr = FrameAddr::Edge {
+                    id: edge.0,
+                    bus: route.class == TrackClass::Bus,
+                };
+                let word = bs.frames.entry(addr).or_insert_with(|| vec![0]);
+                // Each lane sets one bit in the edge frame.
+                word[0] |= (1u64 << route.lanes.min(63)) - 1;
+            }
+            let lane_bits = u64::from(route.lanes);
+            bs.routing_bits += (route.edges.len() as u64 + 2) * lane_bits;
+        }
+        bs
+    }
+
+    /// Total configuration bits (clusters + routing).
+    pub fn total_bits(&self) -> u64 {
+        self.cluster_bits + self.routing_bits
+    }
+
+    /// Cluster-only configuration bits.
+    pub fn cluster_bits(&self) -> u64 {
+        self.cluster_bits
+    }
+
+    /// Routing-only configuration bits.
+    pub fn routing_bits(&self) -> u64 {
+        self.routing_bits
+    }
+
+    /// Number of frames carrying configuration.
+    pub fn frame_count(&self) -> usize {
+        self.frames.len()
+    }
+
+    /// Bits that differ between two configurations of the same fabric — the
+    /// cost of a partial reconfiguration from `self` to `other`.
+    ///
+    /// Frames present on only one side count in full (they must be written
+    /// or cleared).
+    pub fn diff_bits(&self, other: &Bitstream) -> u64 {
+        let mut bits = 0u64;
+        let keys: std::collections::BTreeSet<_> = self
+            .frames
+            .keys()
+            .chain(other.frames.keys())
+            .copied()
+            .collect();
+        for key in keys {
+            match (self.frames.get(&key), other.frames.get(&key)) {
+                (Some(a), Some(b)) => {
+                    let len = a.len().max(b.len());
+                    for i in 0..len {
+                        let wa = a.get(i).copied().unwrap_or(0);
+                        let wb = b.get(i).copied().unwrap_or(0);
+                        bits += u64::from((wa ^ wb).count_ones());
+                    }
+                }
+                (Some(a), None) | (None, Some(a)) => {
+                    bits += a.iter().map(|w| u64::from(w.count_ones())).sum::<u64>();
+                }
+                (None, None) => unreachable!(),
+            }
+        }
+        bits
+    }
+}
+
+fn encode_cluster(cfg: &crate::cluster::ClusterCfg) -> Vec<u64> {
+    use crate::cluster::{AbsDiffMode, AddOp, AddShiftCfg, ClusterCfg, CompMode};
+    // Deterministic structural encoding; field layout is arbitrary but
+    // stable, which is all diffing requires.
+    let mut words = Vec::new();
+    let tag = |t: u64, payload: u64| (t << 56) | (payload & 0x00FF_FFFF_FFFF_FFFF);
+    match cfg {
+        ClusterCfg::RegMux { width, registered } => {
+            words.push(tag(1, (u64::from(*width) << 1) | u64::from(*registered)));
+        }
+        ClusterCfg::AbsDiff { width, mode } => {
+            let m = match mode {
+                AbsDiffMode::Add => 0u64,
+                AbsDiffMode::Sub => 1,
+                AbsDiffMode::AbsDiff => 2,
+            };
+            words.push(tag(2, (u64::from(*width) << 2) | m));
+        }
+        ClusterCfg::AddAcc {
+            width,
+            op,
+            accumulate,
+        } => {
+            let m = (matches!(op, AddOp::Sub) as u64) | ((*accumulate as u64) << 1);
+            words.push(tag(3, (u64::from(*width) << 2) | m));
+        }
+        ClusterCfg::Comparator {
+            width,
+            index_width,
+            mode,
+        } => {
+            let m = match mode {
+                CompMode::Min => 0u64,
+                CompMode::Max => 1,
+                CompMode::StreamMin => 2,
+                CompMode::StreamMax => 3,
+            };
+            words.push(tag(
+                4,
+                (u64::from(*width) << 10) | (u64::from(*index_width) << 2) | m,
+            ));
+        }
+        ClusterCfg::AddShift(as_cfg) => {
+            let payload = match as_cfg {
+                AddShiftCfg::Add { width, serial } => {
+                    (u64::from(*width) << 3) | (u64::from(*serial) << 2)
+                }
+                AddShiftCfg::Sub { width, serial } => {
+                    (u64::from(*width) << 3) | (u64::from(*serial) << 2) | 1
+                }
+                AddShiftCfg::SerialReg { width } => (u64::from(*width) << 3) | 2,
+                AddShiftCfg::ShiftAcc {
+                    acc_width,
+                    data_width,
+                } => (u64::from(*acc_width) << 11) | (u64::from(*data_width) << 3) | 3,
+            };
+            words.push(tag(5, payload));
+        }
+        ClusterCfg::Memory {
+            words: nwords,
+            width,
+            contents,
+        } => {
+            words.push(tag(6, (u64::from(*nwords) << 8) | u64::from(*width)));
+            // Pack contents, `width` bits per word, into 64-bit frames.
+            let mut acc = 0u64;
+            let mut used = 0u8;
+            for &w in contents {
+                let mut remaining = *width;
+                let mut value = w;
+                while remaining > 0 {
+                    // `take` is at most 32 because cluster widths are <= 32.
+                    let take = remaining.min(64 - used);
+                    acc |= (value & ((1u64 << take) - 1)) << used;
+                    value = value.checked_shr(u32::from(take)).unwrap_or(0);
+                    used += take;
+                    remaining -= take;
+                    if used == 64 {
+                        words.push(acc);
+                        acc = 0;
+                        used = 0;
+                    }
+                }
+            }
+            if used > 0 {
+                words.push(acc);
+            }
+        }
+    }
+    words
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cluster::{AbsDiffMode, ClusterCfg};
+    use crate::fabric::MeshSpec;
+    use crate::place::{place, PlacerOptions};
+    use crate::route::{route, RouterOptions};
+
+    fn build(mode: AbsDiffMode) -> (Netlist, Fabric, Placement, Routing) {
+        let mut nl = Netlist::new("b");
+        let a = nl.input("a", 8).unwrap();
+        let b = nl.input("b", 8).unwrap();
+        let y = nl.output("y", 8).unwrap();
+        let ad = nl
+            .cluster("ad", ClusterCfg::AbsDiff { width: 8, mode })
+            .unwrap();
+        nl.connect((a, "out"), (ad, "a")).unwrap();
+        nl.connect((b, "out"), (ad, "b")).unwrap();
+        nl.connect((ad, "y"), (y, "in")).unwrap();
+        let f = Fabric::me_array(8, 8, MeshSpec::mixed());
+        let p = place(&nl, &f, PlacerOptions::default()).unwrap();
+        let r = route(&nl, &f, &p, RouterOptions::default()).unwrap();
+        (nl, f, p, r)
+    }
+
+    #[test]
+    fn identical_configs_diff_zero() {
+        let (nl, f, p, r) = build(AbsDiffMode::AbsDiff);
+        let b1 = Bitstream::generate(&nl, &f, &p, &r);
+        let b2 = Bitstream::generate(&nl, &f, &p, &r);
+        assert_eq!(b1.diff_bits(&b2), 0);
+        assert!(b1.total_bits() > 0);
+    }
+
+    #[test]
+    fn mode_change_diffs_few_bits() {
+        let (nl1, f, p1, r1) = build(AbsDiffMode::AbsDiff);
+        let (nl2, _, p2, r2) = build(AbsDiffMode::Sub);
+        let b1 = Bitstream::generate(&nl1, &f, &p1, &r1);
+        let b2 = Bitstream::generate(&nl2, &f, &p2, &r2);
+        let d = b1.diff_bits(&b2);
+        assert!(d > 0, "different modes must differ");
+        assert!(
+            d < b1.total_bits(),
+            "partial reconfig must beat full rewrite"
+        );
+    }
+
+    #[test]
+    fn memory_contents_affect_bits() {
+        let mk = |val: u64| {
+            let mut nl = Netlist::new("m");
+            let a = nl.input("a", 4).unwrap();
+            let rom = nl
+                .cluster(
+                    "rom",
+                    ClusterCfg::Memory {
+                        words: 16,
+                        width: 8,
+                        contents: vec![val; 16],
+                    },
+                )
+                .unwrap();
+            let y = nl.output("y", 8).unwrap();
+            nl.connect((a, "out"), (rom, "addr")).unwrap();
+            nl.connect((rom, "dout"), (y, "in")).unwrap();
+            let f = Fabric::da_array(8, 8, MeshSpec::mixed());
+            let p = place(&nl, &f, PlacerOptions::default()).unwrap();
+            let r = route(&nl, &f, &p, RouterOptions::default()).unwrap();
+            Bitstream::generate(&nl, &f, &p, &r)
+        };
+        let b0 = mk(0x00);
+        let b1 = mk(0xFF);
+        // 16 words x 8 flipped bits = 128 differing content bits.
+        assert!(b0.diff_bits(&b1) >= 128);
+    }
+}

@@ -1,0 +1,498 @@
+//! Cluster and node definitions for the domain-specific arrays.
+//!
+//! The paper's fabrics are built from six *cluster* types — four for the
+//! motion-estimation array (Fig. 2) and two for the distributed-arithmetic /
+//! DCT array (Fig. 3):
+//!
+//! | Kind | Array | Function |
+//! |------|-------|----------|
+//! | [`ClusterKind::RegMux`] | ME | 2:1 multiplexer with optional output register |
+//! | [`ClusterKind::AbsDiff`] | ME | add / subtract / absolute difference |
+//! | [`ClusterKind::AddAcc`] | ME | combinational add/sub or sequential accumulate |
+//! | [`ClusterKind::Comparator`] | ME | two-value min/max or streaming arg-min/max |
+//! | [`ClusterKind::AddShift`] | DA | add, sub, parallel↔serial shift, shift-accumulate |
+//! | [`ClusterKind::Memory`] | DA | LUT/ROM with configurable geometry |
+//!
+//! Each cluster is internally composed of cascaded **4-bit elements**
+//! ([`ELEMENT_BITS`]); a 12-bit datapath therefore occupies three elements
+//! chained over fast intra-cluster interconnect, exactly as described in §2
+//! of the paper.
+//!
+//! Besides clusters, netlists contain *wiring pseudo-nodes* (inputs, outputs,
+//! constants, concatenation and bit-slicing). These model plain wires and pad
+//! connections: they occupy no cluster site and contribute no area.
+
+use crate::error::{CoreError, Result};
+
+/// Datapath bits provided by a single intra-cluster element (§2: "the 4-bits
+/// provided by one element").
+pub const ELEMENT_BITS: u8 = 4;
+
+/// Maximum datapath width supported by one cluster (8 cascaded elements).
+pub const MAX_WIDTH: u8 = 32;
+
+/// The six physical cluster types of the two domain-specific arrays.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum ClusterKind {
+    /// 2:1 register-multiplexer (ME array).
+    RegMux,
+    /// Absolute-difference calculator (ME array).
+    AbsDiff,
+    /// Adder/subtracter with accumulator (ME array).
+    AddAcc,
+    /// Min/max comparator (ME array).
+    Comparator,
+    /// Add-shift cluster (DA array).
+    AddShift,
+    /// Memory element: LUT/ROM with configurable geometry (DA array).
+    Memory,
+}
+
+impl ClusterKind {
+    /// All kinds, in display order.
+    pub const ALL: [ClusterKind; 6] = [
+        ClusterKind::RegMux,
+        ClusterKind::AbsDiff,
+        ClusterKind::AddAcc,
+        ClusterKind::Comparator,
+        ClusterKind::AddShift,
+        ClusterKind::Memory,
+    ];
+
+    /// Short human-readable name as used in the paper.
+    pub fn name(&self) -> &'static str {
+        match self {
+            ClusterKind::RegMux => "MUX",
+            ClusterKind::AbsDiff => "AD",
+            ClusterKind::AddAcc => "ADD/ACC",
+            ClusterKind::Comparator => "COMP",
+            ClusterKind::AddShift => "ADD-SHIFT",
+            ClusterKind::Memory => "MEM",
+        }
+    }
+}
+
+impl std::fmt::Display for ClusterKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Add or subtract, for clusters that support both.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AddOp {
+    /// `a + b`
+    Add,
+    /// `a - b`
+    Sub,
+}
+
+/// Operating mode of an [`ClusterKind::AbsDiff`] cluster.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AbsDiffMode {
+    /// Plain addition.
+    Add,
+    /// Plain subtraction.
+    Sub,
+    /// Absolute difference `|a - b|` (the SAD primitive).
+    AbsDiff,
+}
+
+/// Operating mode of a [`ClusterKind::Comparator`] cluster.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CompMode {
+    /// Combinational two-input minimum (`y = min(a, b)`, `which = a > b`).
+    Min,
+    /// Combinational two-input maximum (`y = max(a, b)`, `which = a < b`).
+    Max,
+    /// Streaming arg-minimum over a vector: registers the best value and its
+    /// index (used to extract motion vectors).
+    StreamMin,
+    /// Streaming arg-maximum over a vector.
+    StreamMax,
+}
+
+/// Sub-function selected inside an [`ClusterKind::AddShift`] cluster.
+///
+/// Table 1 of the paper accounts add-shift clusters in exactly these four
+/// roles: *adders*, *subtracters*, *shift registers* and *accumulators*.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum AddShiftCfg {
+    /// Combinational or bit-serial adder.
+    ///
+    /// With `serial = false`, `y = a + b` on `width`-bit buses.
+    /// With `serial = true`, `a`/`b`/`y` are 1-bit LSB-first streams and the
+    /// cluster keeps a carry flip-flop (classic bit-serial adder).
+    Add {
+        /// Datapath width (ignored for the serial form, which is 1-bit).
+        width: u8,
+        /// Bit-serial operation.
+        serial: bool,
+    },
+    /// Combinational or bit-serial subtracter (`a - b`).
+    Sub {
+        /// Datapath width (ignored for the serial form).
+        width: u8,
+        /// Bit-serial operation.
+        serial: bool,
+    },
+    /// Parallel-to-serial shift register: loads a `width`-bit word and emits
+    /// it LSB first, sign-extending once the MSB has been sent.
+    SerialReg {
+        /// Width of the loaded word.
+        width: u8,
+    },
+    /// Shift-accumulator for distributed arithmetic.
+    ///
+    /// Implements the right-shift-accumulate recurrence
+    /// `acc ← (acc ±  d · 2^(cycles-1)) >> 1` so that after `cycles` steps the
+    /// accumulator holds `Σ ±d_t · 2^t` truncated to `acc_width` bits, exactly
+    /// like a hardware shift-accumulator of that width. The `sub` control
+    /// input selects subtraction for the sign-bit cycle of two's-complement
+    /// DA. After accumulation the register can shift out serially (`sh`/`qs`),
+    /// which is what lets DA stages cascade without extra shift registers.
+    ShiftAcc {
+        /// Accumulator register width.
+        acc_width: u8,
+        /// Width of the data input (ROM word width).
+        data_width: u8,
+    },
+}
+
+impl AddShiftCfg {
+    /// Table-1 role of this configuration.
+    pub fn role(&self) -> AddShiftRole {
+        match self {
+            AddShiftCfg::Add { .. } => AddShiftRole::Adder,
+            AddShiftCfg::Sub { .. } => AddShiftRole::Subtracter,
+            AddShiftCfg::SerialReg { .. } => AddShiftRole::ShiftReg,
+            AddShiftCfg::ShiftAcc { .. } => AddShiftRole::Accumulator,
+        }
+    }
+}
+
+/// The four roles an add-shift cluster can play (rows a–d of Table 1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum AddShiftRole {
+    /// Row (a): adders.
+    Adder,
+    /// Row (b): subtracters.
+    Subtracter,
+    /// Row (c): shift registers.
+    ShiftReg,
+    /// Row (d): accumulators.
+    Accumulator,
+}
+
+impl AddShiftRole {
+    /// All roles in Table 1 row order.
+    pub const ALL: [AddShiftRole; 4] = [
+        AddShiftRole::Adder,
+        AddShiftRole::Subtracter,
+        AddShiftRole::ShiftReg,
+        AddShiftRole::Accumulator,
+    ];
+
+    /// Row label as printed in Table 1.
+    pub fn label(&self) -> &'static str {
+        match self {
+            AddShiftRole::Adder => "Adders",
+            AddShiftRole::Subtracter => "Subtracters",
+            AddShiftRole::ShiftReg => "Shift Reg",
+            AddShiftRole::Accumulator => "Acc",
+        }
+    }
+}
+
+/// Full configuration of one cluster instance.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum ClusterCfg {
+    /// Register-multiplexer: `y = sel ? b : a`, optionally registered.
+    RegMux {
+        /// Datapath width.
+        width: u8,
+        /// When `true` the output is registered (one-cycle delay).
+        registered: bool,
+    },
+    /// Absolute-difference cluster.
+    AbsDiff {
+        /// Datapath width.
+        width: u8,
+        /// Selected function.
+        mode: AbsDiffMode,
+    },
+    /// Adder/subtracter with optional accumulation.
+    AddAcc {
+        /// Datapath width.
+        width: u8,
+        /// Add or subtract before accumulation.
+        op: AddOp,
+        /// When `true`, `y` is the registered running sum of `a op b`;
+        /// when `false`, `y = a op b` combinationally.
+        accumulate: bool,
+    },
+    /// Min/max comparator.
+    Comparator {
+        /// Datapath width.
+        width: u8,
+        /// Width of the streamed index (for the streaming modes).
+        index_width: u8,
+        /// Selected function.
+        mode: CompMode,
+    },
+    /// Add-shift cluster (DA array).
+    AddShift(AddShiftCfg),
+    /// Memory cluster configured as a `words × width` ROM/LUT.
+    Memory {
+        /// Number of words (must be a power of two, 2..=1024).
+        words: u16,
+        /// Word width in bits.
+        width: u8,
+        /// ROM contents, one raw word per address (LSB-justified).
+        contents: Vec<u64>,
+    },
+}
+
+impl ClusterCfg {
+    /// The physical cluster kind this configuration programs.
+    pub fn kind(&self) -> ClusterKind {
+        match self {
+            ClusterCfg::RegMux { .. } => ClusterKind::RegMux,
+            ClusterCfg::AbsDiff { .. } => ClusterKind::AbsDiff,
+            ClusterCfg::AddAcc { .. } => ClusterKind::AddAcc,
+            ClusterCfg::Comparator { .. } => ClusterKind::Comparator,
+            ClusterCfg::AddShift(_) => ClusterKind::AddShift,
+            ClusterCfg::Memory { .. } => ClusterKind::Memory,
+        }
+    }
+
+    /// Main datapath width of the cluster.
+    pub fn width(&self) -> u8 {
+        match self {
+            ClusterCfg::RegMux { width, .. }
+            | ClusterCfg::AbsDiff { width, .. }
+            | ClusterCfg::AddAcc { width, .. }
+            | ClusterCfg::Comparator { width, .. } => *width,
+            ClusterCfg::AddShift(cfg) => match cfg {
+                AddShiftCfg::Add { width, serial } | AddShiftCfg::Sub { width, serial } => {
+                    if *serial {
+                        1
+                    } else {
+                        *width
+                    }
+                }
+                AddShiftCfg::SerialReg { width } => *width,
+                AddShiftCfg::ShiftAcc { acc_width, .. } => *acc_width,
+            },
+            ClusterCfg::Memory { width, .. } => *width,
+        }
+    }
+
+    /// Number of cascaded 4-bit elements this configuration occupies.
+    ///
+    /// Memory clusters are counted as one element per 256 stored bits (their
+    /// storage macro replaces the datapath elements).
+    pub fn element_count(&self) -> u32 {
+        match self {
+            ClusterCfg::Memory { words, width, .. } => {
+                let bits = u32::from(*words) * u32::from(*width);
+                bits.div_ceil(256).max(1)
+            }
+            _ => u32::from(self.width().div_ceil(ELEMENT_BITS)).max(1),
+        }
+    }
+
+    /// Number of configuration bits needed to program this cluster.
+    ///
+    /// Function-select bits plus per-element mode bits, plus the full
+    /// contents for memory clusters (LUT initialisation is part of the
+    /// bitstream, as in any FPGA-style fabric).
+    pub fn config_bits(&self) -> u32 {
+        const FUNC_SEL: u32 = 4; // function-select field per cluster
+        const PER_ELEMENT: u32 = 2; // cascade / mode bits per element
+        match self {
+            ClusterCfg::Memory { words, width, .. } => {
+                FUNC_SEL + u32::from(*words) * u32::from(*width) + 4 // + geometry field
+            }
+            _ => FUNC_SEL + PER_ELEMENT * self.element_count(),
+        }
+    }
+
+    /// Validates widths and geometry, returning a descriptive error.
+    pub fn validate(&self, node_name: &str) -> Result<()> {
+        let check_width = |w: u8| -> Result<()> {
+            if w == 0 || w > MAX_WIDTH {
+                Err(CoreError::InvalidWidth {
+                    node: node_name.to_owned(),
+                    width: w,
+                })
+            } else {
+                Ok(())
+            }
+        };
+        match self {
+            ClusterCfg::RegMux { width, .. }
+            | ClusterCfg::AbsDiff { width, .. }
+            | ClusterCfg::AddAcc { width, .. } => check_width(*width),
+            ClusterCfg::Comparator {
+                width, index_width, ..
+            } => {
+                check_width(*width)?;
+                check_width(*index_width)
+            }
+            ClusterCfg::AddShift(cfg) => match cfg {
+                AddShiftCfg::Add { width, .. } | AddShiftCfg::Sub { width, .. } => {
+                    check_width(*width)
+                }
+                AddShiftCfg::SerialReg { width } => check_width(*width),
+                AddShiftCfg::ShiftAcc {
+                    acc_width,
+                    data_width,
+                } => {
+                    check_width(*acc_width)?;
+                    check_width(*data_width)
+                }
+            },
+            ClusterCfg::Memory {
+                words,
+                width,
+                contents,
+            } => {
+                check_width(*width)?;
+                if !words.is_power_of_two() || *words < 2 || *words > 1024 {
+                    return Err(CoreError::InvalidGeometry {
+                        node: node_name.to_owned(),
+                        detail: format!("words = {words}, must be a power of two in 2..=1024"),
+                    });
+                }
+                if contents.len() != usize::from(*words) {
+                    return Err(CoreError::InvalidGeometry {
+                        node: node_name.to_owned(),
+                        detail: format!(
+                            "contents has {} words, geometry says {}",
+                            contents.len(),
+                            words
+                        ),
+                    });
+                }
+                Ok(())
+            }
+        }
+    }
+}
+
+/// Address width implied by a memory geometry.
+pub fn addr_width(words: u16) -> u8 {
+    debug_assert!(words.is_power_of_two());
+    words.trailing_zeros() as u8
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn element_count_cascades_four_bit_elements() {
+        let c = ClusterCfg::AbsDiff {
+            width: 12,
+            mode: AbsDiffMode::AbsDiff,
+        };
+        assert_eq!(c.element_count(), 3);
+        let c1 = ClusterCfg::RegMux {
+            width: 1,
+            registered: false,
+        };
+        assert_eq!(c1.element_count(), 1);
+        let c16 = ClusterCfg::AddAcc {
+            width: 16,
+            op: AddOp::Add,
+            accumulate: true,
+        };
+        assert_eq!(c16.element_count(), 4);
+    }
+
+    #[test]
+    fn memory_config_bits_include_contents() {
+        let rom = ClusterCfg::Memory {
+            words: 256,
+            width: 8,
+            contents: vec![0; 256],
+        };
+        assert_eq!(rom.config_bits(), 4 + 256 * 8 + 4);
+        // 16-word ROM is 16x cheaper to configure, the Mixed-ROM motivation.
+        let small = ClusterCfg::Memory {
+            words: 16,
+            width: 8,
+            contents: vec![0; 16],
+        };
+        assert!(rom.config_bits() > 15 * small.config_bits());
+    }
+
+    #[test]
+    fn validate_rejects_bad_geometry() {
+        let bad = ClusterCfg::Memory {
+            words: 12,
+            width: 8,
+            contents: vec![0; 12],
+        };
+        assert!(matches!(
+            bad.validate("m"),
+            Err(CoreError::InvalidGeometry { .. })
+        ));
+        let bad_contents = ClusterCfg::Memory {
+            words: 16,
+            width: 8,
+            contents: vec![0; 4],
+        };
+        assert!(bad_contents.validate("m").is_err());
+        let wide = ClusterCfg::RegMux {
+            width: 40,
+            registered: false,
+        };
+        assert!(matches!(
+            wide.validate("w"),
+            Err(CoreError::InvalidWidth { .. })
+        ));
+    }
+
+    #[test]
+    fn addr_width_matches_log2() {
+        assert_eq!(addr_width(2), 1);
+        assert_eq!(addr_width(4), 2);
+        assert_eq!(addr_width(16), 4);
+        assert_eq!(addr_width(256), 8);
+        assert_eq!(addr_width(1024), 10);
+    }
+
+    #[test]
+    fn roles_cover_table1_rows() {
+        assert_eq!(
+            AddShiftCfg::Add {
+                width: 12,
+                serial: false
+            }
+            .role(),
+            AddShiftRole::Adder
+        );
+        assert_eq!(
+            AddShiftCfg::Sub {
+                width: 12,
+                serial: true
+            }
+            .role(),
+            AddShiftRole::Subtracter
+        );
+        assert_eq!(
+            AddShiftCfg::SerialReg { width: 12 }.role(),
+            AddShiftRole::ShiftReg
+        );
+        assert_eq!(
+            AddShiftCfg::ShiftAcc {
+                acc_width: 16,
+                data_width: 8
+            }
+            .role(),
+            AddShiftRole::Accumulator
+        );
+    }
+}

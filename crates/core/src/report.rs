@@ -1,0 +1,217 @@
+//! Resource accounting in the units the paper reports: cluster counts.
+//!
+//! §3.6: *"Since all the clusters have a similar area on the chip, the total
+//! number of clusters used defines the total area usage."* A
+//! [`ResourceReport`] therefore counts clusters, splitting add-shift clusters
+//! into the four roles of Table 1 (adders, subtracters, shift registers,
+//! accumulators) and keeping memory clusters separate.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use crate::cluster::{AddShiftRole, ClusterCfg, ClusterKind};
+
+/// Cluster usage of one mapped implementation (one column of Table 1).
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct ResourceReport {
+    name: String,
+    add_shift: BTreeMap<AddShiftRole, u32>,
+    memory: u32,
+    memory_words: u64,
+    me_kind: BTreeMap<ClusterKind, u32>,
+    config_bits: u64,
+    elements: u64,
+}
+
+impl ResourceReport {
+    /// Creates an empty report labelled with the implementation name.
+    pub fn new(name: impl Into<String>) -> Self {
+        ResourceReport {
+            name: name.into(),
+            ..Default::default()
+        }
+    }
+
+    /// Implementation name this report belongs to.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Returns the same report under a different display name.
+    pub fn renamed(mut self, name: impl Into<String>) -> Self {
+        self.name = name.into();
+        self
+    }
+
+    /// Records one cluster instance.
+    pub fn record(&mut self, cfg: &ClusterCfg) {
+        self.config_bits += u64::from(cfg.config_bits());
+        self.elements += u64::from(cfg.element_count());
+        match cfg {
+            ClusterCfg::AddShift(as_cfg) => {
+                *self.add_shift.entry(as_cfg.role()).or_insert(0) += 1;
+            }
+            ClusterCfg::Memory { words, .. } => {
+                self.memory += 1;
+                self.memory_words += u64::from(*words);
+            }
+            other => {
+                *self.me_kind.entry(other.kind()).or_insert(0) += 1;
+            }
+        }
+    }
+
+    /// Count of add-shift clusters playing the given Table-1 role.
+    pub fn add_shift(&self, role: AddShiftRole) -> u32 {
+        self.add_shift.get(&role).copied().unwrap_or(0)
+    }
+
+    /// Total add-shift clusters (the "Total" row of the Add-Shift block).
+    pub fn add_shift_total(&self) -> u32 {
+        self.add_shift.values().sum()
+    }
+
+    /// Count of memory clusters (the "Mem-Cluster" row).
+    pub fn memory_clusters(&self) -> u32 {
+        self.memory
+    }
+
+    /// Total ROM/LUT words across all memory clusters.
+    pub fn memory_words(&self) -> u64 {
+        self.memory_words
+    }
+
+    /// Count of ME-array clusters of the given kind.
+    pub fn me_clusters(&self, kind: ClusterKind) -> u32 {
+        self.me_kind.get(&kind).copied().unwrap_or(0)
+    }
+
+    /// Grand total cluster count (the "Total clusters" row of Table 1).
+    pub fn total_clusters(&self) -> u32 {
+        self.add_shift_total() + self.memory + self.me_kind.values().sum::<u32>()
+    }
+
+    /// Total cluster configuration bits.
+    pub fn config_bits(&self) -> u64 {
+        self.config_bits
+    }
+
+    /// Total cascaded 4-bit elements.
+    pub fn elements(&self) -> u64 {
+        self.elements
+    }
+
+    /// The five Table-1 numbers for this implementation:
+    /// `[adders, subtracters, shift_regs, accumulators, mem_clusters]`.
+    pub fn table1_row(&self) -> [u32; 5] {
+        [
+            self.add_shift(AddShiftRole::Adder),
+            self.add_shift(AddShiftRole::Subtracter),
+            self.add_shift(AddShiftRole::ShiftReg),
+            self.add_shift(AddShiftRole::Accumulator),
+            self.memory_clusters(),
+        ]
+    }
+}
+
+impl fmt::Display for ResourceReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "{}", self.name)?;
+        if self.add_shift_total() > 0 || self.memory > 0 {
+            writeln!(f, "  Add-Shift clusters")?;
+            for role in AddShiftRole::ALL {
+                writeln!(f, "    {:<12} {:>3}", role.label(), self.add_shift(role))?;
+            }
+            writeln!(f, "    {:<12} {:>3}", "Total", self.add_shift_total())?;
+            writeln!(f, "  {:<14} {:>3}", "Mem-Cluster", self.memory)?;
+        }
+        for (kind, n) in &self.me_kind {
+            writeln!(f, "  {:<14} {:>3}", kind.name(), n)?;
+        }
+        writeln!(f, "  {:<14} {:>3}", "Total clusters", self.total_clusters())?;
+        Ok(())
+    }
+}
+
+/// Renders several reports side by side, reproducing the layout of Table 1.
+pub fn table1(reports: &[&ResourceReport]) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let _ = write!(out, "{:<22}", "");
+    for r in reports {
+        let _ = write!(out, "{:>14}", r.name());
+    }
+    out.push('\n');
+    type RowGetter = fn(&ResourceReport) -> u32;
+    let rows: [(&str, RowGetter); 7] = [
+        ("  a) Adders", |r| r.add_shift(AddShiftRole::Adder)),
+        ("  b) Subtracters", |r| r.add_shift(AddShiftRole::Subtracter)),
+        ("  c) Shift Reg", |r| r.add_shift(AddShiftRole::ShiftReg)),
+        ("  d) Acc", |r| r.add_shift(AddShiftRole::Accumulator)),
+        ("Add-Shift Total", |r| r.add_shift_total()),
+        ("Mem-Cluster", |r| r.memory_clusters()),
+        ("Total clusters", |r| r.total_clusters()),
+    ];
+    for (label, getter) in rows {
+        let _ = write!(out, "{label:<22}");
+        for r in reports {
+            let _ = write!(out, "{:>14}", getter(r));
+        }
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cluster::{AbsDiffMode, AddShiftCfg};
+
+    #[test]
+    fn counts_roles_and_memories() {
+        let mut r = ResourceReport::new("x");
+        r.record(&ClusterCfg::AddShift(AddShiftCfg::Add {
+            width: 12,
+            serial: false,
+        }));
+        r.record(&ClusterCfg::AddShift(AddShiftCfg::Sub {
+            width: 12,
+            serial: false,
+        }));
+        r.record(&ClusterCfg::AddShift(AddShiftCfg::SerialReg { width: 12 }));
+        r.record(&ClusterCfg::AddShift(AddShiftCfg::ShiftAcc {
+            acc_width: 16,
+            data_width: 8,
+        }));
+        r.record(&ClusterCfg::Memory {
+            words: 16,
+            width: 8,
+            contents: vec![0; 16],
+        });
+        assert_eq!(r.table1_row(), [1, 1, 1, 1, 1]);
+        assert_eq!(r.add_shift_total(), 4);
+        assert_eq!(r.total_clusters(), 5);
+        assert_eq!(r.memory_words(), 16);
+    }
+
+    #[test]
+    fn me_clusters_counted_separately() {
+        let mut r = ResourceReport::new("me");
+        r.record(&ClusterCfg::AbsDiff {
+            width: 8,
+            mode: AbsDiffMode::AbsDiff,
+        });
+        assert_eq!(r.me_clusters(ClusterKind::AbsDiff), 1);
+        assert_eq!(r.total_clusters(), 1);
+        assert_eq!(r.add_shift_total(), 0);
+    }
+
+    #[test]
+    fn table1_renders_all_rows() {
+        let r = ResourceReport::new("A");
+        let s = table1(&[&r]);
+        assert!(s.contains("a) Adders"));
+        assert!(s.contains("Total clusters"));
+        assert!(s.contains("Mem-Cluster"));
+    }
+}

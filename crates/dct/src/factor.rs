@@ -1,0 +1,560 @@
+//! Numeric factorization of the odd-part DCT matrix into the
+//! rotator/butterfly structures of the two CORDIC-based mappings.
+//!
+//! The paper references rotation-based flow graphs (\[8\], \[9\]) without
+//! printing them, so this module *derives* equivalent factorizations
+//! directly from the 4×4 odd-part matrix:
+//!
+//! * **CORDIC #1** (§3.3): `M = Y · B · X` — a sandwich of two block-diagonal
+//!   stages of arbitrary 2×2 DA blocks (`X` = input rotators, `Y` = output
+//!   rotators, each block one "CORDIC rotator": 2 ROMs + 2 shift
+//!   accumulators) around a fixed ±1 butterfly `B` (4 bit-serial
+//!   adders/subtracters). Solved by alternating least squares.
+//! * **CORDIC #2** (§3.4): `M = R · G` — output rotators after a 6-operation
+//!   add/sub network `G` (two levels), the scaled-DCT arrangement. Solved by
+//!   direct least squares per candidate network.
+//!
+//! Residuals are driven below `1e-9`, far under the ROM quantisation floor,
+//! so the hardware mappings are as exact as their fixed-point formats allow.
+
+#![allow(clippy::needless_range_loop)] // index-coupled matrix math reads clearer
+
+use dsra_core::rng::SplitMix64;
+
+/// A 4×4 matrix of f64.
+pub type M4 = [[f64; 4]; 4];
+
+/// Multiplies two 4×4 matrices.
+pub fn mul4(a: &M4, b: &M4) -> M4 {
+    let mut out = [[0.0; 4]; 4];
+    for r in 0..4 {
+        for c in 0..4 {
+            out[r][c] = (0..4).map(|k| a[r][k] * b[k][c]).sum();
+        }
+    }
+    out
+}
+
+/// Frobenius-norm distance between two 4×4 matrices.
+pub fn dist4(a: &M4, b: &M4) -> f64 {
+    let mut s = 0.0;
+    for r in 0..4 {
+        for c in 0..4 {
+            let d = a[r][c] - b[r][c];
+            s += d * d;
+        }
+    }
+    s.sqrt()
+}
+
+/// The odd-part target: rows are DCT outputs `X1, X3, X5, X7` (orthonormal
+/// scaling) applied to the butterfly differences `b_n = x_n - x_{7-n}`.
+pub fn odd_target() -> M4 {
+    let mut m = [[0.0; 4]; 4];
+    for (k, row) in m.iter_mut().enumerate() {
+        let u = 2 * k + 1;
+        for (n, e) in row.iter_mut().enumerate() {
+            *e = crate::reference::dct_coeff(u, n);
+        }
+    }
+    m
+}
+
+/// Block-diagonal 4×4 from two 2×2 blocks acting on index pairs
+/// `(pair0.0, pair0.1)` and `(pair1.0, pair1.1)`.
+fn block_diag(b0: [[f64; 2]; 2], b1: [[f64; 2]; 2], pair0: (usize, usize), pair1: (usize, usize)) -> M4 {
+    let mut m = [[0.0; 4]; 4];
+    let put = |m: &mut M4, b: [[f64; 2]; 2], p: (usize, usize)| {
+        m[p.0][p.0] = b[0][0];
+        m[p.0][p.1] = b[0][1];
+        m[p.1][p.0] = b[1][0];
+        m[p.1][p.1] = b[1][1];
+    };
+    put(&mut m, b0, pair0);
+    put(&mut m, b1, pair1);
+    m
+}
+
+/// The three ways to split `{0,1,2,3}` into two pairs.
+pub const PAIRINGS: [((usize, usize), (usize, usize)); 3] = [
+    ((0, 1), (2, 3)),
+    ((0, 2), (1, 3)),
+    ((0, 3), (1, 2)),
+];
+
+/// Butterfly stage patterns: `q_i = p_a ± p_b` over a pairing, expressed as
+/// ±1 matrices. Four add/sub operations each.
+fn butterfly_patterns() -> Vec<M4> {
+    let mut out = Vec::new();
+    for (p0, p1) in PAIRINGS {
+        // q0 = pa + pb, q1 = pa - pb for each pair; two output layouts
+        // (block outputs adjacent or interleaved).
+        for layout in 0..2usize {
+            let mut m = [[0.0; 4]; 4];
+            let rows: [usize; 4] = if layout == 0 { [0, 1, 2, 3] } else { [0, 2, 1, 3] };
+            m[rows[0]][p0.0] = 1.0;
+            m[rows[0]][p0.1] = 1.0;
+            m[rows[1]][p0.0] = 1.0;
+            m[rows[1]][p0.1] = -1.0;
+            m[rows[2]][p1.0] = 1.0;
+            m[rows[2]][p1.1] = 1.0;
+            m[rows[3]][p1.0] = 1.0;
+            m[rows[3]][p1.1] = -1.0;
+            out.push(m);
+        }
+    }
+    out
+}
+
+/// Result of the CORDIC #1 sandwich factorization `M ≈ Y·B·X`.
+#[derive(Debug, Clone)]
+pub struct Sandwich {
+    /// Input stage: two 2×2 blocks (rotator matrices) and their input pairs.
+    pub x_blocks: [[[f64; 2]; 2]; 2],
+    /// Input pairing (which `b` indices each X block consumes).
+    pub x_pairs: ((usize, usize), (usize, usize)),
+    /// The ±1 butterfly between the stages.
+    pub butterfly: M4,
+    /// Output stage blocks.
+    pub y_blocks: [[[f64; 2]; 2]; 2],
+    /// Output pairing (which final rows each Y block produces).
+    pub y_pairs: ((usize, usize), (usize, usize)),
+    /// Final Frobenius residual against the target.
+    pub residual: f64,
+}
+
+impl Sandwich {
+    /// Reassembles the full 4×4 matrix this factorization realises.
+    pub fn realize(&self) -> M4 {
+        let x = block_diag(self.x_blocks[0], self.x_blocks[1], self.x_pairs.0, self.x_pairs.1);
+        let y = block_diag(self.y_blocks[0], self.y_blocks[1], self.y_pairs.0, self.y_pairs.1);
+        mul4(&y, &mul4(&self.butterfly, &x))
+    }
+}
+
+/// Solves `M ≈ Y·B·X` (both `X` and `Y` block-diagonal) by alternating least
+/// squares over butterfly patterns and pairings. Returns the best
+/// factorization found; the unit tests assert its residual is ≤ 1e-9.
+pub fn solve_sandwich(target: &M4) -> Sandwich {
+    let mut best: Option<Sandwich> = None;
+    for butterfly in butterfly_patterns() {
+        for &(xp0, xp1) in &PAIRINGS {
+            for &(yp0, yp1) in &PAIRINGS {
+                for seed in 0..6u64 {
+                    let cand = als(target, &butterfly, (xp0, xp1), (yp0, yp1), seed);
+                    if best.as_ref().is_none_or(|b| cand.residual < b.residual) {
+                        best = Some(cand);
+                    }
+                }
+                if best.as_ref().is_some_and(|b| b.residual < 1e-11) {
+                    return best.unwrap();
+                }
+            }
+        }
+    }
+    best.expect("pattern library is non-empty")
+}
+
+fn als(
+    target: &M4,
+    butterfly: &M4,
+    x_pairs: ((usize, usize), (usize, usize)),
+    y_pairs: ((usize, usize), (usize, usize)),
+    seed: u64,
+) -> Sandwich {
+    let mut rng = SplitMix64::new(0xC0DE_1C00u64 ^ seed.wrapping_mul(0x9E37_79B9));
+    let mut x_blocks = [[[0.0f64; 2]; 2]; 2];
+    for b in &mut x_blocks {
+        for row in b.iter_mut() {
+            for v in row.iter_mut() {
+                *v = rng.next_f64() * 2.0 - 1.0;
+            }
+        }
+    }
+    let mut y_blocks = x_blocks;
+    let mut residual = f64::INFINITY;
+    for _ in 0..400 {
+        // Given X, solve Y per output block: rows of M over K = B·X.
+        let x = block_diag(x_blocks[0], x_blocks[1], x_pairs.0, x_pairs.1);
+        let k = mul4(butterfly, &x);
+        for (bi, pair) in [y_pairs.0, y_pairs.1].into_iter().enumerate() {
+            // Y block columns correspond to the same pair indices in q-space.
+            y_blocks[bi] = lsq_rows(target, &k, pair);
+        }
+        // Given Y, solve X per input block: M = (Y·B)·X.
+        let y = block_diag(y_blocks[0], y_blocks[1], y_pairs.0, y_pairs.1);
+        let w = mul4(&y, butterfly);
+        for (bi, pair) in [x_pairs.0, x_pairs.1].into_iter().enumerate() {
+            x_blocks[bi] = lsq_cols(target, &w, pair);
+        }
+        let x = block_diag(x_blocks[0], x_blocks[1], x_pairs.0, x_pairs.1);
+        let y = block_diag(y_blocks[0], y_blocks[1], y_pairs.0, y_pairs.1);
+        let realized = mul4(&y, &mul4(butterfly, &x));
+        let r = dist4(target, &realized);
+        if (residual - r).abs() < 1e-15 {
+            residual = r;
+            break;
+        }
+        residual = r;
+    }
+    // The factorization is invariant under X·λ, Y/λ; rebalance so both
+    // stages fit comfortably inside the ROM fixed-point range.
+    let norm = |blocks: &[[[f64; 2]; 2]; 2]| -> f64 {
+        blocks
+            .iter()
+            .flat_map(|b| b.iter())
+            .flat_map(|r| r.iter())
+            .map(|v| v * v)
+            .sum::<f64>()
+            .sqrt()
+    };
+    let (nx, ny) = (norm(&x_blocks), norm(&y_blocks));
+    if nx > 1e-12 && ny > 1e-12 {
+        let lambda = (ny / nx).sqrt();
+        for b in &mut x_blocks {
+            for row in b.iter_mut() {
+                for v in row.iter_mut() {
+                    *v *= lambda;
+                }
+            }
+        }
+        for b in &mut y_blocks {
+            for row in b.iter_mut() {
+                for v in row.iter_mut() {
+                    *v /= lambda;
+                }
+            }
+        }
+    }
+    Sandwich {
+        x_blocks,
+        x_pairs,
+        butterfly: *butterfly,
+        y_blocks,
+        y_pairs,
+        residual,
+    }
+}
+
+/// Solves the 2×2 block `Y` minimising ‖M[pair rows] − Y·K[pair rows]‖ where
+/// `Y` reads K rows `pair`.
+fn lsq_rows(m: &M4, k: &M4, pair: (usize, usize)) -> [[f64; 2]; 2] {
+    // For each output row r in {pair.0, pair.1}:
+    //   m[r][:] = y0 * k[pair.0][:] + y1 * k[pair.1][:]
+    let k0 = k[pair.0];
+    let k1 = k[pair.1];
+    let g00: f64 = k0.iter().map(|v| v * v).sum();
+    let g01: f64 = k0.iter().zip(&k1).map(|(a, b)| a * b).sum();
+    let g11: f64 = k1.iter().map(|v| v * v).sum();
+    let det = g00 * g11 - g01 * g01;
+    let mut out = [[0.0; 2]; 2];
+    for (i, r) in [pair.0, pair.1].into_iter().enumerate() {
+        let b0: f64 = m[r].iter().zip(&k0).map(|(a, b)| a * b).sum();
+        let b1: f64 = m[r].iter().zip(&k1).map(|(a, b)| a * b).sum();
+        if det.abs() > 1e-12 {
+            out[i][0] = (b0 * g11 - b1 * g01) / det;
+            out[i][1] = (b1 * g00 - b0 * g01) / det;
+        }
+    }
+    out
+}
+
+/// Solves the 2×2 block `X` minimising ‖M[:, pair cols] − W·X_embedded‖ where
+/// the block consumes input columns `pair`.
+fn lsq_cols(m: &M4, w: &M4, pair: (usize, usize)) -> [[f64; 2]; 2] {
+    // Column c of M restricted: m[:][c] = w[:][pair.0]*x0c + w[:][pair.1]*x1c
+    let w0: [f64; 4] = std::array::from_fn(|r| w[r][pair.0]);
+    let w1: [f64; 4] = std::array::from_fn(|r| w[r][pair.1]);
+    let g00: f64 = w0.iter().map(|v| v * v).sum();
+    let g01: f64 = w0.iter().zip(&w1).map(|(a, b)| a * b).sum();
+    let g11: f64 = w1.iter().map(|v| v * v).sum();
+    let det = g00 * g11 - g01 * g01;
+    let mut out = [[0.0; 2]; 2];
+    for (j, c) in [pair.0, pair.1].into_iter().enumerate() {
+        let mc: [f64; 4] = std::array::from_fn(|r| m[r][c]);
+        let b0: f64 = mc.iter().zip(&w0).map(|(a, b)| a * b).sum();
+        let b1: f64 = mc.iter().zip(&w1).map(|(a, b)| a * b).sum();
+        if det.abs() > 1e-12 {
+            out[0][j] = (b0 * g11 - b1 * g01) / det;
+            out[1][j] = (b1 * g00 - b0 * g01) / det;
+        }
+    }
+    out
+}
+
+/// Result of the CORDIC #2 (scaled) factorization
+/// `M = diag(s)·Ŷ·B·X`: input rotators `X` (the only DA blocks), a fixed
+/// ±1 butterfly `B` (4 bit-serial ops), a fixed 2-op post network `Ŷ`, and
+/// per-output scale factors `s` absorbed into quantisation — the defining
+/// property of a *scaled* DCT (§3.4: "the constant scale factor ... can be
+/// combined with the quantization constants").
+#[derive(Debug, Clone)]
+pub struct ScaledSandwich {
+    /// Input rotator blocks.
+    pub x_blocks: [[[f64; 2]; 2]; 2],
+    /// Input pairing.
+    pub x_pairs: ((usize, usize), (usize, usize)),
+    /// The 4-op butterfly.
+    pub butterfly: M4,
+    /// The 2-op post network (butterfly on one wire pair, pass elsewhere).
+    pub post: M4,
+    /// Wire pair combined by the post network.
+    pub post_pair: (usize, usize),
+    /// Per-output scale factors (row `k` of the realised matrix times `s[k]`
+    /// equals the target row).
+    pub scales: [f64; 4],
+    /// Frobenius residual of `diag(s)·post·butterfly·X` against the target.
+    pub residual: f64,
+}
+
+impl ScaledSandwich {
+    /// The realised (unscaled) matrix `Ŷ·B·X`.
+    pub fn realize_unscaled(&self) -> M4 {
+        let x = block_diag(self.x_blocks[0], self.x_blocks[1], self.x_pairs.0, self.x_pairs.1);
+        mul4(&self.post, &mul4(&self.butterfly, &x))
+    }
+
+    /// The realised matrix with scales applied (should equal the target).
+    pub fn realize(&self) -> M4 {
+        let mut m = self.realize_unscaled();
+        for (r, row) in m.iter_mut().enumerate() {
+            for v in row.iter_mut() {
+                *v *= self.scales[r];
+            }
+        }
+        m
+    }
+}
+
+/// Solves `M = diag(s)·Ŷ·B·X` by enumerating (Ŷ, B, pairing) candidates and
+/// solving the scale vector from the block-diagonality constraints
+/// (a 4-unknown homogeneous linear system).
+pub fn solve_scaled_sandwich(target: &M4) -> ScaledSandwich {
+    let mut best: Option<ScaledSandwich> = None;
+    for butterfly in butterfly_patterns() {
+        for (i, j) in [(0usize, 1usize), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3)] {
+            // Post network: rows i, j become h_i ± h_j; others pass.
+            let mut post = [[0.0; 4]; 4];
+            post[i][i] = 1.0;
+            post[i][j] = 1.0;
+            post[j][i] = 1.0;
+            post[j][j] = -1.0;
+            for k in 0..4 {
+                if k != i && k != j {
+                    post[k][k] = 1.0;
+                }
+            }
+            let t = mul4(&post, &butterfly);
+            let Some(tinv) = inv4(&t) else { continue };
+            for &(xp0, xp1) in &PAIRINGS {
+                // X = T⁻¹·diag(w)·M must be block diagonal on (xp0, xp1):
+                // each off-block entry is linear in w. Build the 8×4 system.
+                let off: Vec<(usize, usize)> = off_block_entries(xp0, xp1);
+                let mut a = [[0.0f64; 4]; 8];
+                for (row, &(r, c)) in off.iter().enumerate() {
+                    for k in 0..4 {
+                        a[row][k] = tinv[r][k] * target[k][c];
+                    }
+                }
+                let Some(w) = nullspace4(&a) else { continue };
+                if w.iter().any(|v| v.abs() < 1e-9) {
+                    continue; // a zero weight means an infinite scale
+                }
+                // X_full = T⁻¹·diag(w)·M, extract blocks.
+                let mut wm = *target;
+                for (k, row) in wm.iter_mut().enumerate() {
+                    for v in row.iter_mut() {
+                        *v *= w[k];
+                    }
+                }
+                let xf = mul4(&tinv, &wm);
+                let xb = |p: (usize, usize)| {
+                    [
+                        [xf[p.0][p.0], xf[p.0][p.1]],
+                        [xf[p.1][p.0], xf[p.1][p.1]],
+                    ]
+                };
+                let mut cand = ScaledSandwich {
+                    x_blocks: [xb(xp0), xb(xp1)],
+                    x_pairs: (xp0, xp1),
+                    butterfly,
+                    post,
+                    post_pair: (i, j),
+                    scales: [1.0 / w[0], 1.0 / w[1], 1.0 / w[2], 1.0 / w[3]],
+                    residual: 0.0,
+                };
+                cand.residual = dist4(target, &cand.realize());
+                if best.as_ref().is_none_or(|b| cand.residual < b.residual) {
+                    best = Some(cand);
+                }
+                if best.as_ref().is_some_and(|b| b.residual < 1e-11) {
+                    return best.unwrap();
+                }
+            }
+        }
+    }
+    best.expect("candidate library is non-empty")
+}
+
+fn off_block_entries(
+    p0: (usize, usize),
+    p1: (usize, usize),
+) -> Vec<(usize, usize)> {
+    let block_of = |idx: usize| -> usize {
+        if idx == p0.0 || idx == p0.1 {
+            0
+        } else {
+            1
+        }
+    };
+    let _ = p1;
+    let mut out = Vec::new();
+    for r in 0..4 {
+        for c in 0..4 {
+            if block_of(r) != block_of(c) {
+                out.push((r, c));
+            }
+        }
+    }
+    out
+}
+
+/// Inverts a 4×4 matrix by Gauss-Jordan elimination; `None` if singular.
+pub fn inv4(m: &M4) -> Option<M4> {
+    let mut a = *m;
+    let mut inv = [[0.0; 4]; 4];
+    for (r, row) in inv.iter_mut().enumerate() {
+        row[r] = 1.0;
+    }
+    for col in 0..4 {
+        // Partial pivot.
+        let pivot = (col..4).max_by(|&x, &y| {
+            a[x][col]
+                .abs()
+                .partial_cmp(&a[y][col].abs())
+                .unwrap_or(std::cmp::Ordering::Equal)
+        })?;
+        if a[pivot][col].abs() < 1e-12 {
+            return None;
+        }
+        a.swap(col, pivot);
+        inv.swap(col, pivot);
+        let d = a[col][col];
+        for c in 0..4 {
+            a[col][c] /= d;
+            inv[col][c] /= d;
+        }
+        for r in 0..4 {
+            if r != col {
+                let f = a[r][col];
+                for c in 0..4 {
+                    a[r][c] -= f * a[col][c];
+                    inv[r][c] -= f * inv[col][c];
+                }
+            }
+        }
+    }
+    Some(inv)
+}
+
+/// Finds a unit-norm vector `w` with `A·w ≈ 0` for an 8×4 system, or `None`
+/// if the nullspace is trivial. Uses Gaussian elimination with the last free
+/// column set to 1.
+fn nullspace4(a: &[[f64; 4]; 8]) -> Option<[f64; 4]> {
+    let mut m: Vec<[f64; 4]> = a.to_vec();
+    let mut pivots: Vec<(usize, usize)> = Vec::new(); // (row, col)
+    let mut row = 0;
+    for col in 0..4 {
+        // Pivot search below `row`.
+        let Some(p) = (row..m.len()).max_by(|&x, &y| {
+            m[x][col]
+                .abs()
+                .partial_cmp(&m[y][col].abs())
+                .unwrap_or(std::cmp::Ordering::Equal)
+        }) else {
+            break;
+        };
+        if m[p][col].abs() < 1e-9 {
+            continue; // free column
+        }
+        m.swap(row, p);
+        let d = m[row][col];
+        for c in 0..4 {
+            m[row][c] /= d;
+        }
+        for r in 0..m.len() {
+            if r != row {
+                let f = m[r][col];
+                for c in 0..4 {
+                    m[r][c] -= f * m[row][c];
+                }
+            }
+        }
+        pivots.push((row, col));
+        row += 1;
+        if row == m.len() {
+            break;
+        }
+    }
+    if pivots.len() == 4 {
+        return None; // full rank, trivial nullspace only
+    }
+    // Choose the first free column, set w[free] = 1, back-substitute.
+    let pivot_cols: Vec<usize> = pivots.iter().map(|&(_, c)| c).collect();
+    let free = (0..4).find(|c| !pivot_cols.contains(c))?;
+    let mut w = [0.0f64; 4];
+    w[free] = 1.0;
+    for &(r, c) in &pivots {
+        w[c] = -m[r][free];
+    }
+    // Normalise to make scales well-conditioned.
+    let norm = w.iter().map(|v| v * v).sum::<f64>().sqrt();
+    if norm < 1e-12 {
+        return None;
+    }
+    for v in &mut w {
+        *v /= norm;
+    }
+    Some(w)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sandwich_factorization_is_exact() {
+        let target = odd_target();
+        let s = solve_sandwich(&target);
+        assert!(
+            s.residual < 1e-9,
+            "CORDIC#1 sandwich residual too large: {}",
+            s.residual
+        );
+        assert!(dist4(&target, &s.realize()) < 1e-9);
+    }
+
+    #[test]
+    fn scaled_sandwich_factorization_is_exact() {
+        let target = odd_target();
+        let s = solve_scaled_sandwich(&target);
+        assert!(
+            s.residual < 1e-9,
+            "CORDIC#2 scaled sandwich residual too large: {}",
+            s.residual
+        );
+        assert!(dist4(&target, &s.realize()) < 1e-9);
+        // At least one scale should be non-trivial (the absorbed sqrt(2)).
+        assert!(s.scales.iter().any(|v| (v.abs() - 1.0).abs() > 1e-6));
+    }
+
+    #[test]
+    fn mul4_identity() {
+        let mut i4 = [[0.0; 4]; 4];
+        for (r, row) in i4.iter_mut().enumerate() {
+            row[r] = 1.0;
+        }
+        let t = odd_target();
+        assert!(dist4(&mul4(&i4, &t), &t) < 1e-12);
+    }
+}

@@ -1,0 +1,168 @@
+//! Common interface and measurement harness for the six DCT mappings.
+
+use dsra_core::error::Result;
+use dsra_core::netlist::Netlist;
+use dsra_core::report::ResourceReport;
+use dsra_sim::Simulator;
+
+use crate::da::DaParams;
+use crate::reference;
+
+/// A DCT implementation mapped onto the distributed-arithmetic array.
+///
+/// All six mappings of §3 implement this trait: they expose their structural
+/// netlist (for placement/routing/area accounting) and a `transform` driver
+/// that plays the SoC controller, steering the control pins cycle by cycle.
+pub trait DctImpl {
+    /// Display name (column header of Table 1).
+    fn name(&self) -> &'static str;
+
+    /// The structural netlist of the mapping.
+    fn netlist(&self) -> &Netlist;
+
+    /// Fixed-point parameters in use.
+    fn params(&self) -> &DaParams;
+
+    /// Transforms one 8-sample block. Outputs are decoded to real values
+    /// directly comparable with [`reference::dct_1d_int`] (any scaled-DCT
+    /// factors are already applied).
+    ///
+    /// # Errors
+    /// Propagates simulator construction errors; input magnitudes must fit
+    /// the implementation's input width.
+    fn transform(&self, x: &[i64; 8]) -> Result<[f64; 8]>;
+
+    /// Clock cycles one block occupies the array (load + bit-serial phases +
+    /// flush), as measured by the driver.
+    fn cycles_per_block(&self) -> u64;
+
+    /// Table-1 style resource report (named with the display name).
+    fn report(&self) -> ResourceReport {
+        self.netlist().resource_report().renamed(self.name())
+    }
+}
+
+/// Accuracy of a hardware mapping against the double-precision reference.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Accuracy {
+    /// Maximum absolute coefficient error observed.
+    pub max_abs_err: f64,
+    /// Root-mean-square coefficient error.
+    pub rms_err: f64,
+    /// Number of blocks evaluated.
+    pub blocks: usize,
+}
+
+/// Runs `blocks` random 8-sample blocks (12-bit range by default) through an
+/// implementation and accumulates error statistics against the reference.
+///
+/// # Errors
+/// Propagates driver errors.
+pub fn measure_accuracy(
+    imp: &dyn DctImpl,
+    blocks: usize,
+    amplitude: i64,
+    seed: u64,
+) -> Result<Accuracy> {
+    let mut rng = dsra_core::rng::SplitMix64::new(seed);
+    let mut max_abs: f64 = 0.0;
+    let mut sq_sum = 0.0;
+    let mut count = 0usize;
+    for _ in 0..blocks {
+        let x: [i64; 8] = std::array::from_fn(|_| {
+            (rng.next_below(2 * amplitude as u64 + 1) as i64) - amplitude
+        });
+        let hw = imp.transform(&x)?;
+        let sw = reference::dct_1d_int(&x);
+        for (h, s) in hw.iter().zip(sw.iter()) {
+            let e = (h - s).abs();
+            max_abs = max_abs.max(e);
+            sq_sum += e * e;
+            count += 1;
+        }
+    }
+    Ok(Accuracy {
+        max_abs_err: max_abs,
+        rms_err: (sq_sum / count.max(1) as f64).sqrt(),
+        blocks,
+    })
+}
+
+/// Builds every implementation of §3 with shared parameters, in the column
+/// order of Table 1 (plus the Fig.-4 basic DA, which the table omits).
+///
+/// # Errors
+/// Propagates netlist construction errors.
+pub fn all_impls(params: DaParams) -> Result<Vec<Box<dyn DctImpl>>> {
+    Ok(vec![
+        Box::new(crate::basic_da::BasicDa::new(params)?),
+        Box::new(crate::mixed_rom::MixedRom::new(params)?),
+        Box::new(crate::cordic::Cordic1::new(params)?),
+        Box::new(crate::cordic::Cordic2::new(params)?),
+        Box::new(crate::scc::SccEvenOdd::new(params)?),
+        Box::new(crate::scc::SccFull::new(params)?),
+    ])
+}
+
+/// Shared single-phase DA driver: load cycle, `bits` accumulate cycles with
+/// a subtracting sign cycle, one flush cycle. Inputs must already be set.
+/// Returns the cycle count consumed.
+pub(crate) fn run_single_phase(sim: &mut Simulator<'_>, bits: u8) -> Result<u64> {
+    sim.set("ctl_load", 1)?;
+    sim.set("ctl_clr", 1)?;
+    sim.set("ctl_sren", 0)?;
+    sim.set("ctl_accen", 0)?;
+    sim.set("ctl_sub", 0)?;
+    sim.step();
+    sim.set("ctl_load", 0)?;
+    sim.set("ctl_clr", 0)?;
+    sim.set("ctl_sren", 1)?;
+    sim.set("ctl_accen", 1)?;
+    for t in 0..bits {
+        sim.set("ctl_sub", u64::from(t == bits - 1))?;
+        sim.step();
+    }
+    sim.set("ctl_sren", 0)?;
+    sim.set("ctl_accen", 0)?;
+    sim.set("ctl_sub", 0)?;
+    sim.step();
+    Ok(u64::from(bits) + 2)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accuracy_of_reference_against_itself_is_zero() {
+        // A trivial impl that calls the reference directly.
+        struct Ideal {
+            nl: Netlist,
+            p: DaParams,
+        }
+        impl DctImpl for Ideal {
+            fn name(&self) -> &'static str {
+                "IDEAL"
+            }
+            fn netlist(&self) -> &Netlist {
+                &self.nl
+            }
+            fn params(&self) -> &DaParams {
+                &self.p
+            }
+            fn transform(&self, x: &[i64; 8]) -> Result<[f64; 8]> {
+                Ok(reference::dct_1d_int(x))
+            }
+            fn cycles_per_block(&self) -> u64 {
+                0
+            }
+        }
+        let ideal = Ideal {
+            nl: Netlist::new("ideal"),
+            p: DaParams::precise(),
+        };
+        let acc = measure_accuracy(&ideal, 4, 2047, 7).unwrap();
+        assert_eq!(acc.max_abs_err, 0.0);
+        assert_eq!(acc.rms_err, 0.0);
+    }
+}

@@ -1,0 +1,103 @@
+//! Common interface for motion-estimation engines mapped on the ME array.
+
+use dsra_core::error::Result;
+use dsra_core::netlist::Netlist;
+use dsra_core::report::ResourceReport;
+
+use crate::reference::{Match, Plane, SearchParams};
+
+/// Cycle and memory-traffic measurements of one hardware block search.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MeSearchResult {
+    /// The winning candidate (identical to the software reference).
+    pub best: Match,
+    /// Clock cycles the search occupied the array.
+    pub cycles: u64,
+    /// Reference-plane pixels fetched from memory (with the broadcast /
+    /// register-delay reuse of Fig. 11).
+    pub ref_fetches: u64,
+    /// Reference pixels a reuse-free architecture would fetch (each
+    /// candidate reads its full window) — the bandwidth-reduction baseline.
+    pub ref_fetches_naive: u64,
+    /// Current-block pixels fetched.
+    pub cur_fetches: u64,
+}
+
+impl MeSearchResult {
+    /// Memory-bandwidth reduction factor delivered by the reuse network.
+    pub fn bandwidth_reduction(&self) -> f64 {
+        if self.ref_fetches == 0 {
+            return 1.0;
+        }
+        self.ref_fetches_naive as f64 / self.ref_fetches as f64
+    }
+}
+
+/// A block-matching architecture mapped onto the ME array.
+pub trait MeEngine {
+    /// Display name.
+    fn name(&self) -> &'static str;
+
+    /// Structural netlist (for resource accounting / place-and-route).
+    fn netlist(&self) -> &Netlist;
+
+    /// Runs one full block search, cycle-accurately.
+    ///
+    /// # Errors
+    /// Propagates simulator errors; block/window must lie inside the planes.
+    fn search(
+        &self,
+        cur: &Plane,
+        reference: &Plane,
+        bx: usize,
+        by: usize,
+        params: &SearchParams,
+    ) -> Result<MeSearchResult>;
+
+    /// Resource usage of the mapping.
+    fn report(&self) -> ResourceReport {
+        self.netlist().resource_report()
+    }
+}
+
+/// Packs a candidate displacement into the comparator index word.
+pub(crate) fn pack_mv(dx: i32, dy: i32, range: i32) -> u64 {
+    (((dx + range) as u64) << 6) | ((dy + range) as u64)
+}
+
+/// Unpacks a comparator index word back to a displacement.
+pub(crate) fn unpack_mv(idx: u64, range: i32) -> (i32, i32) {
+    let dx = ((idx >> 6) & 0x3F) as i32 - range;
+    let dy = (idx & 0x3F) as i32 - range;
+    (dx, dy)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mv_packing_round_trips() {
+        for dx in -8..=8 {
+            for dy in -8..=8 {
+                assert_eq!(unpack_mv(pack_mv(dx, dy, 8), 8), (dx, dy));
+            }
+        }
+    }
+
+    #[test]
+    fn bandwidth_reduction_ratio() {
+        let r = MeSearchResult {
+            best: Match {
+                mv: (0, 0),
+                sad: 0,
+                candidates: 1,
+            },
+            cycles: 10,
+            ref_fetches: 100,
+            ref_fetches_naive: 400,
+            cur_fetches: 50,
+        };
+        assert!((r.bandwidth_reduction() - 4.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,18 @@
+//! # dsra-me — motion-estimation architectures on the ME array
+//!
+//! The paper's §4: full-search block matching with the SAD criterion,
+//! mapped as the low-power 2-D systolic array of Figs. 10–11, plus the 1-D
+//! and single-PE alternatives and fast-search controller schedules that
+//! demonstrate the array's flexibility.
+
+#![warn(missing_docs)]
+
+pub mod harness;
+pub mod reference;
+pub mod systolic2d;
+pub mod variants;
+
+pub use harness::{MeEngine, MeSearchResult};
+pub use reference::{full_search, sad, Match, Plane, SearchParams};
+pub use systolic2d::{AccumStructure, Systolic2d};
+pub use variants::{run_schedule, Schedule, Sequential, Systolic1d};

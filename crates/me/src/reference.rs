@@ -1,0 +1,315 @@
+//! Reference (software) block-matching: planes, SAD, exhaustive full search.
+//!
+//! §4: "Motion estimation is based largely on a search scheme, which tries
+//! to find the best matching position of a 16x16 macro-block of the current
+//! frame with all the candidate blocks within a predetermined or adaptive
+//! search range in the previous frame. [...] The matching criterion usually
+//! used is the Sum of Absolute Differences (SAD)."
+
+/// A luminance plane (8-bit samples, row-major).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Plane {
+    width: usize,
+    height: usize,
+    data: Vec<u8>,
+}
+
+impl Plane {
+    /// Creates a plane from raw samples.
+    ///
+    /// # Panics
+    /// Panics if `data.len() != width * height`.
+    pub fn new(width: usize, height: usize, data: Vec<u8>) -> Self {
+        assert_eq!(data.len(), width * height, "plane geometry mismatch");
+        Plane {
+            width,
+            height,
+            data,
+        }
+    }
+
+    /// A constant-valued plane.
+    pub fn filled(width: usize, height: usize, value: u8) -> Self {
+        Plane::new(width, height, vec![value; width * height])
+    }
+
+    /// Plane width in pixels.
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Plane height in pixels.
+    pub fn height(&self) -> usize {
+        self.height
+    }
+
+    /// Sample at `(x, y)`.
+    ///
+    /// # Panics
+    /// Panics when out of bounds.
+    #[inline]
+    pub fn at(&self, x: usize, y: usize) -> u8 {
+        assert!(x < self.width && y < self.height, "pixel out of bounds");
+        self.data[y * self.width + x]
+    }
+
+    /// Mutable sample access.
+    ///
+    /// # Panics
+    /// Panics when out of bounds.
+    pub fn at_mut(&mut self, x: usize, y: usize) -> &mut u8 {
+        assert!(x < self.width && y < self.height, "pixel out of bounds");
+        &mut self.data[y * self.width + x]
+    }
+
+    /// Raw samples, row-major.
+    pub fn data(&self) -> &[u8] {
+        &self.data
+    }
+}
+
+/// Search configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SearchParams {
+    /// Block edge in pixels (the paper: "could be 8, 16 or 32").
+    pub block: usize,
+    /// Search range `p`: displacements in `[-p, +p]` on both axes.
+    pub range: i32,
+}
+
+impl Default for SearchParams {
+    fn default() -> Self {
+        SearchParams {
+            block: 16,
+            range: 8,
+        }
+    }
+}
+
+/// Result of one block search.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Match {
+    /// Motion vector `(dx, dy)` of the best candidate.
+    pub mv: (i32, i32),
+    /// Its SAD.
+    pub sad: u64,
+    /// Candidates evaluated.
+    pub candidates: u64,
+}
+
+/// SAD between the block at `(bx, by)` in `cur` and the block at
+/// `(bx+dx, by+dy)` in `reference` — `SAD_N(dx, dy)` of §4.
+///
+/// # Panics
+/// Panics if either window exceeds its plane.
+pub fn sad(
+    cur: &Plane,
+    reference: &Plane,
+    bx: usize,
+    by: usize,
+    dx: i32,
+    dy: i32,
+    block: usize,
+) -> u64 {
+    let rx = (bx as i64 + i64::from(dx)) as usize;
+    let ry = (by as i64 + i64::from(dy)) as usize;
+    let mut total = 0u64;
+    for y in 0..block {
+        for x in 0..block {
+            let a = i64::from(cur.at(bx + x, by + y));
+            let b = i64::from(reference.at(rx + x, ry + y));
+            total += a.abs_diff(b);
+        }
+    }
+    total
+}
+
+/// `true` when candidate `(dx, dy)` keeps the whole window inside the
+/// reference plane.
+pub fn candidate_valid(
+    reference: &Plane,
+    bx: usize,
+    by: usize,
+    dx: i32,
+    dy: i32,
+    block: usize,
+) -> bool {
+    let rx = bx as i64 + i64::from(dx);
+    let ry = by as i64 + i64::from(dy);
+    rx >= 0
+        && ry >= 0
+        && rx + block as i64 <= reference.width() as i64
+        && ry + block as i64 <= reference.height() as i64
+}
+
+/// Exhaustive full-search block matching (FSBMA). Scan order is column-major
+/// `(dx outer, dy inner)` — the order the systolic array walks candidates —
+/// and ties keep the first match (strictly-smaller comparison), so hardware
+/// and software agree bit-for-bit on the motion vector.
+pub fn full_search(
+    cur: &Plane,
+    reference: &Plane,
+    bx: usize,
+    by: usize,
+    params: &SearchParams,
+) -> Match {
+    let mut best: Option<Match> = None;
+    let mut candidates = 0u64;
+    for dx in -params.range..=params.range {
+        for dy in -params.range..=params.range {
+            if !candidate_valid(reference, bx, by, dx, dy, params.block) {
+                continue;
+            }
+            candidates += 1;
+            let s = sad(cur, reference, bx, by, dx, dy, params.block);
+            if best.is_none_or(|b| s < b.sad) {
+                best = Some(Match {
+                    mv: (dx, dy),
+                    sad: s,
+                    candidates: 0,
+                });
+            }
+        }
+    }
+    let mut m = best.expect("search window contains at least (0,0)");
+    m.candidates = candidates;
+    m
+}
+
+/// Three-step search (a classic fast BMA): evaluates a shrinking 3×3
+/// pattern. Returns the match and the candidate positions probed, in order
+/// (the hardware schedules reuse this list).
+pub fn three_step_candidates(range: i32) -> Vec<Vec<(i32, i32)>> {
+    let mut steps = Vec::new();
+    let mut s = (range / 2).max(1);
+    while s >= 1 {
+        steps.push(s);
+        if s == 1 {
+            break;
+        }
+        s /= 2;
+    }
+    steps
+        .into_iter()
+        .map(|s| {
+            let mut ring = Vec::new();
+            for dy in [-s, 0, s] {
+                for dx in [-s, 0, s] {
+                    ring.push((dx, dy));
+                }
+            }
+            ring
+        })
+        .collect()
+}
+
+/// Software three-step search (used to validate the hardware schedule).
+pub fn three_step_search(
+    cur: &Plane,
+    reference: &Plane,
+    bx: usize,
+    by: usize,
+    params: &SearchParams,
+) -> Match {
+    let mut center = (0i32, 0i32);
+    let mut best_sad = sad(cur, reference, bx, by, 0, 0, params.block);
+    let mut candidates = 1u64;
+    for ring in three_step_candidates(params.range) {
+        let mut best_here = center;
+        for (ox, oy) in ring {
+            let (dx, dy) = (center.0 + ox, center.1 + oy);
+            if (dx, dy) == center {
+                continue;
+            }
+            if dx.abs() > params.range
+                || dy.abs() > params.range
+                || !candidate_valid(reference, bx, by, dx, dy, params.block)
+            {
+                continue;
+            }
+            candidates += 1;
+            let s = sad(cur, reference, bx, by, dx, dy, params.block);
+            if s < best_sad {
+                best_sad = s;
+                best_here = (dx, dy);
+            }
+        }
+        center = best_here;
+    }
+    Match {
+        mv: center,
+        sad: best_sad,
+        candidates,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn shifted_planes(shift: (i32, i32)) -> (Plane, Plane) {
+        // reference = pattern; cur = pattern shifted by `shift`.
+        let w = 64;
+        let h = 48;
+        let pat = |x: i64, y: i64| -> u8 {
+            // Non-linear hash so no two displacements alias.
+            let h = (x.wrapping_mul(0x9E37_79B9) ^ y.wrapping_mul(0x85EB_CA6B)) as u64;
+            ((h ^ (h >> 13)) & 0xFF) as u8
+        };
+        let mut refd = Vec::with_capacity(w * h);
+        let mut curd = Vec::with_capacity(w * h);
+        for y in 0..h as i64 {
+            for x in 0..w as i64 {
+                refd.push(pat(x, y));
+                curd.push(pat(x + i64::from(shift.0), y + i64::from(shift.1)));
+            }
+        }
+        (
+            Plane::new(w, h, curd),
+            Plane::new(w, h, refd),
+        )
+    }
+
+    #[test]
+    fn full_search_finds_known_shift() {
+        for shift in [(0, 0), (3, -2), (-5, 4), (8, 8)] {
+            let (cur, reference) = shifted_planes(shift);
+            let m = full_search(&cur, &reference, 24, 16, &SearchParams::default());
+            assert_eq!(m.mv, shift, "shift {shift:?}");
+            assert_eq!(m.sad, 0);
+        }
+    }
+
+    #[test]
+    fn full_search_counts_valid_candidates() {
+        let (cur, reference) = shifted_planes((0, 0));
+        let m = full_search(&cur, &reference, 24, 16, &SearchParams::default());
+        assert_eq!(m.candidates, 17 * 17);
+        // Near the border the window clips.
+        let m2 = full_search(&cur, &reference, 0, 0, &SearchParams::default());
+        assert_eq!(m2.candidates, 9 * 9);
+    }
+
+    #[test]
+    fn sad_zero_for_identical_blocks() {
+        let p = Plane::filled(32, 32, 99);
+        assert_eq!(sad(&p, &p, 8, 8, 0, 0, 16), 0);
+        assert_eq!(sad(&p, &p, 8, 8, 4, -3, 16), 0);
+    }
+
+    #[test]
+    fn three_step_matches_full_search_on_clean_shift() {
+        let (cur, reference) = shifted_planes((4, 2));
+        let fs = full_search(&cur, &reference, 24, 16, &SearchParams::default());
+        let ts = three_step_search(&cur, &reference, 24, 16, &SearchParams::default());
+        assert_eq!(fs.mv, ts.mv);
+        // TSS probes far fewer candidates.
+        assert!(ts.candidates * 4 < fs.candidates);
+    }
+
+    #[test]
+    #[should_panic(expected = "plane geometry mismatch")]
+    fn plane_geometry_checked() {
+        let _ = Plane::new(4, 4, vec![0; 15]);
+    }
+}

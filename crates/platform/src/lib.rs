@@ -1,0 +1,19 @@
+//! # dsra-platform — the reconfigurable System-on-Chip model
+//!
+//! Fig. 1 of the paper: processors, DSPs and the domain-specific arrays on
+//! one SoC, with a controller generating addresses and configurations. This
+//! crate models the platform-level behaviour the paper claims in §5:
+//! dynamic reconfiguration between implementations of the same kernel under
+//! run-time constraints, with measured switching costs.
+
+#![warn(missing_docs)]
+
+pub mod policy;
+pub mod reconfig;
+pub mod scenario;
+
+pub use policy::{select, Condition, ImplProfile};
+pub use reconfig::{ReconfigManager, ReconfigReport, SocConfig};
+pub use scenario::{
+    dynamic_encode, profile_all_impls, standard_da_fabric, ProfiledImpl, ScenarioFrame,
+};

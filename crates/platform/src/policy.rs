@@ -1,0 +1,147 @@
+//! Run-time implementation selection policies.
+//!
+//! §5 of the paper motivates dynamic reconfiguration with "different
+//! run-time constraints, such as low-battery conditions and noisy channels".
+//! A [`Policy`] picks among measured [`ImplProfile`]s — the same trade-off
+//! table §3.6 sketches (area vs. activity vs. precision).
+
+/// Measured characteristics of one implementation (one Table-1 column plus
+/// the dynamic metrics the harness measures).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ImplProfile {
+    /// Implementation name.
+    pub name: String,
+    /// Clusters used (area proxy, §3.6).
+    pub clusters: u32,
+    /// Configuration bits (reconfiguration cost proxy).
+    pub config_bits: u64,
+    /// Cycles per transformed block.
+    pub cycles_per_block: u64,
+    /// Energy proxy per block (activity × technology model).
+    pub energy_per_block: f64,
+    /// Worst-case coefficient error (precision).
+    pub max_abs_err: f64,
+}
+
+/// Operating condition driving the selection.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Condition {
+    /// Mains powered / high quality: minimise output error.
+    HighQuality,
+    /// Low battery: minimise energy per block.
+    LowBattery,
+    /// Real-time deadline: cheapest implementation meeting a cycle budget.
+    Deadline {
+        /// Maximum admissible cycles per block.
+        max_cycles_per_block: u64,
+    },
+    /// Smallest footprint (leave clusters free for other kernels).
+    MinArea,
+}
+
+/// Selects the best profile for a condition. Returns `None` when no profile
+/// satisfies the constraint (e.g. an unreachable deadline).
+pub fn select(profiles: &[ImplProfile], condition: Condition) -> Option<&ImplProfile> {
+    let candidates: Vec<&ImplProfile> = match condition {
+        Condition::Deadline {
+            max_cycles_per_block,
+        } => profiles
+            .iter()
+            .filter(|p| p.cycles_per_block <= max_cycles_per_block)
+            .collect(),
+        _ => profiles.iter().collect(),
+    };
+    let key = |p: &&ImplProfile| -> f64 {
+        match condition {
+            Condition::HighQuality => p.max_abs_err,
+            Condition::LowBattery | Condition::Deadline { .. } => p.energy_per_block,
+            Condition::MinArea => f64::from(p.clusters),
+        }
+    };
+    candidates
+        .into_iter()
+        .min_by(|a, b| key(a).partial_cmp(&key(b)).unwrap_or(std::cmp::Ordering::Equal))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn profiles() -> Vec<ImplProfile> {
+        vec![
+            ImplProfile {
+                name: "BASIC DA".into(),
+                clusters: 24,
+                config_bits: 34_000,
+                cycles_per_block: 14,
+                energy_per_block: 9.0,
+                max_abs_err: 0.8,
+            },
+            ImplProfile {
+                name: "MIX ROM".into(),
+                clusters: 32,
+                config_bits: 4_000,
+                cycles_per_block: 16,
+                energy_per_block: 6.0,
+                max_abs_err: 0.9,
+            },
+            ImplProfile {
+                name: "CORDIC 1".into(),
+                clusters: 48,
+                config_bits: 3_000,
+                cycles_per_block: 47,
+                energy_per_block: 11.0,
+                max_abs_err: 4.0,
+            },
+            ImplProfile {
+                name: "SCC".into(),
+                clusters: 24,
+                config_bits: 34_000,
+                cycles_per_block: 14,
+                energy_per_block: 8.0,
+                max_abs_err: 0.8,
+            },
+        ]
+    }
+
+    #[test]
+    fn high_quality_picks_lowest_error() {
+        let p = profiles();
+        let sel = select(&p, Condition::HighQuality).unwrap();
+        assert!(sel.max_abs_err <= 0.8);
+    }
+
+    #[test]
+    fn low_battery_picks_lowest_energy() {
+        let p = profiles();
+        assert_eq!(select(&p, Condition::LowBattery).unwrap().name, "MIX ROM");
+    }
+
+    #[test]
+    fn deadline_filters_then_minimises_energy() {
+        let p = profiles();
+        let sel = select(
+            &p,
+            Condition::Deadline {
+                max_cycles_per_block: 15,
+            },
+        )
+        .unwrap();
+        assert!(sel.cycles_per_block <= 15);
+        assert_eq!(sel.name, "SCC");
+        assert!(select(
+            &p,
+            Condition::Deadline {
+                max_cycles_per_block: 5
+            }
+        )
+        .is_none());
+    }
+
+    #[test]
+    fn min_area_prefers_smallest_column() {
+        let p = profiles();
+        let sel = select(&p, Condition::MinArea).unwrap();
+        assert_eq!(sel.clusters, 24);
+    }
+}

@@ -1,0 +1,677 @@
+//! The cycle-accurate simulation engine.
+//!
+//! Two-phase execution per clock: all combinational logic settles in
+//! levelized order, then every sequential cluster ticks. Values travel as raw
+//! two's-complement words ([`dsra_core::fixed`]).
+
+use std::collections::HashMap;
+
+use dsra_core::cluster::{AbsDiffMode, AddOp, AddShiftCfg, ClusterCfg, CompMode};
+use dsra_core::error::{CoreError, Result};
+use dsra_core::fixed::{from_signed, mask, to_signed};
+use dsra_core::netlist::{Netlist, NodeId, NodeKind, PortDir, PortRef};
+
+use crate::activity::Activity;
+
+/// Sequential state of one node.
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum NodeState {
+    None,
+    /// RegMux output register.
+    Reg { q: u64 },
+    /// AddAcc accumulator.
+    Acc { acc: u64 },
+    /// Bit-serial adder/subtracter carry.
+    Carry { c: u8 },
+    /// Parallel-to-serial shift register.
+    SerialReg { reg: u64, pos: u8 },
+    /// DA shift-accumulator.
+    ShiftAcc { acc: u64 },
+    /// Streaming comparator.
+    Comp { best: u64, best_idx: u64, valid: bool },
+}
+
+/// Cycle-accurate simulator for a checked netlist.
+///
+/// ```
+/// use dsra_core::prelude::*;
+/// use dsra_sim::Simulator;
+///
+/// # fn main() -> std::result::Result<(), CoreError> {
+/// let mut nl = Netlist::new("abs");
+/// let a = nl.input("a", 8)?;
+/// let b = nl.input("b", 8)?;
+/// let ad = nl.cluster("ad", ClusterCfg::AbsDiff {
+///     width: 8,
+///     mode: AbsDiffMode::AbsDiff,
+/// })?;
+/// let y = nl.output("y", 8)?;
+/// nl.connect((a, "out"), (ad, "a"))?;
+/// nl.connect((b, "out"), (ad, "b"))?;
+/// nl.connect((ad, "y"), (y, "in"))?;
+///
+/// let mut sim = Simulator::new(&nl)?;
+/// sim.set("a", 200)?;
+/// sim.set("b", 55)?;
+/// sim.step();
+/// assert_eq!(sim.get("y")?, 145);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct Simulator<'n> {
+    netlist: &'n Netlist,
+    order: Vec<NodeId>,
+    /// Current value per net.
+    net_values: Vec<u64>,
+    /// Previous-cycle value per net (for toggle counting).
+    prev_values: Vec<u64>,
+    states: Vec<NodeState>,
+    external: Vec<u64>,
+    input_ids: HashMap<String, NodeId>,
+    output_ids: HashMap<String, NodeId>,
+    activity: Activity,
+    cycle: u64,
+    waveform: Option<crate::trace::Waveform>,
+    faults: Vec<StuckFault>,
+}
+
+/// A stuck-at fault injected on one bit of a net (testability experiments).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StuckFault {
+    /// Faulted net.
+    pub net: dsra_core::netlist::NetId,
+    /// Bit position within the bus.
+    pub bit: u8,
+    /// Stuck value.
+    pub stuck_high: bool,
+}
+
+impl<'n> Simulator<'n> {
+    /// Builds a simulator, validating the netlist (`check()`).
+    ///
+    /// # Errors
+    /// Propagates netlist validation failures (unconnected mandatory inputs,
+    /// combinational loops).
+    pub fn new(netlist: &'n Netlist) -> Result<Self> {
+        let order = netlist.check()?;
+        let states = netlist
+            .nodes()
+            .iter()
+            .map(|n| initial_state(&n.kind))
+            .collect();
+        let input_ids = netlist
+            .input_nodes()
+            .into_iter()
+            .map(|id| (netlist.node(id).name.clone(), id))
+            .collect();
+        let output_ids = netlist
+            .output_nodes()
+            .into_iter()
+            .map(|id| (netlist.node(id).name.clone(), id))
+            .collect();
+        Ok(Simulator {
+            netlist,
+            order,
+            net_values: vec![0; netlist.nets().len()],
+            prev_values: vec![0; netlist.nets().len()],
+            states,
+            external: vec![0; netlist.nodes().len()],
+            input_ids,
+            output_ids,
+            activity: Activity::new(netlist.nets().len(), netlist.nodes().len()),
+            cycle: 0,
+            waveform: None,
+            faults: Vec::new(),
+        })
+    }
+
+    /// Drives a top-level input (raw bus word, masked to the input width).
+    ///
+    /// # Errors
+    /// [`CoreError::UnknownNode`] if no input has this name.
+    pub fn set(&mut self, input: &str, raw: u64) -> Result<()> {
+        let id = *self
+            .input_ids
+            .get(input)
+            .ok_or_else(|| CoreError::UnknownNode(input.to_owned()))?;
+        let width = match self.netlist.node(id).kind {
+            NodeKind::Input { width } => width,
+            _ => unreachable!("input_ids only holds inputs"),
+        };
+        self.external[id.0 as usize] = mask(raw, width);
+        Ok(())
+    }
+
+    /// Drives a top-level input with a signed value.
+    ///
+    /// # Errors
+    /// Same as [`Simulator::set`].
+    pub fn set_signed(&mut self, input: &str, value: i64) -> Result<()> {
+        let id = *self
+            .input_ids
+            .get(input)
+            .ok_or_else(|| CoreError::UnknownNode(input.to_owned()))?;
+        let width = match self.netlist.node(id).kind {
+            NodeKind::Input { width } => width,
+            _ => unreachable!(),
+        };
+        self.external[id.0 as usize] = from_signed(value, width);
+        Ok(())
+    }
+
+    /// Reads a top-level output (raw bus word) after the last `step`.
+    ///
+    /// # Errors
+    /// [`CoreError::UnknownNode`] if no output has this name.
+    pub fn get(&self, output: &str) -> Result<u64> {
+        let id = *self
+            .output_ids
+            .get(output)
+            .ok_or_else(|| CoreError::UnknownNode(output.to_owned()))?;
+        Ok(self.output_value(id))
+    }
+
+    /// Reads a top-level output as a signed value.
+    ///
+    /// # Errors
+    /// Same as [`Simulator::get`].
+    pub fn get_signed(&self, output: &str) -> Result<i64> {
+        let id = *self
+            .output_ids
+            .get(output)
+            .ok_or_else(|| CoreError::UnknownNode(output.to_owned()))?;
+        let width = match self.netlist.node(id).kind {
+            NodeKind::Output { width } => width,
+            _ => unreachable!(),
+        };
+        Ok(to_signed(self.output_value(id), width))
+    }
+
+    fn output_value(&self, id: NodeId) -> u64 {
+        let pref = PortRef { node: id, port: 0 };
+        self.netlist
+            .net_of(pref)
+            .map_or(0, |n| self.net_values[n.0 as usize])
+    }
+
+    /// Executes one clock cycle: combinational settle, activity recording,
+    /// sequential tick.
+    pub fn step(&mut self) {
+        self.settle();
+        for i in 0..self.net_values.len() {
+            self.activity.record_net(i, self.prev_values[i], self.net_values[i]);
+        }
+        self.prev_values.copy_from_slice(&self.net_values);
+        if let Some(w) = &mut self.waveform {
+            w.capture(&self.net_values);
+        }
+        self.tick();
+        self.activity.end_cycle();
+        self.cycle += 1;
+    }
+
+    /// Starts recording a waveform (one snapshot per cycle from now on).
+    pub fn record_waveform(&mut self) {
+        self.waveform = Some(crate::trace::Waveform::new(self.netlist));
+    }
+
+    /// The recorded waveform, if recording was enabled.
+    pub fn waveform(&self) -> Option<&crate::trace::Waveform> {
+        self.waveform.as_ref()
+    }
+
+    /// Injects a stuck-at fault on one bit of a net. The fault applies from
+    /// the next evaluation onward; several faults may be active at once.
+    pub fn inject_fault(&mut self, fault: StuckFault) {
+        self.faults.push(fault);
+    }
+
+    /// Removes all injected faults.
+    pub fn clear_faults(&mut self) {
+        self.faults.clear();
+    }
+
+    /// Runs `n` cycles.
+    pub fn run(&mut self, n: u64) {
+        for _ in 0..n {
+            self.step();
+        }
+    }
+
+    /// Cycles executed so far.
+    pub fn cycle(&self) -> u64 {
+        self.cycle
+    }
+
+    /// Accumulated switching activity.
+    pub fn activity(&self) -> &Activity {
+        &self.activity
+    }
+
+    /// The netlist being simulated.
+    pub fn netlist(&self) -> &Netlist {
+        self.netlist
+    }
+
+    /// Combinational propagation without advancing the clock (useful in
+    /// tests to observe settled values).
+    ///
+    /// Phase A publishes every *source* value — external inputs, constants
+    /// and the Moore outputs of sequential clusters (which depend only on
+    /// state). Phase B then evaluates combinational nodes in levelized
+    /// order, so a single pass settles the whole design.
+    pub fn settle(&mut self) {
+        for idx in 0..self.netlist.nodes().len() {
+            let id = NodeId(idx as u32);
+            if !self.netlist.node(id).kind.comb_output() {
+                let outputs = self.eval_node(id);
+                self.write_outputs(id, &outputs);
+            }
+        }
+        for idx in 0..self.order.len() {
+            let id = self.order[idx];
+            if self.netlist.node(id).kind.comb_output() {
+                let outputs = self.eval_node(id);
+                self.write_outputs(id, &outputs);
+            }
+        }
+    }
+
+    fn input_value(&self, id: NodeId, port: u16) -> u64 {
+        let pref = PortRef { node: id, port };
+        match self.netlist.net_of(pref) {
+            Some(net) => self.net_values[net.0 as usize],
+            None => self.netlist.node(id).ports[port as usize]
+                .default
+                .unwrap_or(0),
+        }
+    }
+
+    /// Gathers all input-port values of a node (by port order).
+    fn gather(&self, id: NodeId) -> Vec<u64> {
+        let node = self.netlist.node(id);
+        node.ports
+            .iter()
+            .enumerate()
+            .map(|(pi, p)| {
+                if p.dir == PortDir::In {
+                    self.input_value(id, pi as u16)
+                } else {
+                    0
+                }
+            })
+            .collect()
+    }
+
+    fn write_outputs(&mut self, id: NodeId, outputs: &[(u16, u64)]) {
+        for &(port, value) in outputs {
+            let pref = PortRef { node: id, port };
+            if let Some(net) = self.netlist.net_of(pref) {
+                // Only nets driven by this port.
+                if self.netlist.net(net).driver == pref {
+                    let mut v = value;
+                    for f in &self.faults {
+                        if f.net == net {
+                            if f.stuck_high {
+                                v |= 1u64 << f.bit;
+                            } else {
+                                v &= !(1u64 << f.bit);
+                            }
+                        }
+                    }
+                    self.net_values[net.0 as usize] = v;
+                }
+            }
+        }
+    }
+
+    /// Computes a node's output port values for the current cycle.
+    fn eval_node(&mut self, id: NodeId) -> Vec<(u16, u64)> {
+        let node = self.netlist.node(id);
+        let ins = self.gather(id);
+        let port = |name: &str| node.port_index(name).expect("port exists") as usize;
+        let state = &self.states[id.0 as usize];
+        match &node.kind {
+            NodeKind::Input { width } => {
+                vec![(0, mask(self.external[id.0 as usize], *width))]
+            }
+            NodeKind::Output { .. } => vec![],
+            NodeKind::Const { value, width } => vec![(0, mask(*value, *width))],
+            NodeKind::Concat { parts } => {
+                let mut out = 0u64;
+                let mut shift = 0u32;
+                for (i, w) in parts.iter().enumerate() {
+                    out |= mask(ins[i], *w) << shift;
+                    shift += u32::from(*w);
+                }
+                vec![(parts.len() as u16, out)]
+            }
+            NodeKind::Slice { offset, width, .. } => {
+                vec![(1, mask(ins[0] >> offset, *width))]
+            }
+            NodeKind::SignExtend { in_width, width } => {
+                vec![(1, from_signed(to_signed(ins[0], *in_width), *width))]
+            }
+            NodeKind::Cluster(cfg) => match cfg {
+                ClusterCfg::RegMux {
+                    width, registered, ..
+                } => {
+                    if *registered {
+                        match state {
+                            NodeState::Reg { q } => vec![(port("y") as u16, mask(*q, *width))],
+                            _ => unreachable!(),
+                        }
+                    } else {
+                        let a = ins[port("a")];
+                        let b = ins[port("b")];
+                        let sel = ins[port("sel")] & 1;
+                        vec![(port("y") as u16, if sel == 1 { b } else { a })]
+                    }
+                }
+                ClusterCfg::AbsDiff { width, mode } => {
+                    let a = ins[port("a")];
+                    let b = ins[port("b")];
+                    let y = match mode {
+                        AbsDiffMode::Add => mask(a.wrapping_add(b), *width),
+                        AbsDiffMode::Sub => mask(a.wrapping_sub(b), *width),
+                        // Pixels are unsigned: |a - b| = max - min.
+                        AbsDiffMode::AbsDiff => mask(a.max(b) - a.min(b), *width),
+                    };
+                    vec![(port("y") as u16, y)]
+                }
+                ClusterCfg::AddAcc {
+                    width,
+                    op,
+                    accumulate,
+                } => {
+                    if *accumulate {
+                        match state {
+                            NodeState::Acc { acc } => {
+                                vec![(port("y") as u16, mask(*acc, *width))]
+                            }
+                            _ => unreachable!(),
+                        }
+                    } else {
+                        let a = ins[port("a")];
+                        let b = ins[port("b")];
+                        let y = match op {
+                            AddOp::Add => mask(a.wrapping_add(b), *width),
+                            AddOp::Sub => mask(a.wrapping_sub(b), *width),
+                        };
+                        vec![(port("y") as u16, y)]
+                    }
+                }
+                ClusterCfg::Comparator { mode, .. } => match mode {
+                    CompMode::Min | CompMode::Max => {
+                        let a = ins[port("a")];
+                        let b = ins[port("b")];
+                        // SAD metrics are unsigned.
+                        let (y, which) = match mode {
+                            CompMode::Min => (a.min(b), u64::from(a > b)),
+                            _ => (a.max(b), u64::from(a < b)),
+                        };
+                        vec![(port("y") as u16, y), (port("which") as u16, which)]
+                    }
+                    CompMode::StreamMin | CompMode::StreamMax => match state {
+                        NodeState::Comp {
+                            best, best_idx, ..
+                        } => vec![
+                            (port("best") as u16, *best),
+                            (port("best_idx") as u16, *best_idx),
+                        ],
+                        _ => unreachable!(),
+                    },
+                },
+                ClusterCfg::AddShift(as_cfg) => match as_cfg {
+                    AddShiftCfg::Add { width, serial } | AddShiftCfg::Sub { width, serial } => {
+                        let is_sub = matches!(as_cfg, AddShiftCfg::Sub { .. });
+                        if *serial {
+                            let a = ins[port("a")] & 1;
+                            let b0 = ins[port("b")] & 1;
+                            let b = if is_sub { b0 ^ 1 } else { b0 };
+                            let c = match state {
+                                NodeState::Carry { c } => u64::from(*c),
+                                _ => unreachable!(),
+                            };
+                            vec![(port("y") as u16, a ^ b ^ c)]
+                        } else {
+                            let a = ins[port("a")];
+                            let b = ins[port("b")];
+                            let y = if is_sub {
+                                mask(a.wrapping_sub(b), *width)
+                            } else {
+                                mask(a.wrapping_add(b), *width)
+                            };
+                            vec![(port("y") as u16, y)]
+                        }
+                    }
+                    AddShiftCfg::SerialReg { width } => match state {
+                        NodeState::SerialReg { reg, pos } => {
+                            let bit_idx = (*pos).min(width - 1);
+                            vec![(port("q") as u16, (reg >> bit_idx) & 1)]
+                        }
+                        _ => unreachable!(),
+                    },
+                    AddShiftCfg::ShiftAcc { acc_width, .. } => match state {
+                        NodeState::ShiftAcc { acc } => vec![
+                            (port("y") as u16, mask(*acc, *acc_width)),
+                            (port("qs") as u16, acc & 1),
+                        ],
+                        _ => unreachable!(),
+                    },
+                },
+                ClusterCfg::Memory {
+                    words,
+                    width,
+                    contents,
+                } => {
+                    let addr = (ins[port("addr")] as usize) % usize::from(*words);
+                    vec![(port("dout") as u16, mask(contents[addr], *width))]
+                }
+            },
+        }
+    }
+
+    /// Clock edge: update every sequential node from the settled net values.
+    fn tick(&mut self) {
+        for idx in 0..self.netlist.nodes().len() {
+            let id = NodeId(idx as u32);
+            let node = self.netlist.node(id);
+            if !node.kind.sequential() {
+                continue;
+            }
+            let ins = self.gather(id);
+            let port = |name: &str| node.port_index(name).expect("port exists") as usize;
+            let NodeKind::Cluster(cfg) = &node.kind else {
+                continue;
+            };
+            let new_state = match (cfg, &self.states[idx]) {
+                (ClusterCfg::RegMux { .. }, NodeState::Reg { q }) => {
+                    let en = ins[port("en")] & 1;
+                    if en == 1 {
+                        let sel = ins[port("sel")] & 1;
+                        let d = if sel == 1 { ins[port("b")] } else { ins[port("a")] };
+                        NodeState::Reg { q: d }
+                    } else {
+                        NodeState::Reg { q: *q }
+                    }
+                }
+                (ClusterCfg::AddAcc { width, op, .. }, NodeState::Acc { acc }) => {
+                    let clr = ins[port("clr")] & 1;
+                    let en = ins[port("en")] & 1;
+                    if clr == 1 {
+                        NodeState::Acc { acc: 0 }
+                    } else if en == 1 {
+                        let a = ins[port("a")];
+                        let b = ins[port("b")];
+                        let term = match op {
+                            AddOp::Add => a.wrapping_add(b),
+                            AddOp::Sub => a.wrapping_sub(b),
+                        };
+                        NodeState::Acc {
+                            acc: mask(acc.wrapping_add(term), *width),
+                        }
+                    } else {
+                        NodeState::Acc { acc: *acc }
+                    }
+                }
+                (
+                    ClusterCfg::Comparator { mode, .. },
+                    NodeState::Comp {
+                        best,
+                        best_idx,
+                        valid,
+                    },
+                ) => {
+                    let clr = ins[port("clr")] & 1;
+                    let en = ins[port("en")] & 1;
+                    if clr == 1 {
+                        NodeState::Comp {
+                            best: 0,
+                            best_idx: 0,
+                            valid: false,
+                        }
+                    } else if en == 1 {
+                        let x = ins[port("x")];
+                        let idx_in = ins[port("idx")];
+                        let better = !valid
+                            || match mode {
+                                CompMode::StreamMin => x < *best,
+                                _ => x > *best,
+                            };
+                        if better {
+                            NodeState::Comp {
+                                best: x,
+                                best_idx: idx_in,
+                                valid: true,
+                            }
+                        } else {
+                            NodeState::Comp {
+                                best: *best,
+                                best_idx: *best_idx,
+                                valid: true,
+                            }
+                        }
+                    } else {
+                        NodeState::Comp {
+                            best: *best,
+                            best_idx: *best_idx,
+                            valid: *valid,
+                        }
+                    }
+                }
+                (ClusterCfg::AddShift(as_cfg), state) => match (as_cfg, state) {
+                    (
+                        AddShiftCfg::Add { .. } | AddShiftCfg::Sub { .. },
+                        NodeState::Carry { c },
+                    ) => {
+                        let is_sub = matches!(as_cfg, AddShiftCfg::Sub { .. });
+                        let clr = ins[port("clr")] & 1;
+                        if clr == 1 {
+                            NodeState::Carry {
+                                c: u8::from(is_sub),
+                            }
+                        } else {
+                            let a = ins[port("a")] & 1;
+                            let b0 = ins[port("b")] & 1;
+                            let b = if is_sub { b0 ^ 1 } else { b0 };
+                            let cin = u64::from(*c);
+                            let cout = (a & b) | (a & cin) | (b & cin);
+                            NodeState::Carry { c: cout as u8 }
+                        }
+                    }
+                    (AddShiftCfg::SerialReg { .. }, NodeState::SerialReg { reg, pos }) => {
+                        let load = ins[port("load")] & 1;
+                        let en = ins[port("en")] & 1;
+                        if load == 1 {
+                            NodeState::SerialReg {
+                                reg: ins[port("d")],
+                                pos: 0,
+                            }
+                        } else if en == 1 {
+                            NodeState::SerialReg {
+                                reg: *reg,
+                                pos: pos.saturating_add(1),
+                            }
+                        } else {
+                            NodeState::SerialReg {
+                                reg: *reg,
+                                pos: *pos,
+                            }
+                        }
+                    }
+                    (
+                        AddShiftCfg::ShiftAcc {
+                            acc_width,
+                            data_width,
+                        },
+                        NodeState::ShiftAcc { acc },
+                    ) => {
+                        let clr = ins[port("clr")] & 1;
+                        let en = ins[port("en")] & 1;
+                        let sh = ins[port("sh")] & 1;
+                        if clr == 1 {
+                            NodeState::ShiftAcc { acc: 0 }
+                        } else if en == 1 {
+                            let align = u32::from(acc_width - data_width);
+                            let sub = ins[port("sub")] & 1;
+                            let sa = to_signed(*acc, *acc_width);
+                            let sd = to_signed(ins[port("d")], *data_width);
+                            let term = sd << align;
+                            let sum = if sub == 1 { sa - term } else { sa + term };
+                            NodeState::ShiftAcc {
+                                acc: from_signed(sum >> 1, *acc_width),
+                            }
+                        } else if sh == 1 {
+                            let sa = to_signed(*acc, *acc_width);
+                            NodeState::ShiftAcc {
+                                acc: from_signed(sa >> 1, *acc_width),
+                            }
+                        } else {
+                            NodeState::ShiftAcc { acc: *acc }
+                        }
+                    }
+                    _ => unreachable!("state/config mismatch"),
+                },
+                _ => unreachable!("state/config mismatch"),
+            };
+            if new_state != self.states[idx] {
+                self.activity.credit_node(idx, 1);
+            }
+            self.states[idx] = new_state;
+        }
+    }
+}
+
+fn initial_state(kind: &NodeKind) -> NodeState {
+    match kind {
+        NodeKind::Cluster(cfg) => match cfg {
+            ClusterCfg::RegMux {
+                registered: true, ..
+            } => NodeState::Reg { q: 0 },
+            ClusterCfg::AddAcc {
+                accumulate: true, ..
+            } => NodeState::Acc { acc: 0 },
+            ClusterCfg::Comparator {
+                mode: CompMode::StreamMin | CompMode::StreamMax,
+                ..
+            } => {
+                NodeState::Comp {
+                    best: 0,
+                    best_idx: 0,
+                    valid: false,
+                }
+            }
+            ClusterCfg::AddShift(cfg) => match cfg {
+                AddShiftCfg::Add { serial: true, .. } => NodeState::Carry { c: 0 },
+                AddShiftCfg::Sub { serial: true, .. } => NodeState::Carry { c: 1 },
+                AddShiftCfg::SerialReg { .. } => NodeState::SerialReg { reg: 0, pos: 0 },
+                AddShiftCfg::ShiftAcc { .. } => NodeState::ShiftAcc { acc: 0 },
+                _ => NodeState::None,
+            },
+            _ => NodeState::None,
+        },
+        _ => NodeState::None,
+    }
+}

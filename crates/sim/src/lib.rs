@@ -1,0 +1,24 @@
+//! # dsra-sim — cycle-accurate simulator for domain-specific array netlists
+//!
+//! Executes [`dsra_core::netlist::Netlist`] designs cycle by cycle with
+//! hardware-faithful semantics:
+//!
+//! * two-phase clocking: combinational settle in levelized order, then a
+//!   global register tick;
+//! * bit-serial distributed arithmetic — LSB-first serial streams, carry
+//!   flip-flops in serial adders, right-shift-accumulate with a subtracting
+//!   sign-bit cycle (White's DA, ref. \[4\] of the paper);
+//! * per-net toggle counting for activity-based power estimation
+//!   (`dsra-tech`).
+//!
+//! See [`Simulator`] for a usage example.
+
+#![warn(missing_docs)]
+
+pub mod activity;
+pub mod engine;
+pub mod trace;
+
+pub use activity::Activity;
+pub use engine::{Simulator, StuckFault};
+pub use trace::Waveform;

@@ -1,0 +1,232 @@
+//! Waveform capture and stuck-at fault-injection tests.
+
+use dsra_core::prelude::*;
+use dsra_sim::{Simulator, StuckFault};
+
+fn sad_cell() -> Netlist {
+    let mut nl = Netlist::new("sad");
+    let a = nl.input("a", 8).unwrap();
+    let b = nl.input("b", 8).unwrap();
+    let ad = nl
+        .cluster(
+            "ad",
+            ClusterCfg::AbsDiff {
+                width: 8,
+                mode: AbsDiffMode::AbsDiff,
+            },
+        )
+        .unwrap();
+    let acc = nl
+        .cluster(
+            "acc",
+            ClusterCfg::AddAcc {
+                width: 16,
+                op: AddOp::Add,
+                accumulate: true,
+            },
+        )
+        .unwrap();
+    let zero = nl.constant("z8", 0, 8).unwrap();
+    let wide = nl.concat("w", &[(ad, "y"), (zero, "out")]).unwrap();
+    let y = nl.output("y", 16).unwrap();
+    nl.connect((a, "out"), (ad, "a")).unwrap();
+    nl.connect((b, "out"), (ad, "b")).unwrap();
+    nl.connect((wide, "out"), (acc, "a")).unwrap();
+    nl.connect((acc, "y"), (y, "in")).unwrap();
+    nl
+}
+
+#[test]
+fn waveform_records_every_cycle() {
+    let nl = sad_cell();
+    let mut sim = Simulator::new(&nl).unwrap();
+    sim.record_waveform();
+    for i in 0..5u64 {
+        sim.set("a", 10 + i).unwrap();
+        sim.set("b", 3).unwrap();
+        sim.step();
+    }
+    let w = sim.waveform().unwrap();
+    assert_eq!(w.cycles(), 5);
+}
+
+#[test]
+fn vcd_export_is_wellformed() {
+    let nl = sad_cell();
+    let mut sim = Simulator::new(&nl).unwrap();
+    sim.record_waveform();
+    sim.set("a", 100).unwrap();
+    sim.set("b", 55).unwrap();
+    sim.run(3);
+    let vcd = sim.waveform().unwrap().to_vcd("sad_cell");
+    assert!(vcd.contains("$enddefinitions $end"));
+    assert!(vcd.contains("$var wire 8"));
+    assert!(vcd.contains("$var wire 16"));
+    assert!(vcd.contains("#0"));
+    // Constant nets emit exactly one change.
+    let changes = vcd.lines().filter(|l| l.starts_with('b')).count();
+    assert!(changes > 0);
+}
+
+#[test]
+fn stuck_at_fault_corrupts_the_output_observably() {
+    let nl = sad_cell();
+    let ad = nl.node_by_name("ad").unwrap();
+    let ad_y = nl
+        .net_of(dsra_core::netlist::PortRef { node: ad, port: 2 })
+        .expect("ad.y is routed");
+
+    let run = |fault: Option<StuckFault>| -> u64 {
+        let mut sim = Simulator::new(&nl).unwrap();
+        if let Some(f) = fault {
+            sim.inject_fault(f);
+        }
+        sim.set("a", 0x40).unwrap();
+        sim.set("b", 0x41).unwrap(); // |diff| = 1 -> LSB exercised
+        sim.run(4);
+        sim.get("y").unwrap()
+    };
+    let healthy = run(None);
+    let faulty = run(Some(StuckFault {
+        net: ad_y,
+        bit: 0,
+        stuck_high: false,
+    }));
+    assert_ne!(healthy, faulty, "stuck-at-0 on the LSB must be observable");
+    // Registered accumulator: after run(4) the visible value reflects three
+    // accumulation edges (Moore output, one-cycle visibility).
+    assert_eq!(healthy, 3);
+    assert_eq!(faulty, 0); // LSB stuck low kills the difference
+}
+
+#[test]
+fn fault_on_masked_bit_is_undetectable() {
+    let nl = sad_cell();
+    let ad = nl.node_by_name("ad").unwrap();
+    let ad_y = nl
+        .net_of(dsra_core::netlist::PortRef { node: ad, port: 2 })
+        .unwrap();
+    let run = |fault: Option<StuckFault>| -> u64 {
+        let mut sim = Simulator::new(&nl).unwrap();
+        if let Some(f) = fault {
+            sim.inject_fault(f);
+        }
+        sim.set("a", 0x81).unwrap();
+        sim.set("b", 0x01).unwrap(); // |diff| = 0x80: bit 7 set
+        sim.run(2);
+        sim.get("y").unwrap()
+    };
+    let healthy = run(None);
+    // Stuck-HIGH on a bit that is already high: silent.
+    let faulty = run(Some(StuckFault {
+        net: ad_y,
+        bit: 7,
+        stuck_high: true,
+    }));
+    assert_eq!(healthy, faulty);
+}
+
+#[test]
+fn clearing_faults_restores_behaviour() {
+    let nl = sad_cell();
+    let ad = nl.node_by_name("ad").unwrap();
+    let ad_y = nl
+        .net_of(dsra_core::netlist::PortRef { node: ad, port: 2 })
+        .unwrap();
+    let mut sim = Simulator::new(&nl).unwrap();
+    sim.inject_fault(StuckFault {
+        net: ad_y,
+        bit: 0,
+        stuck_high: true,
+    });
+    sim.clear_faults();
+    sim.set("a", 8).unwrap();
+    sim.set("b", 8).unwrap();
+    sim.run(3);
+    assert_eq!(sim.get("y").unwrap(), 0, "no fault -> zero SAD");
+}
+
+#[test]
+fn dct_fault_campaign_detects_most_rom_faults() {
+    // A miniature testability study (ATPG-style): stuck-at faults on a DCT
+    // ROM output net, detected if ANY of a small vector set exposes them.
+    // Coverage is input-dependent — a stuck-high bit that every accessed
+    // word already sets is silent for that vector — hence multiple vectors.
+    use dsra_dct::{BasicDa, DaParams, DctImpl};
+    let imp = BasicDa::new(DaParams::precise()).unwrap();
+    let nl = imp.netlist();
+    let rom0 = nl.node_by_name("lane0_rom").unwrap();
+    let dout_port = nl.node(rom0).port_index("dout").unwrap();
+    let net = nl
+        .net_of(dsra_core::netlist::PortRef {
+            node: rom0,
+            port: dout_port,
+        })
+        .unwrap();
+    // Address-diverse vectors (distinct bit patterns per input) exercise
+    // many ROM words; the DC and impulse vectors deliberately exercise few.
+    let vectors: [[i64; 8]; 6] = [
+        [100, -50, 25, -12, 6, -3, 1, 0],
+        [2047; 8],
+        [-2048, 2047, -2048, 2047, -2048, 2047, -2048, 2047],
+        [1, 0, 0, 0, 0, 0, 0, 0],
+        [1021, -733, 587, -401, 311, -239, 181, -127],
+        [1365, -1366, 819, -820, 585, -586, 437, -438],
+    ];
+
+    let run_y0 = |fault: Option<StuckFault>, x: &[i64; 8]| -> f64 {
+        let mut sim = Simulator::new(nl).unwrap();
+        if let Some(f) = fault {
+            sim.inject_fault(f);
+        }
+        for (i, &v) in x.iter().enumerate() {
+            sim.set_signed(&format!("x{i}"), v).unwrap();
+        }
+        sim.set("ctl_load", 1).unwrap();
+        sim.set("ctl_clr", 1).unwrap();
+        sim.step();
+        sim.set("ctl_load", 0).unwrap();
+        sim.set("ctl_clr", 0).unwrap();
+        sim.set("ctl_sren", 1).unwrap();
+        sim.set("ctl_accen", 1).unwrap();
+        for t in 0..12 {
+            sim.set("ctl_sub", u64::from(t == 11)).unwrap();
+            sim.step();
+        }
+        sim.set("ctl_sren", 0).unwrap();
+        sim.set("ctl_accen", 0).unwrap();
+        sim.step();
+        imp.params().decode_acc(sim.get("y0").unwrap(), 12)
+    };
+    let healthy: Vec<f64> = vectors.iter().map(|x| run_y0(None, x)).collect();
+
+    let mut detected = 0;
+    let mut total = 0;
+    for bit in 0..16u8 {
+        for stuck_high in [false, true] {
+            total += 1;
+            let fault = StuckFault {
+                net,
+                bit,
+                stuck_high,
+            };
+            let exposed = vectors.iter().zip(&healthy).any(|(x, h)| {
+                (run_y0(Some(fault), x) - h).abs() > 0.5
+            });
+            if exposed {
+                detected += 1;
+            }
+        }
+    }
+    // Single-observation-point coverage on a value-sparse lane: around half
+    // of the 32 single-bit faults are observable — and crucially, the
+    // coverage must not silently collapse.
+    assert!(
+        detected * 2 >= total,
+        "fault coverage too low: {detected}/{total}"
+    );
+    assert!(
+        detected < total,
+        "some faults must remain masked (value-sparse ROM): {detected}/{total}"
+    );
+}

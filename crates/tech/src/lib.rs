@@ -1,0 +1,18 @@
+//! # dsra-tech — technology model and generic-FPGA baseline
+//!
+//! Prices mapped designs (area / delay / power / configuration bits) on the
+//! domain-specific arrays and on a generic fine-grain 4-LUT FPGA model, to
+//! reproduce the paper's comparison claims (E4/E5) and the interconnect
+//! ablation (E6). All units are calibrated arbitrary units — the *ratios*
+//! are the reproducible quantity, see DESIGN.md §2.
+
+#![warn(missing_docs)]
+
+pub mod compare;
+pub mod model;
+
+pub use compare::{evaluate_against_fpga, mesh_ablation, Evaluation};
+pub use model::{
+    compare as compare_costs, dsra_cost, fpga_cost, map_cluster_to_fpga, map_netlist_to_fpga,
+    Comparison, FpgaResources, ImplCost, TechModel,
+};

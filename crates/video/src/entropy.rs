@@ -1,0 +1,148 @@
+//! Zigzag scanning and a run-length/size rate model — the bit-count proxy
+//! an MPEG-4/H.263-class encoder applies after quantisation.
+
+/// The 8×8 zigzag scan order as `(row, col)` pairs.
+pub fn zigzag_order() -> [(usize, usize); 64] {
+    let mut order = [(0usize, 0usize); 64];
+    let (mut r, mut c) = (0isize, 0isize);
+    let mut up = true;
+    for slot in order.iter_mut() {
+        *slot = (r as usize, c as usize);
+        if up {
+            if c == 7 {
+                r += 1;
+                up = false;
+            } else if r == 0 {
+                c += 1;
+                up = false;
+            } else {
+                r -= 1;
+                c += 1;
+            }
+        } else if r == 7 {
+            c += 1;
+            up = true;
+        } else if c == 0 {
+            r += 1;
+            up = true;
+        } else {
+            r += 1;
+            c -= 1;
+        }
+    }
+    order
+}
+
+/// Scans a quantised block into zigzag order.
+pub fn zigzag_scan(levels: &[[i32; 8]; 8]) -> [i32; 64] {
+    let order = zigzag_order();
+    std::array::from_fn(|i| {
+        let (r, c) = order[i];
+        levels[r][c]
+    })
+}
+
+/// A (run, level) pair of the run-length coding.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RunLevel {
+    /// Zero run preceding the level.
+    pub run: u8,
+    /// The non-zero level.
+    pub level: i32,
+}
+
+/// Run-length encodes a zigzag-scanned block (trailing zeros become the
+/// implicit end-of-block).
+pub fn run_length(scanned: &[i32; 64]) -> Vec<RunLevel> {
+    let mut out = Vec::new();
+    let mut run = 0u8;
+    for &v in scanned.iter() {
+        if v == 0 {
+            run = run.saturating_add(1);
+        } else {
+            out.push(RunLevel { run, level: v });
+            run = 0;
+        }
+    }
+    out
+}
+
+/// Estimates the coded bits of a block with a size-based model:
+/// each (run, level) costs `2 + run_bits + 2·size(level)` bits (a stand-in
+/// for the H.263 VLC tables), plus an end-of-block symbol.
+pub fn estimate_bits(pairs: &[RunLevel]) -> u64 {
+    let size = |v: i32| 32 - (v.unsigned_abs().max(1)).leading_zeros() as u64;
+    pairs
+        .iter()
+        .map(|p| 2 + u64::from(p.run.min(15)) / 4 + 2 * size(p.level))
+        .sum::<u64>()
+        + 4 // EOB
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zigzag_visits_every_position_once() {
+        let order = zigzag_order();
+        let mut seen = [[false; 8]; 8];
+        for (r, c) in order {
+            assert!(!seen[r][c], "({r},{c}) visited twice");
+            seen[r][c] = true;
+        }
+        // Canonical prefix of the JPEG/MPEG zigzag.
+        assert_eq!(&order[..6], &[(0, 0), (0, 1), (1, 0), (2, 0), (1, 1), (0, 2)]);
+        assert_eq!(order[63], (7, 7));
+    }
+
+    #[test]
+    fn run_length_round_trips_structure() {
+        let mut levels = [[0i32; 8]; 8];
+        levels[0][0] = 50; // DC
+        levels[0][1] = -3;
+        levels[2][0] = 7;
+        let scanned = zigzag_scan(&levels);
+        let pairs = run_length(&scanned);
+        assert_eq!(pairs.len(), 3);
+        assert_eq!(pairs[0], RunLevel { run: 0, level: 50 });
+        assert_eq!(pairs[1], RunLevel { run: 0, level: -3 });
+        // (2,0) is zigzag index 3; one zero (index 2) precedes it.
+        assert_eq!(pairs[2], RunLevel { run: 1, level: 7 });
+    }
+
+    #[test]
+    fn sparser_blocks_cost_fewer_bits() {
+        let mut dense = [[3i32; 8]; 8];
+        dense[0][0] = 100;
+        let mut sparse = [[0i32; 8]; 8];
+        sparse[0][0] = 100;
+        let db = estimate_bits(&run_length(&zigzag_scan(&dense)));
+        let sb = estimate_bits(&run_length(&zigzag_scan(&sparse)));
+        assert!(sb < db / 10, "sparse {sb} vs dense {db}");
+    }
+
+    #[test]
+    fn all_zero_block_costs_only_eob() {
+        let z = [[0i32; 8]; 8];
+        assert_eq!(estimate_bits(&run_length(&zigzag_scan(&z))), 4);
+    }
+
+    #[test]
+    fn low_frequency_energy_compresses_better_than_scattered() {
+        // Same nonzero count, zigzag-early vs scattered: earlier
+        // coefficients ride shorter runs.
+        let mut early = [[0i32; 8]; 8];
+        let order = zigzag_order();
+        for &(r, c) in order.iter().take(6) {
+            early[r][c] = 9;
+        }
+        let mut scattered = [[0i32; 8]; 8];
+        for i in 0..6 {
+            scattered[7 - i % 3][(7 - i) % 8] = 9;
+        }
+        let eb = estimate_bits(&run_length(&zigzag_scan(&early)));
+        let sbits = estimate_bits(&run_length(&zigzag_scan(&scattered)));
+        assert!(eb <= sbits);
+    }
+}

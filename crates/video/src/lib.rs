@@ -1,0 +1,21 @@
+//! # dsra-video — synthetic video substrate
+//!
+//! The paper evaluates on MPEG-4/H.263-class workloads; real test sequences
+//! are not redistributable, so this crate generates synthetic luminance
+//! sequences with controllable motion (global pan + moving objects + noise),
+//! plus the quantisation and quality metrics a motion-compensated DCT codec
+//! needs. See DESIGN.md §2 for the substitution rationale.
+
+#![warn(missing_docs)]
+
+pub mod entropy;
+pub mod metrics;
+pub mod pipeline;
+pub mod quant;
+pub mod sequence;
+
+pub use entropy::{estimate_bits, run_length, zigzag_scan, RunLevel};
+pub use metrics::{mse, psnr};
+pub use pipeline::{encode_frame, EncodeConfig, EncodeStats};
+pub use quant::{dequantize_block, quantize_block, Quantizer};
+pub use sequence::{SequenceConfig, SyntheticSequence};

@@ -1,0 +1,58 @@
+//! Quality metrics for reconstructed video.
+
+use dsra_me::Plane;
+
+/// Mean squared error between two planes.
+///
+/// # Panics
+/// Panics if the planes differ in geometry.
+pub fn mse(a: &Plane, b: &Plane) -> f64 {
+    assert_eq!(a.width(), b.width(), "width mismatch");
+    assert_eq!(a.height(), b.height(), "height mismatch");
+    let n = (a.width() * a.height()) as f64;
+    a.data()
+        .iter()
+        .zip(b.data().iter())
+        .map(|(&x, &y)| {
+            let d = f64::from(x) - f64::from(y);
+            d * d
+        })
+        .sum::<f64>()
+        / n
+}
+
+/// Peak signal-to-noise ratio in dB (8-bit peak).
+///
+/// Returns `f64::INFINITY` for identical planes.
+///
+/// # Panics
+/// Panics if the planes differ in geometry.
+pub fn psnr(a: &Plane, b: &Plane) -> f64 {
+    let e = mse(a, b);
+    if e == 0.0 {
+        f64::INFINITY
+    } else {
+        10.0 * (255.0 * 255.0 / e).log10()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identical_planes_have_infinite_psnr() {
+        let p = Plane::filled(16, 16, 128);
+        assert!(psnr(&p, &p).is_infinite());
+        assert_eq!(mse(&p, &p), 0.0);
+    }
+
+    #[test]
+    fn psnr_decreases_with_error() {
+        let a = Plane::filled(16, 16, 128);
+        let b = Plane::filled(16, 16, 130);
+        let c = Plane::filled(16, 16, 160);
+        assert!(psnr(&a, &b) > psnr(&a, &c));
+        assert!((mse(&a, &b) - 4.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,130 @@
+//! Uniform coefficient quantisation, including the scaled-DCT fold.
+//!
+//! §3.4 of the paper: "The constant scale factor is not considered in this
+//! implementation as that can be combined with the quantization constants
+//! without requiring any extra hardware." [`Quantizer::with_scales`] is that
+//! combination: per-coefficient scale factors divide into the step sizes.
+
+#![allow(clippy::needless_range_loop)] // (u, v) coefficient loops read clearer
+
+/// A uniform quantiser with a per-coefficient step matrix for 8×8 blocks.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Quantizer {
+    steps: [[f64; 8]; 8],
+}
+
+impl Quantizer {
+    /// Flat quantiser with a single step size (H.263-style with QP).
+    ///
+    /// # Panics
+    /// Panics if `step` is not positive.
+    pub fn uniform(step: f64) -> Self {
+        assert!(step > 0.0, "step must be positive");
+        Quantizer {
+            steps: [[step; 8]; 8],
+        }
+    }
+
+    /// JPEG-flavoured quantiser: low frequencies finer than high ones.
+    pub fn perceptual(quality_step: f64) -> Self {
+        let mut steps = [[0.0; 8]; 8];
+        for (u, row) in steps.iter_mut().enumerate() {
+            for (v, s) in row.iter_mut().enumerate() {
+                *s = quality_step * (1.0 + 0.28 * (u + v) as f64);
+            }
+        }
+        Quantizer { steps }
+    }
+
+    /// Folds per-row output scale factors of a scaled DCT into the steps:
+    /// a coefficient produced as `X'_u = X_u / s_u` is quantised with step
+    /// `step_u / s_u`, so no multiplier is ever needed in hardware.
+    pub fn with_scales(mut self, row_scales: &[f64; 8]) -> Self {
+        for (u, row) in self.steps.iter_mut().enumerate() {
+            for s in row.iter_mut() {
+                *s /= row_scales[u].abs().max(1e-12);
+            }
+        }
+        self
+    }
+
+    /// Step size for coefficient `(u, v)`.
+    pub fn step(&self, u: usize, v: usize) -> f64 {
+        self.steps[u][v]
+    }
+}
+
+/// Quantises an 8×8 coefficient block to integer levels.
+pub fn quantize_block(coeffs: &[[f64; 8]; 8], q: &Quantizer) -> [[i32; 8]; 8] {
+    std::array::from_fn(|u| std::array::from_fn(|v| (coeffs[u][v] / q.step(u, v)).round() as i32))
+}
+
+/// Reconstructs coefficients from quantised levels.
+pub fn dequantize_block(levels: &[[i32; 8]; 8], q: &Quantizer) -> [[f64; 8]; 8] {
+    std::array::from_fn(|u| std::array::from_fn(|v| f64::from(levels[u][v]) * q.step(u, v)))
+}
+
+/// Counts non-zero levels — the crude rate proxy used by the pipeline
+/// statistics.
+pub fn nonzero_levels(levels: &[[i32; 8]; 8]) -> usize {
+    levels.iter().flatten().filter(|&&v| v != 0).count()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_error_bounded_by_half_step() {
+        let q = Quantizer::uniform(8.0);
+        let mut block = [[0.0; 8]; 8];
+        for (u, row) in block.iter_mut().enumerate() {
+            for (v, c) in row.iter_mut().enumerate() {
+                *c = (u as f64 * 13.7) - (v as f64 * 7.3);
+            }
+        }
+        let levels = quantize_block(&block, &q);
+        let back = dequantize_block(&levels, &q);
+        for u in 0..8 {
+            for v in 0..8 {
+                assert!((block[u][v] - back[u][v]).abs() <= 4.0 + 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn scales_fold_into_steps() {
+        // Quantising X/s with step/s gives the same levels as X with step.
+        let scales = [1.0, 1.3, 0.8, 2.0, 1.0, 1.4, 0.9, 1.1];
+        let q = Quantizer::uniform(10.0);
+        let qs = Quantizer::uniform(10.0).with_scales(&scales);
+        let mut block = [[0.0; 8]; 8];
+        let mut scaled = [[0.0; 8]; 8];
+        for u in 0..8 {
+            for v in 0..8 {
+                block[u][v] = (u * 17 + v * 29) as f64 - 60.0;
+                scaled[u][v] = block[u][v] / scales[u];
+            }
+        }
+        assert_eq!(quantize_block(&block, &q), quantize_block(&scaled, &qs));
+    }
+
+    #[test]
+    fn coarser_steps_produce_fewer_levels() {
+        let mut block = [[0.0; 8]; 8];
+        for u in 0..8 {
+            for v in 0..8 {
+                block[u][v] = 100.0 / (1.0 + (u + v) as f64);
+            }
+        }
+        let fine = nonzero_levels(&quantize_block(&block, &Quantizer::uniform(2.0)));
+        let coarse = nonzero_levels(&quantize_block(&block, &Quantizer::uniform(40.0)));
+        assert!(coarse < fine);
+    }
+
+    #[test]
+    fn perceptual_steps_grow_with_frequency() {
+        let q = Quantizer::perceptual(4.0);
+        assert!(q.step(7, 7) > q.step(0, 0));
+    }
+}

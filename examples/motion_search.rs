@@ -1,0 +1,59 @@
+//! Motion estimation on the 2-D systolic array (Figs. 10–11): finds motion
+//! vectors on a synthetic sequence, cycle-accurately, and compares the
+//! architecture variants' area/cycles/bandwidth trade-offs.
+//!
+//! ```sh
+//! cargo run --release --example motion_search
+//! ```
+
+use dsra::core::CoreError;
+use dsra::me::{full_search, MeEngine, SearchParams, Sequential, Systolic1d, Systolic2d};
+use dsra::video::{SequenceConfig, SyntheticSequence};
+
+fn main() -> Result<(), CoreError> {
+    let seq = SyntheticSequence::generate(SequenceConfig {
+        width: 64,
+        height: 64,
+        frames: 2,
+        pan: (2.0, -1.0),
+        objects: 0,
+        noise: 1,
+        ..Default::default()
+    });
+    let params = SearchParams { block: 8, range: 4 };
+    let (bx, by) = (24, 24);
+
+    let sw = full_search(seq.frame(1), seq.frame(0), bx, by, &params);
+    println!(
+        "software full search: mv {:?}, SAD {}, {} candidates",
+        sw.mv, sw.sad, sw.candidates
+    );
+
+    let engines: Vec<Box<dyn MeEngine>> = vec![
+        Box::new(Systolic2d::new(8)?),
+        Box::new(Systolic1d::new(8)?),
+        Box::new(Sequential::new(8)?),
+    ];
+    println!(
+        "\n{:<22} {:>9} {:>9} {:>11} {:>10}",
+        "architecture", "clusters", "cycles", "ref fetch", "bw gain"
+    );
+    for eng in &engines {
+        let r = eng.search(seq.frame(1), seq.frame(0), bx, by, &params)?;
+        assert_eq!(r.best.mv, sw.mv, "hardware must match software");
+        println!(
+            "{:<22} {:>9} {:>9} {:>11} {:>9.2}x",
+            eng.name(),
+            eng.report().total_clusters(),
+            r.cycles,
+            r.ref_fetches,
+            r.bandwidth_reduction()
+        );
+    }
+    println!(
+        "\nSame motion vector from all three mappings; the 2-D array trades\n\
+         clusters for cycles and cuts memory bandwidth by broadcasting the\n\
+         search area while current pixels ride the register pipeline (§4)."
+    );
+    Ok(())
+}

@@ -1,0 +1,118 @@
+//! Cross-implementation functional agreement: all six hardware mappings
+//! compute the same transform (within their fixed-point budgets), satisfy
+//! DCT invariants, and match the double-precision reference.
+
+use dsra::dct::{all_impls, reference, DaParams, DctImpl};
+use proptest::prelude::*;
+
+fn tolerance(name: &str) -> f64 {
+    // CORDIC paths re-serialise intermediate values and pay a truncation
+    // penalty (see cordic.rs Schedule); pure-DA paths only pay coefficient
+    // rounding.
+    match name {
+        "CORDIC 1" | "CORDIC 2" => 8.0,
+        _ => 1.5,
+    }
+}
+
+#[test]
+fn all_impls_agree_with_reference_on_fixed_vectors() {
+    let impls = all_impls(DaParams::precise()).unwrap();
+    let vectors: [[i64; 8]; 5] = [
+        [0; 8],
+        [2047; 8],
+        [-2048, 2047, -2048, 2047, -2048, 2047, -2048, 2047],
+        [100, -50, 25, -12, 6, -3, 1, 0],
+        [1, 0, 0, 0, 0, 0, 0, 0],
+    ];
+    for imp in &impls {
+        for x in &vectors {
+            let hw = imp.transform(x).unwrap();
+            let sw = reference::dct_1d_int(x);
+            for (u, (h, s)) in hw.iter().zip(sw.iter()).enumerate() {
+                assert!(
+                    (h - s).abs() <= tolerance(imp.name()),
+                    "{} coeff {u} on {x:?}: {h} vs {s}",
+                    imp.name()
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn impls_agree_pairwise() {
+    let impls = all_impls(DaParams::precise()).unwrap();
+    let x = [919, -1204, 33, 508, -77, 1800, -900, 263];
+    let outputs: Vec<[f64; 8]> = impls.iter().map(|i| i.transform(&x).unwrap()).collect();
+    for (i, a) in outputs.iter().enumerate() {
+        for (j, b) in outputs.iter().enumerate().skip(i + 1) {
+            let tol = tolerance(impls[i].name()) + tolerance(impls[j].name());
+            for u in 0..8 {
+                assert!(
+                    (a[u] - b[u]).abs() <= tol,
+                    "{} vs {} coeff {u}: {} vs {}",
+                    impls[i].name(),
+                    impls[j].name(),
+                    a[u],
+                    b[u]
+                );
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    #[test]
+    fn prop_linearity_of_hardware_dct(
+        a in proptest::array::uniform8(-800i64..800),
+        b in proptest::array::uniform8(-800i64..800),
+    ) {
+        // DCT(a) + DCT(b) == DCT(a + b) for the exact-DA mappings.
+        let imp = dsra::dct::BasicDa::new(DaParams::precise()).unwrap();
+        let sum: [i64; 8] = std::array::from_fn(|i| a[i] + b[i]);
+        let ya = imp.transform(&a).unwrap();
+        let yb = imp.transform(&b).unwrap();
+        let ysum = imp.transform(&sum).unwrap();
+        for u in 0..8 {
+            prop_assert!(
+                (ya[u] + yb[u] - ysum[u]).abs() < 1.0,
+                "coeff {}: {} + {} vs {}", u, ya[u], yb[u], ysum[u]
+            );
+        }
+    }
+
+    #[test]
+    fn prop_parseval_energy_approximately_preserved(
+        x in proptest::array::uniform8(-1500i64..1500),
+    ) {
+        let imp = dsra::dct::SccFull::new(DaParams::precise()).unwrap();
+        let y = imp.transform(&x).unwrap();
+        let ex: f64 = x.iter().map(|&v| (v * v) as f64).sum();
+        let ey: f64 = y.iter().map(|v| v * v).sum();
+        // Orthonormal transform: energies match up to fixed-point noise.
+        prop_assert!((ex - ey).abs() <= ex * 0.01 + 50.0, "{ex} vs {ey}");
+    }
+}
+
+#[test]
+fn paper_widths_degrade_gracefully() {
+    // Fig. 4 widths (8-bit ROMs, 16-bit accumulators) must still produce a
+    // usable transform, just noisier — the quality/precision trade §5 cites.
+    let precise = dsra::dct::BasicDa::new(DaParams::precise()).unwrap();
+    let coarse = dsra::dct::BasicDa::new(DaParams::paper()).unwrap();
+    let x = [120, -80, 44, 9, -33, 71, -2, 15];
+    let sw = reference::dct_1d_int(&x);
+    let hp = precise.transform(&x).unwrap();
+    let hc = coarse.transform(&x).unwrap();
+    let err = |h: &[f64; 8]| -> f64 {
+        h.iter()
+            .zip(sw.iter())
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0, f64::max)
+    };
+    assert!(err(&hp) < err(&hc), "{} vs {}", err(&hp), err(&hc));
+    assert!(err(&hc) < 30.0, "coarse error unusable: {}", err(&hc));
+}

@@ -1,0 +1,89 @@
+//! E1 — exact reproduction of Table 1: cluster usage of the DCT
+//! implementations, column by column, against the numbers printed in the
+//! paper.
+
+use dsra::dct::{all_impls, DaParams};
+
+/// The five tabulated columns of Table 1 (the paper omits the Fig.-4 basic
+/// DA, whose structural counts coincide with the SCC column):
+/// `(name, [adders, subtracters, shift regs, accs, mem clusters], add-shift
+/// total, grand total)`.
+const PAPER_TABLE1: [(&str, [u32; 5], u32, u32); 5] = [
+    ("MIX ROM", [4, 4, 8, 8, 8], 24, 32),
+    ("CORDIC 1", [8, 8, 8, 12, 12], 36, 48),
+    ("CORDIC 2", [10, 10, 6, 6, 6], 32, 38),
+    ("SCC E/O", [4, 4, 8, 8, 8], 24, 32),
+    ("SCC", [0, 0, 8, 8, 8], 16, 24),
+];
+
+#[test]
+fn table1_matches_paper_exactly() {
+    let impls = all_impls(DaParams::precise()).unwrap();
+    for (name, row, add_shift_total, total) in PAPER_TABLE1 {
+        let imp = impls
+            .iter()
+            .find(|i| i.name() == name)
+            .unwrap_or_else(|| panic!("implementation {name} missing"));
+        let r = imp.report();
+        assert_eq!(r.table1_row(), row, "{name} row");
+        assert_eq!(r.add_shift_total(), add_shift_total, "{name} add-shift total");
+        assert_eq!(r.total_clusters(), total, "{name} total clusters");
+    }
+}
+
+#[test]
+fn ordering_of_implementations_by_area_matches_paper() {
+    // 48 (CORDIC1) > 38 (CORDIC2) > 32 = 32 (MIX ROM, SCC E/O) > 24 (SCC).
+    let impls = all_impls(DaParams::precise()).unwrap();
+    let total = |name: &str| {
+        impls
+            .iter()
+            .find(|i| i.name() == name)
+            .unwrap()
+            .report()
+            .total_clusters()
+    };
+    assert!(total("CORDIC 1") > total("CORDIC 2"));
+    assert!(total("CORDIC 2") > total("MIX ROM"));
+    assert_eq!(total("MIX ROM"), total("SCC E/O"));
+    assert!(total("SCC E/O") > total("SCC"));
+}
+
+#[test]
+fn mixed_rom_trades_rom_words_for_adders() {
+    // §3.2: "the number of words per ROM is reduced to only 16 which is 16
+    // times less than the previous implementation but some overhead has
+    // been incurred in the form of adders".
+    let impls = all_impls(DaParams::precise()).unwrap();
+    let by = |name: &str| {
+        impls
+            .iter()
+            .find(|i| i.name() == name)
+            .unwrap()
+            .report()
+    };
+    let basic = by("BASIC DA");
+    let mixed = by("MIX ROM");
+    assert_eq!(basic.memory_words(), 16 * mixed.memory_words());
+    assert_eq!(mixed.table1_row()[0] + mixed.table1_row()[1], 8); // the adder overhead
+    assert_eq!(basic.table1_row()[0] + basic.table1_row()[1], 0);
+}
+
+#[test]
+fn scc_full_drops_adders_for_bigger_roms() {
+    // §3.5: "requires 256 words ROM which is 16 times more than the
+    // previous implementation but does not require adder/subtracters".
+    let impls = all_impls(DaParams::precise()).unwrap();
+    let by = |name: &str| {
+        impls
+            .iter()
+            .find(|i| i.name() == name)
+            .unwrap()
+            .report()
+    };
+    let eo = by("SCC E/O");
+    let full = by("SCC");
+    assert_eq!(full.memory_words(), 16 * eo.memory_words());
+    assert_eq!(full.table1_row()[0], 0);
+    assert_eq!(full.table1_row()[1], 0);
+}
