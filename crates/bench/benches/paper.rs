@@ -69,7 +69,10 @@ fn bench_mesh(c: &mut Criterion) {
     let mut g = c.benchmark_group("mesh_ablation");
     g.sample_size(10).measurement_time(Duration::from_secs(5));
     let imp = BasicDa::new(DaParams::precise()).unwrap();
-    for (name, mesh) in [("mixed", MeshSpec::mixed()), ("fine_grain", MeshSpec::fine_grain())] {
+    for (name, mesh) in [
+        ("mixed", MeshSpec::mixed()),
+        ("fine_grain", MeshSpec::fine_grain()),
+    ] {
         let fabric = Fabric::da_array(16, 12, mesh);
         g.bench_function(name, |b| {
             b.iter(|| {

@@ -12,8 +12,16 @@ use dsra_dct::{all_impls, measure_accuracy, DaParams};
 fn main() {
     banner("E2", "Figs. 4-9: functional behaviour of the DCT mappings");
     for (label, params, amplitude) in [
-        ("precise widths (16-bit ROM / 32-bit acc), 12-bit input", DaParams::precise(), 2047i64),
-        ("paper widths (8-bit ROM / 16-bit acc, Fig. 4), 8-bit input", DaParams::paper(), 255),
+        (
+            "precise widths (16-bit ROM / 32-bit acc), 12-bit input",
+            DaParams::precise(),
+            2047i64,
+        ),
+        (
+            "paper widths (8-bit ROM / 16-bit acc, Fig. 4), 8-bit input",
+            DaParams::paper(),
+            255,
+        ),
     ] {
         println!("\n--- {label} ---");
         println!(

@@ -15,7 +15,10 @@ use dsra_dct::{all_impls, measure_accuracy, DaParams};
 use dsra_tech::{dsra_cost, TechModel};
 
 fn main() {
-    banner("E9", "§3.6: area/activity/power differences across the mappings");
+    banner(
+        "E9",
+        "§3.6: area/activity/power differences across the mappings",
+    );
     let fabric = Fabric::da_array(20, 14, MeshSpec::mixed());
     let model = TechModel::default();
     println!(
@@ -46,7 +49,11 @@ fn main() {
     println!("\nPareto-optimal mappings (no other beats them on area, energy and error at once):");
     for (i, a) in rows.iter().enumerate() {
         let dominated = rows.iter().enumerate().any(|(j, b)| {
-            j != i && b.1 <= a.1 && b.2 <= a.2 && b.3 <= a.3 && (b.1 < a.1 || b.2 < a.2 || b.3 < a.3)
+            j != i
+                && b.1 <= a.1
+                && b.2 <= a.2
+                && b.3 <= a.3
+                && (b.1 < a.1 || b.2 < a.2 || b.3 < a.3)
         });
         if !dominated {
             println!("  {}", a.0);

@@ -16,7 +16,10 @@ use dsra_tech::TechModel;
 use dsra_video::{EncodeConfig, SequenceConfig, SyntheticSequence};
 
 fn main() {
-    banner("E7", "§5 claim: dynamic reconfiguration under run-time constraints");
+    banner(
+        "E7",
+        "§5 claim: dynamic reconfiguration under run-time constraints",
+    );
     let fabric = standard_da_fabric();
     let mut mgr = ReconfigManager::new(SocConfig::default());
     let impls = profile_all_impls(
@@ -79,7 +82,10 @@ fn main() {
     println!("frame  condition      impl        PSNR(dB)  reconfig cost");
     for f in &frames {
         let rc = match f.reconfig {
-            Some(r) => format!("{} bits, {} cycles ({:.2} us)", r.bits_written, r.cycles, r.micros),
+            Some(r) => format!(
+                "{} bits, {} cycles ({:.2} us)",
+                r.bits_written, r.cycles, r.micros
+            ),
             None => "-".to_owned(),
         };
         println!(

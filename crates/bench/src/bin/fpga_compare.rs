@@ -1,4 +1,4 @@
-//! E4/E5 — the generic-FPGA comparison claims of §1 (from refs [1], [2]):
+//! E4/E5 — the generic-FPGA comparison claims of §1 (from refs \[1\], \[2\]):
 //! ME array −75 % power / −45 % area / +23 % timing; DA array −38 % / −14 %
 //! / −54 %.
 //!
@@ -13,7 +13,10 @@ use dsra_me::{MeEngine, Systolic2d};
 use dsra_tech::{evaluate_against_fpga, TechModel};
 
 fn main() {
-    banner("E4/E5", "FPGA comparison claims (refs [1], [2] of the paper)");
+    banner(
+        "E4/E5",
+        "FPGA comparison claims (refs [1], [2] of the paper)",
+    );
     let model = TechModel::default();
 
     let eng = Systolic2d::new(8).unwrap();
@@ -26,7 +29,10 @@ fn main() {
     let fabric = Fabric::da_array(16, 12, MeshSpec::mixed());
     let da = evaluate_against_fpga(imp.netlist(), &fabric, &act, &model).unwrap();
 
-    println!("\n{:<28} {:>10} {:>10} {:>10}", "", "power", "area", "timing");
+    println!(
+        "\n{:<28} {:>10} {:>10} {:>10}",
+        "", "power", "area", "timing"
+    );
     println!(
         "{:<28} {:>9.1}% {:>9.1}% {:>9.1}%",
         "ME array vs FPGA (measured)",
@@ -34,7 +40,10 @@ fn main() {
         me.comparison.area_reduction_pct,
         me.comparison.timing_improvement_pct
     );
-    println!("{:<28} {:>10} {:>10} {:>10}", "ME array vs FPGA (paper)", "75%", "45%", "23%");
+    println!(
+        "{:<28} {:>10} {:>10} {:>10}",
+        "ME array vs FPGA (paper)", "75%", "45%", "23%"
+    );
     println!(
         "{:<28} {:>9.1}% {:>9.1}% {:>9.1}%",
         "DA array vs FPGA (measured)",
@@ -42,7 +51,10 @@ fn main() {
         da.comparison.area_reduction_pct,
         da.comparison.timing_improvement_pct
     );
-    println!("{:<28} {:>10} {:>10} {:>10}", "DA array vs FPGA (paper)", "38%", "14%", "54%");
+    println!(
+        "{:<28} {:>10} {:>10} {:>10}",
+        "DA array vs FPGA (paper)", "38%", "14%", "54%"
+    );
 
     println!("\nunderlying costs (arbitrary calibrated units):");
     println!(

@@ -13,7 +13,10 @@ use dsra_me::{MeEngine, Systolic2d};
 use dsra_tech::mesh_ablation;
 
 fn main() {
-    banner("E6", "§2 claim: mixed 8b/1b mesh needs fewer switches + config bits");
+    banner(
+        "E6",
+        "§2 claim: mixed 8b/1b mesh needs fewer switches + config bits",
+    );
     println!(
         "{:<12} {:>10} {:>10} {:>8} {:>10} {:>10} {:>8}",
         "design", "sw mixed", "sw fine", "ratio", "cfg mixed", "cfg fine", "ratio"

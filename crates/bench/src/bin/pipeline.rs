@@ -40,8 +40,7 @@ fn main() {
                 },
                 quantizer: Quantizer::uniform(qp),
             };
-            let (_, stats) =
-                encode_frame(seq.frame(1), seq.frame(0), imp.as_ref(), &cfg).unwrap();
+            let (_, stats) = encode_frame(seq.frame(1), seq.frame(0), imp.as_ref(), &cfg).unwrap();
             println!(
                 "{:<10} {:>6.0} {:>12} {:>10.2} {:>12}",
                 imp.name(),

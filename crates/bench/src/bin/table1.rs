@@ -13,7 +13,9 @@ fn main() {
     banner("E1", "Table 1: Area usage of the DCT implementations");
     let impls = all_impls(DaParams::precise()).expect("builders are infallible");
     // Paper column order: MIX ROM, CORDIC 1, CORDIC 2, SCC EVEN/ODD, SCC.
-    let order = ["MIX ROM", "CORDIC 1", "CORDIC 2", "SCC E/O", "SCC", "BASIC DA"];
+    let order = [
+        "MIX ROM", "CORDIC 1", "CORDIC 2", "SCC E/O", "SCC", "BASIC DA",
+    ];
     let reports: Vec<_> = order
         .iter()
         .map(|n| {

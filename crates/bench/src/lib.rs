@@ -3,6 +3,19 @@
 //! One binary per paper artifact (see DESIGN.md §4 for the experiment
 //! index) plus Criterion micro-benchmarks. Shared workload builders live
 //! here so binaries and benches measure the same things.
+//!
+//! ## Quick tour
+//!
+//! ```
+//! use dsra_bench::shifted_planes;
+//! use dsra_me::{full_search, SearchParams};
+//!
+//! // The standard ME workload: hash-noise planes with a known shift…
+//! let (cur, refp) = shifted_planes(48, 48, (2, -1));
+//! // …which full search must recover exactly (SAD 0 at the true offset).
+//! let m = full_search(&cur, &refp, 16, 16, &SearchParams { block: 8, range: 3 });
+//! assert_eq!(m.mv, (2, -1));
+//! ```
 
 #![warn(missing_docs)]
 

@@ -74,7 +74,10 @@ impl fmt::Display for CoreError {
                 write!(f, "combinational loop through node `{involving}`")
             }
             CoreError::InvalidWidth { node, width } => {
-                write!(f, "node `{node}` has unsupported width {width} (must be 1..=32)")
+                write!(
+                    f,
+                    "node `{node}` has unsupported width {width} (must be 1..=32)"
+                )
             }
             CoreError::InvalidGeometry { node, detail } => {
                 write!(f, "node `{node}` has invalid memory geometry: {detail}")

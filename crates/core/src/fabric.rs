@@ -205,9 +205,7 @@ impl Fabric {
 
     /// Iterates over all `(x, y, site)` triples.
     pub fn iter_sites(&self) -> impl Iterator<Item = (u16, u16, SiteKind)> + '_ {
-        (0..self.height).flat_map(move |y| {
-            (0..self.width).map(move |x| (x, y, self.site(x, y)))
-        })
+        (0..self.height).flat_map(move |y| (0..self.width).map(move |x| (x, y, self.site(x, y))))
     }
 
     /// All coordinates holding sites of a given cluster kind.
@@ -242,7 +240,10 @@ impl Fabric {
             (ClusterKind::AddShift, report.add_shift_total()),
             (ClusterKind::Memory, report.memory_clusters()),
             (ClusterKind::RegMux, report.me_clusters(ClusterKind::RegMux)),
-            (ClusterKind::AbsDiff, report.me_clusters(ClusterKind::AbsDiff)),
+            (
+                ClusterKind::AbsDiff,
+                report.me_clusters(ClusterKind::AbsDiff),
+            ),
             (ClusterKind::AddAcc, report.me_clusters(ClusterKind::AddAcc)),
             (
                 ClusterKind::Comparator,

@@ -65,7 +65,7 @@ pub mod prelude {
     pub use crate::netlist::{Net, NetId, Netlist, Node, NodeId, NodeKind, PhysNet, PortRef};
     pub use crate::place::{place, Placement, PlacerOptions};
     pub use crate::report::{table1, ResourceReport};
-    pub use crate::route::{route, Routing, RoutingStats, RouterOptions, TrackClass};
+    pub use crate::route::{route, RouterOptions, Routing, RoutingStats, TrackClass};
 }
 
 pub use prelude::*;

@@ -141,9 +141,7 @@ impl NodeKind {
         match self {
             NodeKind::Input { .. } | NodeKind::Const { .. } => false, // sources
             NodeKind::Output { .. } => false,                         // sink only
-            NodeKind::Concat { .. } | NodeKind::Slice { .. } | NodeKind::SignExtend { .. } => {
-                true
-            }
+            NodeKind::Concat { .. } | NodeKind::Slice { .. } | NodeKind::SignExtend { .. } => true,
             NodeKind::Cluster(cfg) => match cfg {
                 ClusterCfg::RegMux { registered, .. } => !registered,
                 ClusterCfg::AbsDiff { .. } => true,
@@ -151,10 +149,9 @@ impl NodeKind {
                 ClusterCfg::Comparator { mode, .. } => {
                     matches!(mode, CompMode::Min | CompMode::Max)
                 }
-                ClusterCfg::AddShift(cfg) => matches!(
-                    cfg,
-                    AddShiftCfg::Add { .. } | AddShiftCfg::Sub { .. }
-                ),
+                ClusterCfg::AddShift(cfg) => {
+                    matches!(cfg, AddShiftCfg::Add { .. } | AddShiftCfg::Sub { .. })
+                }
                 ClusterCfg::Memory { .. } => true, // asynchronous read
             },
         }
@@ -537,10 +534,7 @@ impl Netlist {
             node: n.name.clone(),
             port: port.to_owned(),
         })?;
-        Ok((
-            PortRef { node, port: pi },
-            n.ports[pi as usize].clone(),
-        ))
+        Ok((PortRef { node, port: pi }, n.ports[pi as usize].clone()))
     }
 
     /// Connects output port `from` to input port `to`, creating or extending
@@ -763,10 +757,8 @@ impl Netlist {
         let mut result = Vec::new();
         for net in &self.nets {
             let driver = &self.nodes[net.driver.node.0 as usize];
-            let physical_driver = matches!(
-                driver.kind,
-                NodeKind::Input { .. } | NodeKind::Cluster(_)
-            );
+            let physical_driver =
+                matches!(driver.kind, NodeKind::Input { .. } | NodeKind::Cluster(_));
             if !physical_driver {
                 continue;
             }
@@ -967,10 +959,7 @@ mod tests {
     fn duplicate_names_rejected() {
         let mut nl = Netlist::new("t");
         nl.input("a", 8).unwrap();
-        assert!(matches!(
-            nl.input("a", 8),
-            Err(CoreError::DuplicateNode(_))
-        ));
+        assert!(matches!(nl.input("a", 8), Err(CoreError::DuplicateNode(_))));
     }
 
     #[test]

@@ -97,9 +97,7 @@ pub fn place(netlist: &Netlist, fabric: &Fabric, opts: PlacerOptions) -> Result<
     for (x, y, site) in fabric.iter_sites() {
         match site {
             SiteKind::Io => free.entry(SiteKey::Io).or_default().push((x, y)),
-            SiteKind::Cluster(kind) => {
-                free.entry(SiteKey::Cluster(kind)).or_default().push((x, y))
-            }
+            SiteKind::Cluster(kind) => free.entry(SiteKey::Cluster(kind)).or_default().push((x, y)),
             SiteKind::Empty => {}
         }
     }
@@ -209,8 +207,7 @@ fn anneal(
     let mut at: HashMap<(u16, u16), NodeId> = loc.iter().map(|(n, s)| (*s, *n)).collect();
     let mut rng = SplitMix64::new(opts.seed);
     let mut temp = opts.initial_temperature;
-    let decay = (0.01f64 / opts.initial_temperature)
-        .powf(1.0 / f64::from(opts.sa_moves.max(1)));
+    let decay = (0.01f64 / opts.initial_temperature).powf(1.0 / f64::from(opts.sa_moves.max(1)));
 
     let cost_of = |ids: &[usize], loc: &HashMap<NodeId, (u16, u16)>| -> f64 {
         ids.iter().map(|&i| net_hpwl(&phys[i], loc)).sum()
@@ -221,11 +218,7 @@ fn anneal(
         let cur = loc[&node];
         // Choose a destination: a free same-kind site or another node's site.
         let free_sites = free.get(&key).map_or(&[][..], Vec::as_slice);
-        let total = free_sites.len()
-            + movable
-                .iter()
-                .filter(|(_, k)| *k == key)
-                .count();
+        let total = free_sites.len() + movable.iter().filter(|(_, k)| *k == key).count();
         if total <= 1 {
             continue;
         }

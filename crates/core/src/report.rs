@@ -145,7 +145,9 @@ pub fn table1(reports: &[&ResourceReport]) -> String {
     type RowGetter = fn(&ResourceReport) -> u32;
     let rows: [(&str, RowGetter); 7] = [
         ("  a) Adders", |r| r.add_shift(AddShiftRole::Adder)),
-        ("  b) Subtracters", |r| r.add_shift(AddShiftRole::Subtracter)),
+        ("  b) Subtracters", |r| {
+            r.add_shift(AddShiftRole::Subtracter)
+        }),
         ("  c) Shift Reg", |r| r.add_shift(AddShiftRole::ShiftReg)),
         ("  d) Acc", |r| r.add_shift(AddShiftRole::Accumulator)),
         ("Add-Shift Total", |r| r.add_shift_total()),

@@ -219,9 +219,7 @@ pub fn route(
             };
             let capacity = cap(*class);
             let lanes_f = f64::from(*lanes);
-            let route = route_net(
-                &grid, *src, sinks, lanes_f, capacity, usage, hist, &opts,
-            );
+            let route = route_net(&grid, *src, sinks, lanes_f, capacity, usage, hist, &opts);
             let mut edges: Vec<EdgeId> = route.edges.iter().map(|&e| EdgeId(e)).collect();
             edges.sort_unstable();
             edges.dedup();
@@ -378,13 +376,7 @@ fn route_net(
     }
 }
 
-fn recompute_depth(
-    grid: &Grid,
-    src: u32,
-    in_tree: &[bool],
-    tree_edges: &[u32],
-    depth: &mut [u32],
-) {
+fn recompute_depth(grid: &Grid, src: u32, in_tree: &[bool], tree_edges: &[u32], depth: &mut [u32]) {
     use std::collections::HashSet;
     let edge_set: HashSet<u32> = tree_edges.iter().copied().collect();
     let mut visited = vec![false; grid.adj.len()];

@@ -187,6 +187,7 @@ impl Schedule {
     fn for_params(params: &DaParams, max_row_norm: f64) -> Self {
         let b1 = params.input_bits + 2;
         let b2 = params.acc_width - params.rom_width; // keep phase 2 exact
+
         // Phase-1 accumulator magnitude bound:
         //   |P| <= rowNorm · 2^input_bits · 2^rom_frac · 2^(align - b1)
         let p_bits = (max_row_norm.log2()
@@ -741,9 +742,7 @@ mod tests {
         assert_eq!(c1.report().memory_clusters(), 12);
         assert_eq!(c2.report().memory_clusters(), 6);
         // "...20 butterfly adders instead of 16".
-        let adders = |r: &dsra_core::report::ResourceReport| {
-            r.table1_row()[0] + r.table1_row()[1]
-        };
+        let adders = |r: &dsra_core::report::ResourceReport| r.table1_row()[0] + r.table1_row()[1];
         assert_eq!(adders(&c1.report()), 16);
         assert_eq!(adders(&c2.report()), 20);
     }

@@ -62,7 +62,12 @@ pub fn odd_target() -> M4 {
 
 /// Block-diagonal 4×4 from two 2×2 blocks acting on index pairs
 /// `(pair0.0, pair0.1)` and `(pair1.0, pair1.1)`.
-fn block_diag(b0: [[f64; 2]; 2], b1: [[f64; 2]; 2], pair0: (usize, usize), pair1: (usize, usize)) -> M4 {
+fn block_diag(
+    b0: [[f64; 2]; 2],
+    b1: [[f64; 2]; 2],
+    pair0: (usize, usize),
+    pair1: (usize, usize),
+) -> M4 {
     let mut m = [[0.0; 4]; 4];
     let put = |m: &mut M4, b: [[f64; 2]; 2], p: (usize, usize)| {
         m[p.0][p.0] = b[0][0];
@@ -76,11 +81,8 @@ fn block_diag(b0: [[f64; 2]; 2], b1: [[f64; 2]; 2], pair0: (usize, usize), pair1
 }
 
 /// The three ways to split `{0,1,2,3}` into two pairs.
-pub const PAIRINGS: [((usize, usize), (usize, usize)); 3] = [
-    ((0, 1), (2, 3)),
-    ((0, 2), (1, 3)),
-    ((0, 3), (1, 2)),
-];
+pub const PAIRINGS: [((usize, usize), (usize, usize)); 3] =
+    [((0, 1), (2, 3)), ((0, 2), (1, 3)), ((0, 3), (1, 2))];
 
 /// Butterfly stage patterns: `q_i = p_a ± p_b` over a pairing, expressed as
 /// ±1 matrices. Four add/sub operations each.
@@ -91,7 +93,11 @@ fn butterfly_patterns() -> Vec<M4> {
         // (block outputs adjacent or interleaved).
         for layout in 0..2usize {
             let mut m = [[0.0; 4]; 4];
-            let rows: [usize; 4] = if layout == 0 { [0, 1, 2, 3] } else { [0, 2, 1, 3] };
+            let rows: [usize; 4] = if layout == 0 {
+                [0, 1, 2, 3]
+            } else {
+                [0, 2, 1, 3]
+            };
             m[rows[0]][p0.0] = 1.0;
             m[rows[0]][p0.1] = 1.0;
             m[rows[1]][p0.0] = 1.0;
@@ -126,8 +132,18 @@ pub struct Sandwich {
 impl Sandwich {
     /// Reassembles the full 4×4 matrix this factorization realises.
     pub fn realize(&self) -> M4 {
-        let x = block_diag(self.x_blocks[0], self.x_blocks[1], self.x_pairs.0, self.x_pairs.1);
-        let y = block_diag(self.y_blocks[0], self.y_blocks[1], self.y_pairs.0, self.y_pairs.1);
+        let x = block_diag(
+            self.x_blocks[0],
+            self.x_blocks[1],
+            self.x_pairs.0,
+            self.x_pairs.1,
+        );
+        let y = block_diag(
+            self.y_blocks[0],
+            self.y_blocks[1],
+            self.y_pairs.0,
+            self.y_pairs.1,
+        );
         mul4(&y, &mul4(&self.butterfly, &x))
     }
 }
@@ -310,7 +326,12 @@ pub struct ScaledSandwich {
 impl ScaledSandwich {
     /// The realised (unscaled) matrix `Ŷ·B·X`.
     pub fn realize_unscaled(&self) -> M4 {
-        let x = block_diag(self.x_blocks[0], self.x_blocks[1], self.x_pairs.0, self.x_pairs.1);
+        let x = block_diag(
+            self.x_blocks[0],
+            self.x_blocks[1],
+            self.x_pairs.0,
+            self.x_pairs.1,
+        );
         mul4(&self.post, &mul4(&self.butterfly, &x))
     }
 
@@ -369,10 +390,7 @@ pub fn solve_scaled_sandwich(target: &M4) -> ScaledSandwich {
                 }
                 let xf = mul4(&tinv, &wm);
                 let xb = |p: (usize, usize)| {
-                    [
-                        [xf[p.0][p.0], xf[p.0][p.1]],
-                        [xf[p.1][p.0], xf[p.1][p.1]],
-                    ]
+                    [[xf[p.0][p.0], xf[p.0][p.1]], [xf[p.1][p.0], xf[p.1][p.1]]]
                 };
                 let mut cand = ScaledSandwich {
                     x_blocks: [xb(xp0), xb(xp1)],
@@ -396,10 +414,7 @@ pub fn solve_scaled_sandwich(target: &M4) -> ScaledSandwich {
     best.expect("candidate library is non-empty")
 }
 
-fn off_block_entries(
-    p0: (usize, usize),
-    p1: (usize, usize),
-) -> Vec<(usize, usize)> {
+fn off_block_entries(p0: (usize, usize), p1: (usize, usize)) -> Vec<(usize, usize)> {
     let block_of = |idx: usize| -> usize {
         if idx == p0.0 || idx == p0.1 {
             0

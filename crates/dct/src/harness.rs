@@ -69,9 +69,8 @@ pub fn measure_accuracy(
     let mut sq_sum = 0.0;
     let mut count = 0usize;
     for _ in 0..blocks {
-        let x: [i64; 8] = std::array::from_fn(|_| {
-            (rng.next_below(2 * amplitude as u64 + 1) as i64) - amplitude
-        });
+        let x: [i64; 8] =
+            std::array::from_fn(|_| (rng.next_below(2 * amplitude as u64 + 1) as i64) - amplitude);
         let hw = imp.transform(&x)?;
         let sw = reference::dct_1d_int(&x);
         for (h, s) in hw.iter().zip(sw.iter()) {

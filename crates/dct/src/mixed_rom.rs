@@ -73,7 +73,11 @@ impl MixedRom {
     /// # Errors
     /// Internal netlist inconsistencies only.
     pub fn new(params: DaParams) -> Result<Self> {
-        Self::with_odd_coeffs(params, |k, n| reference::dct_coeff(2 * k + 1, n), "mixed-rom")
+        Self::with_odd_coeffs(
+            params,
+            |k, n| reference::dct_coeff(2 * k + 1, n),
+            "mixed-rom",
+        )
     }
 
     /// Shared constructor: the SCC even/odd variant reuses this structure

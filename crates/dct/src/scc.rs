@@ -15,7 +15,7 @@
 //!   odd-part 16-word ROMs all read from the shared table `C` at rotated
 //!   offsets.
 //! * [`SccFull`] (Fig. 9) skips the butterfly stage entirely: 256-word ROMs
-//!   absorb the full coefficient rows ("16 times more [ROM] than the
+//!   absorb the full coefficient rows ("16 times more \[ROM\] than the
 //!   previous implementation but does not require adder/subtracters"). The
 //!   four odd-output ROMs are exact rotations of one another in the
 //!   exponent-mapped input order.

@@ -4,6 +4,22 @@
 //! mapped as the low-power 2-D systolic array of Figs. 10–11, plus the 1-D
 //! and single-PE alternatives and fast-search controller schedules that
 //! demonstrate the array's flexibility.
+//!
+//! ## Quick tour
+//!
+//! ```
+//! use dsra_me::{full_search, Plane, SearchParams};
+//!
+//! // A 32×32 gradient plane, and a current frame shifted right by 2 px.
+//! let pix = |x: i64, y: i64| ((x * 7 + y * 13) % 251) as u8;
+//! let refp = Plane::new(32, 32, (0..32 * 32).map(|i| pix(i % 32, i / 32)).collect());
+//! let cur = Plane::new(32, 32, (0..32 * 32).map(|i| pix(i % 32 + 2, i / 32)).collect());
+//!
+//! // Full-search block matching recovers the displacement exactly.
+//! let m = full_search(&cur, &refp, 8, 8, &SearchParams { block: 8, range: 4 });
+//! assert_eq!(m.mv, (2, 0));
+//! assert_eq!(m.sad, 0);
+//! ```
 
 #![warn(missing_docs)]
 

@@ -264,10 +264,7 @@ mod tests {
                 curd.push(pat(x + i64::from(shift.0), y + i64::from(shift.1)));
             }
         }
-        (
-            Plane::new(w, h, curd),
-            Plane::new(w, h, refd),
-        )
+        (Plane::new(w, h, curd), Plane::new(w, h, refd))
     }
 
     #[test]

@@ -125,10 +125,7 @@ impl Systolic2d {
                 nl.connect(cur_src[j], (ad, "a"))?;
                 nl.connect((refs[j], "out"), (ad, "b"))?;
                 // Widen the 8-bit difference to the SAD width (zero-extend).
-                let wide = nl.concat(
-                    format!("w_m{m}_c{j}"),
-                    &[(ad, "y"), (zero8, "out")],
-                )?;
+                let wide = nl.concat(format!("w_m{m}_c{j}"), &[(ad, "y"), (zero8, "out")])?;
                 wides.push(wide);
             }
             // Row-SAD reduction: chain or balanced tree of ADD/ACC clusters.
@@ -304,9 +301,7 @@ impl MeEngine for Systolic2d {
             while dy_base <= p {
                 let batch: Vec<(usize, i32)> = (0..MODULES)
                     .map(|m| (m, dy_base + m as i32))
-                    .filter(|&(_, dy)| {
-                        dy <= p && candidate_valid(reference, bx, by, dx, dy, n)
-                    })
+                    .filter(|&(_, dy)| dy <= p && candidate_valid(reference, bx, by, dx, dy, n))
                     .collect();
                 dy_base += MODULES as i32;
                 if batch.is_empty() {
@@ -340,9 +335,7 @@ impl MeEngine for Systolic2d {
                     }
                     // Broadcast reference row dy0 + t (if any module needs it).
                     let ry = by as i64 + dy0 + t as i64;
-                    let row_needed = batch
-                        .iter()
-                        .any(|&(m, _)| t >= m && t < m + n);
+                    let row_needed = batch.iter().any(|&(m, _)| t >= m && t < m + n);
                     if row_needed && ry >= 0 && (ry as usize) < reference.height() {
                         for j in 0..n {
                             let x = (bx as i64 + i64::from(dx)) as usize + j;
@@ -356,9 +349,7 @@ impl MeEngine for Systolic2d {
                     }
                     // Module m accumulates during its n-cycle window.
                     for m in 0..MODULES {
-                        let active = batch
-                            .iter()
-                            .any(|&(bm, _)| bm == m && t >= m && t < m + n);
+                        let active = batch.iter().any(|&(bm, _)| bm == m && t >= m && t < m + n);
                         sim.set(&format!("men{m}"), u64::from(active))?;
                     }
                     sim.step();
@@ -490,10 +481,7 @@ mod tests {
         let tree = Systolic2d::with_structure(8, AccumStructure::Tree).unwrap();
         let dc = chain.netlist().logic_depth().unwrap();
         let dt = tree.netlist().logic_depth().unwrap();
-        assert!(
-            dt < dc,
-            "tree depth {dt} should beat chain depth {dc}"
-        );
+        assert!(dt < dc, "tree depth {dt} should beat chain depth {dc}");
         let (cur, refp) = shifted_planes(48, 48, (2, -3));
         let params = SearchParams { block: 8, range: 3 };
         let rc = chain.search(&cur, &refp, 16, 16, &params).unwrap();

@@ -22,10 +22,7 @@ use crate::reference::{candidate_valid, Match, Plane, SearchParams};
 
 const SAD_WIDTH: u8 = 16;
 
-fn comparator_stage(
-    nl: &mut Netlist,
-    x_src: (NodeId, &str),
-) -> Result<()> {
+fn comparator_stage(nl: &mut Netlist, x_src: (NodeId, &str)) -> Result<()> {
     let cmp_en = nl.input("cmp_en", 1)?;
     let cmp_clr = nl.input("cmp_clr", 1)?;
     let cmp_idx = nl.input("cmp_idx", 16)?;
@@ -383,9 +380,9 @@ pub fn run_schedule(
     let mut center = (0i32, 0i32);
     let mut evaluated: std::collections::HashSet<(i32, i32)> = std::collections::HashSet::new();
     let eval = |sim: &mut Simulator<'_>,
-                    stats: &mut MeSearchResult,
-                    evaluated: &mut std::collections::HashSet<(i32, i32)>,
-                    (dx, dy): (i32, i32)|
+                stats: &mut MeSearchResult,
+                evaluated: &mut std::collections::HashSet<(i32, i32)>,
+                (dx, dy): (i32, i32)|
      -> Result<Option<u64>> {
         if dx.abs() > p
             || dy.abs() > p
@@ -401,8 +398,8 @@ pub fn run_schedule(
         )))
     };
 
-    let mut best_sad = eval(&mut sim, &mut stats, &mut evaluated, (0, 0))?
-        .expect("(0,0) is always valid");
+    let mut best_sad =
+        eval(&mut sim, &mut stats, &mut evaluated, (0, 0))?.expect("(0,0) is always valid");
     match schedule {
         Schedule::ThreeStep => {
             for ring in crate::reference::three_step_candidates(p) {
@@ -423,7 +420,16 @@ pub fn run_schedule(
             }
         }
         Schedule::Diamond => {
-            let large = [(0, -2), (-1, -1), (1, -1), (-2, 0), (2, 0), (-1, 1), (1, 1), (0, 2)];
+            let large = [
+                (0, -2),
+                (-1, -1),
+                (1, -1),
+                (-2, 0),
+                (2, 0),
+                (-1, 1),
+                (1, 1),
+                (0, 2),
+            ];
             let small = [(0, -1), (-1, 0), (1, 0), (0, 1)];
             loop {
                 let mut best_here = center;
@@ -515,8 +521,18 @@ mod tests {
         assert_eq!(r2.best.mv, r1.best.mv);
         assert_eq!(r1.best.mv, r0.best.mv);
         // More PEs, fewer cycles.
-        assert!(r2.cycles < r1.cycles, "2-D {} vs 1-D {}", r2.cycles, r1.cycles);
-        assert!(r1.cycles < r0.cycles, "1-D {} vs seq {}", r1.cycles, r0.cycles);
+        assert!(
+            r2.cycles < r1.cycles,
+            "2-D {} vs 1-D {}",
+            r2.cycles,
+            r1.cycles
+        );
+        assert!(
+            r1.cycles < r0.cycles,
+            "1-D {} vs seq {}",
+            r1.cycles,
+            r0.cycles
+        );
         // More PEs, more clusters.
         let clusters = |e: &dyn MeEngine| e.report().total_clusters();
         assert!(clusters(&s2) > clusters(&s1));

@@ -5,6 +5,33 @@
 //! crate models the platform-level behaviour the paper claims in §5:
 //! dynamic reconfiguration between implementations of the same kernel under
 //! run-time constraints, with measured switching costs.
+//!
+//! ## Quick tour
+//!
+//! ```
+//! use dsra_platform::{select, Condition, ImplProfile};
+//!
+//! let profiles = vec![
+//!     ImplProfile {
+//!         name: "BASIC DA".into(),
+//!         clusters: 24,
+//!         config_bits: 34_000,
+//!         cycles_per_block: 14,
+//!         energy_per_block: 9.0,
+//!         max_abs_err: 0.8,
+//!     },
+//!     ImplProfile {
+//!         name: "MIX ROM".into(),
+//!         clusters: 32,
+//!         config_bits: 4_000,
+//!         cycles_per_block: 16,
+//!         energy_per_block: 6.0,
+//!         max_abs_err: 0.9,
+//!     },
+//! ];
+//! // Low battery → the controller swaps in the lowest-energy mapping.
+//! assert_eq!(select(&profiles, Condition::LowBattery).unwrap().name, "MIX ROM");
+//! ```
 
 #![warn(missing_docs)]
 

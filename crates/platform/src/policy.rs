@@ -2,7 +2,7 @@
 //!
 //! §5 of the paper motivates dynamic reconfiguration with "different
 //! run-time constraints, such as low-battery conditions and noisy channels".
-//! A [`Policy`] picks among measured [`ImplProfile`]s — the same trade-off
+//! The [`select`] policy picks among measured [`ImplProfile`]s — the same trade-off
 //! table §3.6 sketches (area vs. activity vs. precision).
 
 /// Measured characteristics of one implementation (one Table-1 column plus
@@ -58,9 +58,11 @@ pub fn select(profiles: &[ImplProfile], condition: Condition) -> Option<&ImplPro
             Condition::MinArea => f64::from(p.clusters),
         }
     };
-    candidates
-        .into_iter()
-        .min_by(|a, b| key(a).partial_cmp(&key(b)).unwrap_or(std::cmp::Ordering::Equal))
+    candidates.into_iter().min_by(|a, b| {
+        key(a)
+            .partial_cmp(&key(b))
+            .unwrap_or(std::cmp::Ordering::Equal)
+    })
 }
 
 #[cfg(test)]

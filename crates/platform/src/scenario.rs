@@ -12,10 +12,10 @@ use dsra_core::fabric::{Fabric, MeshSpec};
 use dsra_core::place::{place, PlacerOptions};
 use dsra_core::route::{route, RouterOptions};
 use dsra_dct::{all_impls, measure_accuracy, DaParams, DctImpl};
+use dsra_me::Plane;
 use dsra_sim::Simulator;
 use dsra_tech::{dsra_cost, TechModel};
 use dsra_video::{encode_frame, EncodeConfig, EncodeStats};
-use dsra_me::Plane;
 
 use crate::policy::{select, Condition, ImplProfile};
 use crate::reconfig::{ReconfigManager, ReconfigReport};
@@ -172,9 +172,13 @@ mod tests {
     fn profiles_cover_all_six_impls() {
         let fabric = standard_da_fabric();
         let mut mgr = ReconfigManager::new(SocConfig::default());
-        let impls =
-            profile_all_impls(DaParams::precise(), &fabric, &TechModel::default(), &mut mgr)
-                .unwrap();
+        let impls = profile_all_impls(
+            DaParams::precise(),
+            &fabric,
+            &TechModel::default(),
+            &mut mgr,
+        )
+        .unwrap();
         assert_eq!(impls.len(), 6);
         assert_eq!(mgr.available().len(), 6);
         // Cluster counts are the Table-1 totals.
@@ -198,9 +202,13 @@ mod tests {
     fn battery_drop_triggers_one_switch() {
         let fabric = standard_da_fabric();
         let mut mgr = ReconfigManager::new(SocConfig::default());
-        let impls =
-            profile_all_impls(DaParams::precise(), &fabric, &TechModel::default(), &mut mgr)
-                .unwrap();
+        let impls = profile_all_impls(
+            DaParams::precise(),
+            &fabric,
+            &TechModel::default(),
+            &mut mgr,
+        )
+        .unwrap();
         let seq = SyntheticSequence::generate(SequenceConfig {
             width: 32,
             height: 32,
@@ -219,8 +227,7 @@ mod tests {
             },
             ..Default::default()
         };
-        let frames =
-            dynamic_encode(seq.frames(), &conditions, &impls, &mut mgr, &cfg).unwrap();
+        let frames = dynamic_encode(seq.frames(), &conditions, &impls, &mut mgr, &cfg).unwrap();
         assert_eq!(frames.len(), 3);
         // First frame pays the cold-start configuration.
         assert!(frames[0].reconfig.is_some());
@@ -233,7 +240,12 @@ mod tests {
             assert!(rep.bits_written > 0);
         }
         for f in &frames {
-            assert!(f.stats.psnr_db > 25.0, "frame {} PSNR {}", f.frame_index, f.stats.psnr_db);
+            assert!(
+                f.stats.psnr_db > 25.0,
+                "frame {} PSNR {}",
+                f.frame_index,
+                f.stats.psnr_db
+            );
         }
     }
 }

@@ -18,17 +18,32 @@ use crate::activity::Activity;
 enum NodeState {
     None,
     /// RegMux output register.
-    Reg { q: u64 },
+    Reg {
+        q: u64,
+    },
     /// AddAcc accumulator.
-    Acc { acc: u64 },
+    Acc {
+        acc: u64,
+    },
     /// Bit-serial adder/subtracter carry.
-    Carry { c: u8 },
+    Carry {
+        c: u8,
+    },
     /// Parallel-to-serial shift register.
-    SerialReg { reg: u64, pos: u8 },
+    SerialReg {
+        reg: u64,
+        pos: u8,
+    },
     /// DA shift-accumulator.
-    ShiftAcc { acc: u64 },
+    ShiftAcc {
+        acc: u64,
+    },
     /// Streaming comparator.
-    Comp { best: u64, best_idx: u64, valid: bool },
+    Comp {
+        best: u64,
+        best_idx: u64,
+        valid: bool,
+    },
 }
 
 /// Cycle-accurate simulator for a checked netlist.
@@ -200,7 +215,8 @@ impl<'n> Simulator<'n> {
     pub fn step(&mut self) {
         self.settle();
         for i in 0..self.net_values.len() {
-            self.activity.record_net(i, self.prev_values[i], self.net_values[i]);
+            self.activity
+                .record_net(i, self.prev_values[i], self.net_values[i]);
         }
         self.prev_values.copy_from_slice(&self.net_values);
         if let Some(w) = &mut self.waveform {
@@ -414,9 +430,7 @@ impl<'n> Simulator<'n> {
                         vec![(port("y") as u16, y), (port("which") as u16, which)]
                     }
                     CompMode::StreamMin | CompMode::StreamMax => match state {
-                        NodeState::Comp {
-                            best, best_idx, ..
-                        } => vec![
+                        NodeState::Comp { best, best_idx, .. } => vec![
                             (port("best") as u16, *best),
                             (port("best_idx") as u16, *best_idx),
                         ],
@@ -491,7 +505,11 @@ impl<'n> Simulator<'n> {
                     let en = ins[port("en")] & 1;
                     if en == 1 {
                         let sel = ins[port("sel")] & 1;
-                        let d = if sel == 1 { ins[port("b")] } else { ins[port("a")] };
+                        let d = if sel == 1 {
+                            ins[port("b")]
+                        } else {
+                            ins[port("a")]
+                        };
                         NodeState::Reg { q: d }
                     } else {
                         NodeState::Reg { q: *q }
@@ -562,10 +580,7 @@ impl<'n> Simulator<'n> {
                     }
                 }
                 (ClusterCfg::AddShift(as_cfg), state) => match (as_cfg, state) {
-                    (
-                        AddShiftCfg::Add { .. } | AddShiftCfg::Sub { .. },
-                        NodeState::Carry { c },
-                    ) => {
+                    (AddShiftCfg::Add { .. } | AddShiftCfg::Sub { .. }, NodeState::Carry { c }) => {
                         let is_sub = matches!(as_cfg, AddShiftCfg::Sub { .. });
                         let clr = ins[port("clr")] & 1;
                         if clr == 1 {
@@ -656,13 +671,11 @@ fn initial_state(kind: &NodeKind) -> NodeState {
             ClusterCfg::Comparator {
                 mode: CompMode::StreamMin | CompMode::StreamMax,
                 ..
-            } => {
-                NodeState::Comp {
-                    best: 0,
-                    best_idx: 0,
-                    valid: false,
-                }
-            }
+            } => NodeState::Comp {
+                best: 0,
+                best_idx: 0,
+                valid: false,
+            },
             ClusterCfg::AddShift(cfg) => match cfg {
                 AddShiftCfg::Add { serial: true, .. } => NodeState::Carry { c: 0 },
                 AddShiftCfg::Sub { serial: true, .. } => NodeState::Carry { c: 1 },

@@ -50,7 +50,13 @@ impl Waveform {
         let _ = writeln!(out, "$timescale 1ns $end");
         let _ = writeln!(out, "$scope module {} $end", sanitize(design));
         for (i, (name, width)) in self.names.iter().enumerate() {
-            let _ = writeln!(out, "$var wire {} {} {} $end", width, ident(i), sanitize(name));
+            let _ = writeln!(
+                out,
+                "$var wire {} {} {} $end",
+                width,
+                ident(i),
+                sanitize(name)
+            );
         }
         let _ = writeln!(out, "$upscope $end");
         let _ = writeln!(out, "$enddefinitions $end");
@@ -92,7 +98,13 @@ fn ident(mut i: usize) -> String {
 
 fn sanitize(name: &str) -> String {
     name.chars()
-        .map(|c| if c.is_alphanumeric() || c == '_' { c } else { '_' })
+        .map(|c| {
+            if c.is_alphanumeric() || c == '_' {
+                c
+            } else {
+                '_'
+            }
+        })
         .collect()
 }
 

@@ -304,10 +304,16 @@ fn da_unit(c0: i64, c1: i64, rom_width: u8, acc_width: u8) -> Netlist {
     let clr = nl.input("clr", 1).unwrap();
 
     let sr0 = nl
-        .cluster("sr0", ClusterCfg::AddShift(AddShiftCfg::SerialReg { width: 8 }))
+        .cluster(
+            "sr0",
+            ClusterCfg::AddShift(AddShiftCfg::SerialReg { width: 8 }),
+        )
         .unwrap();
     let sr1 = nl
-        .cluster("sr1", ClusterCfg::AddShift(AddShiftCfg::SerialReg { width: 8 }))
+        .cluster(
+            "sr1",
+            ClusterCfg::AddShift(AddShiftCfg::SerialReg { width: 8 }),
+        )
         .unwrap();
     nl.connect((x0, "out"), (sr0, "d")).unwrap();
     nl.connect((x1, "out"), (sr1, "d")).unwrap();
@@ -380,7 +386,14 @@ fn run_da_unit(nl: &Netlist, x0: i64, x1: i64, bits: u8) -> i64 {
 fn da_unit_computes_linear_combination_exactly() {
     // acc_width - data_width = 16 - 8 = 8 = stream length -> exact result.
     let nl = da_unit(3, -5, 8, 16);
-    for (x0, x1) in [(0i64, 0i64), (1, 0), (0, 1), (100, -100), (-128, 127), (57, 33)] {
+    for (x0, x1) in [
+        (0i64, 0i64),
+        (1, 0),
+        (0, 1),
+        (100, -100),
+        (-128, 127),
+        (57, 33),
+    ] {
         let y = run_da_unit(&nl, x0, x1, 8);
         assert_eq!(y, 3 * x0 - 5 * x1, "x0={x0} x1={x1}");
     }

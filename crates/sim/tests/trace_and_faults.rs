@@ -210,9 +210,10 @@ fn dct_fault_campaign_detects_most_rom_faults() {
                 bit,
                 stuck_high,
             };
-            let exposed = vectors.iter().zip(&healthy).any(|(x, h)| {
-                (run_y0(Some(fault), x) - h).abs() > 0.5
-            });
+            let exposed = vectors
+                .iter()
+                .zip(&healthy)
+                .any(|(x, h)| (run_y0(Some(fault), x) - h).abs() > 0.5);
             if exposed {
                 detected += 1;
             }

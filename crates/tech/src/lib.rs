@@ -5,6 +5,21 @@
 //! reproduce the paper's comparison claims (E4/E5) and the interconnect
 //! ablation (E6). All units are calibrated arbitrary units — the *ratios*
 //! are the reproducible quantity, see DESIGN.md §2.
+//!
+//! ## Quick tour
+//!
+//! ```
+//! use dsra_core::cluster::{AbsDiffMode, ClusterCfg};
+//! use dsra_tech::map_cluster_to_fpga;
+//!
+//! // One 8-bit |a−b| cluster costs a pile of 4-LUTs on the generic FPGA —
+//! // the granularity mismatch the paper's comparisons quantify.
+//! let r = map_cluster_to_fpga(&ClusterCfg::AbsDiff {
+//!     width: 8,
+//!     mode: AbsDiffMode::AbsDiff,
+//! });
+//! assert!(r.luts >= 8);
+//! ```
 
 #![warn(missing_docs)]
 

@@ -155,7 +155,9 @@ pub fn map_cluster_to_fpga(cfg: &ClusterCfg) -> FpgaResources {
             luts: w,
             ffs: if *accumulate { w } else { 0 },
         },
-        ClusterCfg::Comparator { mode, index_width, .. } => {
+        ClusterCfg::Comparator {
+            mode, index_width, ..
+        } => {
             use dsra_core::cluster::CompMode;
             match mode {
                 CompMode::Min | CompMode::Max => FpgaResources {
@@ -228,8 +230,7 @@ pub fn dsra_cost(
                     area += model.a_cluster;
                 }
                 _ => {
-                    area += model.a_cluster
-                        + f64::from(cfg.element_count()) * model.a_element;
+                    area += model.a_cluster + f64::from(cfg.element_count()) * model.a_element;
                 }
             }
         }
@@ -241,12 +242,9 @@ pub fn dsra_cost(
     let delay = depth * model.d_cluster + f64::from(routing.max_net_hops) * model.d_hop;
 
     let cycles = activity.cycles().max(1) as f64;
-    let wire_energy = activity.total_net_toggles() as f64
-        * model.e_wire_hop
-        * mean_hops(routing)
-        / cycles;
-    let cluster_energy =
-        activity.total_node_toggles() as f64 * model.e_cluster_toggle / cycles;
+    let wire_energy =
+        activity.total_net_toggles() as f64 * model.e_wire_hop * mean_hops(routing) / cycles;
+    let cluster_energy = activity.total_node_toggles() as f64 * model.e_cluster_toggle / cycles;
     let config_bits = netlist.cluster_config_bits() as u64 + routing.config_bits;
     ImplCost {
         area,
@@ -278,12 +276,11 @@ pub fn fpga_cost(
     // Same functional toggles, bit-level switching fabric, plus LUT-internal
     // activity proportional to the logic replication factor.
     let replication = resources.luts as f64 / cluster_count(netlist).max(1) as f64;
-    let wire_energy = activity.total_net_toggles() as f64
-        * model.e_wire_hop_fpga
-        * mean_hops(routing_fine)
-        / cycles;
-    let lut_energy = activity.total_node_toggles() as f64 * model.e_lut_toggle * replication
-        / cycles;
+    let wire_energy =
+        activity.total_net_toggles() as f64 * model.e_wire_hop_fpga * mean_hops(routing_fine)
+            / cycles;
+    let lut_energy =
+        activity.total_node_toggles() as f64 * model.e_lut_toggle * replication / cycles;
     let config_bits = resources.luts * 16 + routing_fine.config_bits;
     ImplCost {
         area,

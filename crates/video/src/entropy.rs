@@ -92,7 +92,10 @@ mod tests {
             seen[r][c] = true;
         }
         // Canonical prefix of the JPEG/MPEG zigzag.
-        assert_eq!(&order[..6], &[(0, 0), (0, 1), (1, 0), (2, 0), (1, 1), (0, 2)]);
+        assert_eq!(
+            &order[..6],
+            &[(0, 0), (0, 1), (1, 0), (2, 0), (1, 1), (0, 2)]
+        );
         assert_eq!(order[63], (7, 7));
     }
 

@@ -5,6 +5,22 @@
 //! sequences with controllable motion (global pan + moving objects + noise),
 //! plus the quantisation and quality metrics a motion-compensated DCT codec
 //! needs. See DESIGN.md §2 for the substitution rationale.
+//!
+//! ## Quick tour
+//!
+//! ```
+//! use dsra_video::{psnr, SequenceConfig, SyntheticSequence};
+//!
+//! let seq = SyntheticSequence::generate(SequenceConfig {
+//!     width: 32,
+//!     height: 32,
+//!     frames: 2,
+//!     ..Default::default()
+//! });
+//! // Consecutive frames differ only by pan + noise: high but finite PSNR.
+//! let quality = psnr(seq.frame(0), seq.frame(1));
+//! assert!(quality > 10.0 && quality.is_finite());
+//! ```
 
 #![warn(missing_docs)]
 

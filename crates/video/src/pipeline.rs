@@ -66,7 +66,10 @@ pub fn encode_frame(
     config: &EncodeConfig,
 ) -> Result<(Plane, EncodeStats)> {
     let mb = config.search.block;
-    assert!(mb.is_multiple_of(8), "macroblock must tile into 8x8 DCT blocks");
+    assert!(
+        mb.is_multiple_of(8),
+        "macroblock must tile into 8x8 DCT blocks"
+    );
     let mut recon = Plane::filled(cur.width(), cur.height(), 0);
     let mut stats = EncodeStats {
         macroblocks: 0,

@@ -1,8 +1,17 @@
 //! Synthetic test-sequence generation with controllable motion statistics.
 
+use dsra_core::rng::SplitMix64;
 use dsra_me::Plane;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+
+/// Uniform `f64` in `[lo, hi)`.
+fn gen_f64(rng: &mut SplitMix64, lo: f64, hi: f64) -> f64 {
+    lo + rng.next_f64() * (hi - lo)
+}
+
+/// Uniform `i64` in `[lo, hi]`.
+fn gen_i64(rng: &mut SplitMix64, lo: i64, hi: i64) -> i64 {
+    lo + rng.next_below((hi - lo + 1) as u64) as i64
+}
 
 /// Parameters of a generated sequence.
 #[derive(Debug, Clone, Copy)]
@@ -57,15 +66,15 @@ struct Object {
 impl SyntheticSequence {
     /// Generates the sequence.
     pub fn generate(config: SequenceConfig) -> Self {
-        let mut rng = StdRng::seed_from_u64(config.seed);
+        let mut rng = SplitMix64::new(config.seed);
         let objects: Vec<Object> = (0..config.objects)
             .map(|_| Object {
-                x: rng.gen_range(0.0..config.width as f64 * 0.75),
-                y: rng.gen_range(0.0..config.height as f64 * 0.75),
-                vx: rng.gen_range(-3.0..3.0),
-                vy: rng.gen_range(-3.0..3.0),
-                size: rng.gen_range(8..20),
-                level: rng.gen_range(90..220),
+                x: gen_f64(&mut rng, 0.0, config.width as f64 * 0.75),
+                y: gen_f64(&mut rng, 0.0, config.height as f64 * 0.75),
+                vx: gen_f64(&mut rng, -3.0, 3.0),
+                vy: gen_f64(&mut rng, -3.0, 3.0),
+                size: gen_i64(&mut rng, 8, 19) as usize,
+                level: gen_i64(&mut rng, 90, 219) as u8,
             })
             .collect();
         let mut frames = Vec::with_capacity(config.frames);
@@ -92,9 +101,8 @@ impl SyntheticSequence {
                         }
                     }
                     if config.noise > 0 {
-                        let n: i64 = rng.gen_range(
-                            -i64::from(config.noise)..=i64::from(config.noise),
-                        );
+                        let n =
+                            gen_i64(&mut rng, -i64::from(config.noise), i64::from(config.noise));
                         v += n as f64;
                     }
                     data.push(v.clamp(0.0, 255.0) as u8);
@@ -157,7 +165,10 @@ mod tests {
             seq.frame(0),
             40,
             40,
-            &SearchParams { block: 16, range: 4 },
+            &SearchParams {
+                block: 16,
+                range: 4,
+            },
         );
         assert_eq!(m.mv, (2, 1));
     }

@@ -13,7 +13,11 @@ use dsra::dct::{reference, BasicDa, DaParams, DctImpl};
 fn main() -> Result<(), CoreError> {
     // 1. Build the Fig.-4 basic distributed-arithmetic DCT.
     let dct = BasicDa::new(DaParams::precise())?;
-    println!("built `{}`: {} cycles per 8-point block", dct.name(), dct.cycles_per_block());
+    println!(
+        "built `{}`: {} cycles per 8-point block",
+        dct.name(),
+        dct.cycles_per_block()
+    );
 
     // 2. Transform a block, cycle-accurately, and compare to the reference.
     let x = [100i64, 50, -25, 0, 10, -60, 30, 5];

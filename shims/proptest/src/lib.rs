@@ -1,0 +1,329 @@
+//! Minimal, deterministic stand-in for the `proptest` crate.
+//!
+//! Implements exactly the subset of the proptest API this workspace uses
+//! (see `shims/README.md`): the `proptest!` macro with optional
+//! `#![proptest_config(..)]`, range and `any::<T>()` strategies,
+//! `proptest::array::uniform8`, and the `prop_assert*` macros. Sampling is
+//! deterministic per test (SplitMix64 seeded from the test name) and there
+//! is no shrinking: a failing case panics with the sampled values visible
+//! in the assertion message.
+
+/// Test-runner types: the deterministic RNG and the case-count config.
+pub mod test_runner {
+    /// How many cases each property runs.
+    #[derive(Debug, Clone, Copy)]
+    pub struct ProptestConfig {
+        /// Number of sampled cases per property.
+        pub cases: u32,
+    }
+
+    impl ProptestConfig {
+        /// Config running `cases` sampled inputs per property.
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig { cases }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            // The real default is 256; 64 keeps the cycle-accurate
+            // simulator properties fast while still sweeping the space.
+            ProptestConfig { cases: 64 }
+        }
+    }
+
+    /// SplitMix64 generator, seeded deterministically from the test name.
+    #[derive(Debug, Clone)]
+    pub struct TestRng {
+        state: u64,
+    }
+
+    impl TestRng {
+        /// Seeds from an arbitrary string (FNV-1a), so each property gets
+        /// its own reproducible stream.
+        pub fn from_name(name: &str) -> Self {
+            let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+            for b in name.as_bytes() {
+                h ^= u64::from(*b);
+                h = h.wrapping_mul(0x0000_0100_0000_01b3);
+            }
+            TestRng { state: h }
+        }
+
+        /// Next raw 64-bit value.
+        pub fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+
+        /// Uniform value in `0..bound` (`bound` must be non-zero).
+        pub fn next_below(&mut self, bound: u64) -> u64 {
+            debug_assert!(bound > 0);
+            ((u128::from(self.next_u64()) * u128::from(bound)) >> 64) as u64
+        }
+
+        /// Uniform `f64` in `[0, 1)`.
+        pub fn next_f64(&mut self) -> f64 {
+            (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+        }
+    }
+}
+
+/// Strategy trait and the built-in strategies for ranges and arrays.
+pub mod strategy {
+    use crate::test_runner::TestRng;
+    use std::ops::{Range, RangeInclusive};
+
+    /// A source of sampled values.
+    pub trait Strategy {
+        /// The type this strategy produces.
+        type Value;
+        /// Draws one value.
+        fn sample(&self, rng: &mut TestRng) -> Self::Value;
+    }
+
+    macro_rules! int_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+                fn sample(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty range strategy");
+                    let span = (self.end as i128 - self.start as i128) as u128;
+                    let off = (u128::from(rng.next_u64()) * span) >> 64;
+                    (self.start as i128 + off as i128) as $t
+                }
+            }
+            impl Strategy for RangeInclusive<$t> {
+                type Value = $t;
+                fn sample(&self, rng: &mut TestRng) -> $t {
+                    let (lo, hi) = (*self.start(), *self.end());
+                    assert!(lo <= hi, "empty range strategy");
+                    let span = (hi as i128 - lo as i128) as u128 + 1;
+                    let off = (u128::from(rng.next_u64()) * span) >> 64;
+                    (lo as i128 + off as i128) as $t
+                }
+            }
+        )*};
+    }
+    int_range_strategy!(i8, i16, i32, i64, u8, u16, u32, u64, usize, isize);
+
+    macro_rules! float_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+                fn sample(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty range strategy");
+                    let v = self.start + (rng.next_f64() as $t) * (self.end - self.start);
+                    // Narrowing f64→f32 can round the scaled sample up to
+                    // exactly `end`; keep the Range contract half-open.
+                    if v < self.end { v } else { self.start }
+                }
+            }
+        )*};
+    }
+    float_range_strategy!(f32, f64);
+
+    /// Full-range strategy for a type, as produced by [`crate::arbitrary::any`].
+    #[derive(Debug, Clone, Copy)]
+    pub struct Any<T> {
+        pub(crate) _marker: std::marker::PhantomData<T>,
+    }
+
+    macro_rules! any_int_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for Any<$t> {
+                type Value = $t;
+                fn sample(&self, rng: &mut TestRng) -> $t {
+                    rng.next_u64() as $t
+                }
+            }
+        )*};
+    }
+    any_int_strategy!(i8, i16, i32, i64, u8, u16, u32, u64, usize, isize);
+
+    impl Strategy for Any<bool> {
+        type Value = bool;
+        fn sample(&self, rng: &mut TestRng) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    /// Strategy yielding a fixed value, mirroring `proptest::strategy::Just`.
+    #[derive(Debug, Clone, Copy)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn sample(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+}
+
+/// `any::<T>()`, mirroring `proptest::arbitrary`.
+pub mod arbitrary {
+    use crate::strategy::Any;
+
+    /// Full-range strategy for `T`.
+    pub fn any<T>() -> Any<T> {
+        Any {
+            _marker: std::marker::PhantomData,
+        }
+    }
+}
+
+/// Array strategies, mirroring `proptest::array`.
+pub mod array {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// Strategy for `[S::Value; 8]` drawing each element from `S`.
+    #[derive(Debug, Clone, Copy)]
+    pub struct Uniform8<S>(S);
+
+    /// Eight independent draws from `strategy`.
+    pub fn uniform8<S: Strategy>(strategy: S) -> Uniform8<S> {
+        Uniform8(strategy)
+    }
+
+    impl<S: Strategy> Strategy for Uniform8<S> {
+        type Value = [S::Value; 8];
+        fn sample(&self, rng: &mut TestRng) -> Self::Value {
+            std::array::from_fn(|_| self.0.sample(rng))
+        }
+    }
+}
+
+/// The common imports, mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+}
+
+/// Property-test entry point; supports the `#![proptest_config(..)]`
+/// header and both `arg in strategy` and `arg: Type` parameter forms.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! {
+            ($crate::test_runner::ProptestConfig::default()) $($rest)*
+        }
+    };
+}
+
+/// Internal: expands each `fn` item inside `proptest!`.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    (($cfg:expr)) => {};
+    (($cfg:expr)
+     $(#[$meta:meta])*
+     fn $name:ident($($args:tt)*) $body:block
+     $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let __config: $crate::test_runner::ProptestConfig = $cfg;
+            let mut __rng = $crate::test_runner::TestRng::from_name(concat!(
+                module_path!(), "::", stringify!($name)
+            ));
+            for __case in 0..__config.cases {
+                $crate::__proptest_case!(__rng, $body, $($args)*);
+            }
+        }
+        $crate::__proptest_items! { ($cfg) $($rest)* }
+    };
+}
+
+/// Internal: binds one sampled parameter, then recurses.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_case {
+    ($rng:ident, $body:block,) => { $body };
+    ($rng:ident, $body:block, $arg:ident in $strat:expr) => {{
+        let $arg = $crate::strategy::Strategy::sample(&($strat), &mut $rng);
+        $body
+    }};
+    ($rng:ident, $body:block, $arg:ident in $strat:expr, $($rest:tt)*) => {{
+        let $arg = $crate::strategy::Strategy::sample(&($strat), &mut $rng);
+        $crate::__proptest_case!($rng, $body, $($rest)*)
+    }};
+    ($rng:ident, $body:block, $arg:ident : $ty:ty) => {{
+        let $arg = $crate::strategy::Strategy::sample(
+            &$crate::arbitrary::any::<$ty>(), &mut $rng);
+        $body
+    }};
+    ($rng:ident, $body:block, $arg:ident : $ty:ty, $($rest:tt)*) => {{
+        let $arg = $crate::strategy::Strategy::sample(
+            &$crate::arbitrary::any::<$ty>(), &mut $rng);
+        $crate::__proptest_case!($rng, $body, $($rest)*)
+    }};
+}
+
+/// `prop_assert!` — panics (no shrinking) with the formatted message.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// `prop_assert_eq!` — panics (no shrinking) with both values shown.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+/// `prop_assert_ne!` — panics (no shrinking) with both values shown.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)*) => { assert_ne!($($tt)*) };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = TestRng::from_name("ranges_stay_in_bounds");
+        for _ in 0..2000 {
+            let v = (-2000i64..2000).sample(&mut rng);
+            assert!((-2000..2000).contains(&v));
+            let w = (33u8..=63).sample(&mut rng);
+            assert!((33..=63).contains(&w));
+            let f = (-1.9f64..1.9).sample(&mut rng);
+            assert!((-1.9..1.9).contains(&f));
+            let g = (0.0f32..1.0).sample(&mut rng);
+            assert!((0.0..1.0).contains(&g));
+        }
+    }
+
+    #[test]
+    fn uniform8_draws_independent_elements() {
+        let mut rng = TestRng::from_name("uniform8");
+        let a = crate::array::uniform8(-800i64..800).sample(&mut rng);
+        let b = crate::array::uniform8(-800i64..800).sample(&mut rng);
+        assert_ne!(a, b);
+        assert!(a.iter().all(|v| (-800..800).contains(v)));
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        #[test]
+        fn macro_binds_mixed_forms(a in -10i64..10, b: u64, c in 1u8..=4) {
+            prop_assert!((-10..10).contains(&a));
+            prop_assert!((1..=4).contains(&c));
+            prop_assert_eq!(b, b);
+        }
+    }
+}

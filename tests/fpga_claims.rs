@@ -19,7 +19,8 @@ fn me_activity(nl: &dsra::core::Netlist) -> dsra::sim::Activity {
     for c in 0..256u64 {
         for j in 0..8 {
             sim.set(&format!("cur{j}"), (c * 31 + j * 7) % 256).unwrap();
-            sim.set(&format!("ref{j}"), (c * 17 + j * 13) % 256).unwrap();
+            sim.set(&format!("ref{j}"), (c * 17 + j * 13) % 256)
+                .unwrap();
         }
         for m in 0..4 {
             sim.set(&format!("men{m}"), 1).unwrap();

@@ -33,8 +33,8 @@ fn every_impl_places_routes_and_configures_on_the_shared_array() {
     // exploit for ROM sharing.
     for (i, (na, a)) in bitstreams.iter().enumerate() {
         for (nb, b) in bitstreams.iter().skip(i + 1) {
-            let twins = (na == "MIX ROM" && nb == "SCC E/O")
-                || (na == "SCC E/O" && nb == "MIX ROM");
+            let twins =
+                (na == "MIX ROM" && nb == "SCC E/O") || (na == "SCC E/O" && nb == "MIX ROM");
             if twins {
                 assert_eq!(a.diff_bits(b), 0, "{na} vs {nb} should coincide");
             } else {

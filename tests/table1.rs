@@ -26,7 +26,11 @@ fn table1_matches_paper_exactly() {
             .unwrap_or_else(|| panic!("implementation {name} missing"));
         let r = imp.report();
         assert_eq!(r.table1_row(), row, "{name} row");
-        assert_eq!(r.add_shift_total(), add_shift_total, "{name} add-shift total");
+        assert_eq!(
+            r.add_shift_total(),
+            add_shift_total,
+            "{name} add-shift total"
+        );
         assert_eq!(r.total_clusters(), total, "{name} total clusters");
     }
 }
@@ -55,13 +59,7 @@ fn mixed_rom_trades_rom_words_for_adders() {
     // times less than the previous implementation but some overhead has
     // been incurred in the form of adders".
     let impls = all_impls(DaParams::precise()).unwrap();
-    let by = |name: &str| {
-        impls
-            .iter()
-            .find(|i| i.name() == name)
-            .unwrap()
-            .report()
-    };
+    let by = |name: &str| impls.iter().find(|i| i.name() == name).unwrap().report();
     let basic = by("BASIC DA");
     let mixed = by("MIX ROM");
     assert_eq!(basic.memory_words(), 16 * mixed.memory_words());
@@ -74,13 +72,7 @@ fn scc_full_drops_adders_for_bigger_roms() {
     // §3.5: "requires 256 words ROM which is 16 times more than the
     // previous implementation but does not require adder/subtracters".
     let impls = all_impls(DaParams::precise()).unwrap();
-    let by = |name: &str| {
-        impls
-            .iter()
-            .find(|i| i.name() == name)
-            .unwrap()
-            .report()
-    };
+    let by = |name: &str| impls.iter().find(|i| i.name() == name).unwrap().report();
     let eo = by("SCC E/O");
     let full = by("SCC");
     assert_eq!(full.memory_words(), 16 * eo.memory_words());
