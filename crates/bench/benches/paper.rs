@@ -146,6 +146,38 @@ fn bench_dct2d(c: &mut Criterion) {
     g.finish();
 }
 
+/// E11: the multi-array runtime serving a small mixed queue (cache warm
+/// after the first iteration — place-and-route is out of the loop).
+fn bench_soc_serve(c: &mut Criterion) {
+    use dsra_runtime::{DctMapping, RuntimeConfig, SocRuntime};
+    use dsra_video::{generate_job_mix, JobMixConfig};
+    let mut g = c.benchmark_group("soc_serve");
+    g.sample_size(10).measurement_time(Duration::from_secs(5));
+    let mut runtime = SocRuntime::new(RuntimeConfig {
+        da_arrays: 2,
+        me_arrays: 1,
+        mappings: vec![
+            DctMapping::BasicDa,
+            DctMapping::MixedRom,
+            DctMapping::SccFull,
+        ],
+        ..Default::default()
+    })
+    .unwrap();
+    let jobs = generate_job_mix(JobMixConfig {
+        jobs: 24,
+        ..Default::default()
+    });
+    g.bench_function("serve_24_jobs_3_arrays", |b| {
+        b.iter(|| {
+            let report = runtime.serve(&jobs).unwrap();
+            assert_eq!(report.jobs, 24);
+            report.makespan_cycles
+        })
+    });
+    g.finish();
+}
+
 criterion_group! {
     name = benches;
     config = Criterion::default();
@@ -156,6 +188,7 @@ criterion_group! {
         bench_mesh,
         bench_fpga_compare,
         bench_reconfig,
-        bench_dct2d
+        bench_dct2d,
+        bench_soc_serve
 }
 criterion_main!(benches);

@@ -6,19 +6,22 @@
 //! cargo run -p dsra-bench --release --bin dct_accuracy
 //! ```
 
-use dsra_bench::banner;
+use dsra_bench::{banner, json_flag, write_json_summary, JsonValue};
 use dsra_dct::{all_impls, measure_accuracy, DaParams};
 
 fn main() {
     banner("E2", "Figs. 4-9: functional behaviour of the DCT mappings");
-    for (label, params, amplitude) in [
+    let mut metrics: Vec<(String, JsonValue)> = Vec::new();
+    for (label, tag, params, amplitude) in [
         (
             "precise widths (16-bit ROM / 32-bit acc), 12-bit input",
+            "precise",
             DaParams::precise(),
             2047i64,
         ),
         (
             "paper widths (8-bit ROM / 16-bit acc, Fig. 4), 8-bit input",
+            "paper",
             DaParams::paper(),
             255,
         ),
@@ -38,7 +41,19 @@ fn main() {
                 acc.max_abs_err,
                 acc.rms_err
             );
+            let key = imp.name().to_lowercase().replace([' ', '/'], "_");
+            metrics.push((
+                format!("{tag}_{key}_max_abs_err"),
+                JsonValue::Num(acc.max_abs_err),
+            ));
+            metrics.push((
+                format!("{tag}_{key}_cycles_per_block"),
+                JsonValue::Int(imp.cycles_per_block()),
+            ));
         }
+    }
+    if json_flag() {
+        write_json_summary("dct_accuracy", "E2", &metrics);
     }
     println!(
         "\nShape check: pure-DA paths (BASIC DA, MIX ROM, SCC*) are exact up\n\

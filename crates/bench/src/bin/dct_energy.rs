@@ -7,7 +7,7 @@
 //! cargo run -p dsra-bench --release --bin dct_energy
 //! ```
 
-use dsra_bench::{banner, da_activity};
+use dsra_bench::{banner, da_activity, json_flag, write_json_summary, JsonValue};
 use dsra_core::fabric::{Fabric, MeshSpec};
 use dsra_core::place::{place, PlacerOptions};
 use dsra_core::route::{route, RouterOptions};
@@ -63,4 +63,14 @@ fn main() {
         "\nThis is the table the run-time policies (dsra-platform) select\n\
          from when conditions change — §5's low-battery argument."
     );
+    if json_flag() {
+        let mut metrics: Vec<(String, JsonValue)> = Vec::new();
+        for (name, area, e_block, max_err) in &rows {
+            let key = name.to_lowercase().replace([' ', '/'], "_");
+            metrics.push((format!("{key}_area"), JsonValue::Num(*area)));
+            metrics.push((format!("{key}_energy_per_block"), JsonValue::Num(*e_block)));
+            metrics.push((format!("{key}_max_abs_err"), JsonValue::Num(*max_err)));
+        }
+        write_json_summary("dct_energy", "E9", &metrics);
+    }
 }

@@ -6,7 +6,7 @@
 //! cargo run -p dsra-bench --release --bin dynamic_switch
 //! ```
 
-use dsra_bench::banner;
+use dsra_bench::{banner, json_flag, write_json_summary, JsonValue};
 use dsra_dct::DaParams;
 use dsra_me::SearchParams;
 use dsra_platform::{
@@ -95,6 +95,28 @@ fn main() {
             f.impl_name,
             f.stats.psnr_db,
             rc
+        );
+    }
+
+    if json_flag() {
+        let total_bits: u64 = frames
+            .iter()
+            .filter_map(|f| f.reconfig.map(|r| r.bits_written))
+            .sum();
+        let switches = frames.iter().filter(|f| f.reconfig.is_some()).count() as u64;
+        let min_psnr = frames
+            .iter()
+            .map(|f| f.stats.psnr_db)
+            .fold(f64::INFINITY, f64::min);
+        write_json_summary(
+            "dynamic_switch",
+            "E7",
+            &[
+                ("frames", JsonValue::Int(frames.len() as u64)),
+                ("switches", JsonValue::Int(switches)),
+                ("total_reconfig_bits", JsonValue::Int(total_bits)),
+                ("min_psnr_db", JsonValue::Num(min_psnr)),
+            ],
         );
     }
 }

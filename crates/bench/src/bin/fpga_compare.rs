@@ -6,7 +6,7 @@
 //! cargo run -p dsra-bench --release --bin fpga_compare
 //! ```
 
-use dsra_bench::{banner, da_activity, me_activity};
+use dsra_bench::{banner, da_activity, json_flag, me_activity, write_json_summary, JsonValue};
 use dsra_core::fabric::{Fabric, MeshSpec};
 use dsra_dct::{BasicDa, DaParams, DctImpl};
 use dsra_me::{MeEngine, Systolic2d};
@@ -78,4 +78,36 @@ fn main() {
          configurable memories cost nearly as much as FPGA LUT-ROMs, while\n\
          ME datapath clusters crush LUT+bit-routing implementations."
     );
+    if json_flag() {
+        write_json_summary(
+            "fpga_compare",
+            "E4/E5",
+            &[
+                (
+                    "me_power_reduction_pct",
+                    JsonValue::Num(me.comparison.power_reduction_pct),
+                ),
+                (
+                    "me_area_reduction_pct",
+                    JsonValue::Num(me.comparison.area_reduction_pct),
+                ),
+                (
+                    "me_timing_improvement_pct",
+                    JsonValue::Num(me.comparison.timing_improvement_pct),
+                ),
+                (
+                    "da_power_reduction_pct",
+                    JsonValue::Num(da.comparison.power_reduction_pct),
+                ),
+                (
+                    "da_area_reduction_pct",
+                    JsonValue::Num(da.comparison.area_reduction_pct),
+                ),
+                (
+                    "da_timing_improvement_pct",
+                    JsonValue::Num(da.comparison.timing_improvement_pct),
+                ),
+            ],
+        );
+    }
 }

@@ -6,7 +6,7 @@
 //! cargo run -p dsra-bench --release --bin me_systolic
 //! ```
 
-use dsra_bench::{banner, shifted_planes};
+use dsra_bench::{banner, json_flag, shifted_planes, write_json_summary, JsonValue};
 use dsra_me::{full_search, MeEngine, SearchParams, Sequential, Systolic1d, Systolic2d};
 
 fn main() {
@@ -26,6 +26,7 @@ fn main() {
         Box::new(Systolic1d::new(n).unwrap()),
         Box::new(Sequential::new(n).unwrap()),
     ];
+    let mut metrics: Vec<(String, JsonValue)> = Vec::new();
     for eng in &engines {
         let r = eng.search(&cur, &refp, 40, 40, &params).unwrap();
         println!(
@@ -37,6 +38,12 @@ fn main() {
             r.bandwidth_reduction(),
             r.best.mv == sw.mv && r.best.sad == sw.sad,
         );
+        let key = eng.name().to_lowercase().replace([' ', '-'], "_");
+        metrics.push((format!("{key}_cycles"), JsonValue::Int(r.cycles)));
+        metrics.push((
+            format!("{key}_bw_gain"),
+            JsonValue::Num(r.bandwidth_reduction()),
+        ));
     }
 
     println!("\nsearch-range sweep on the 2-D array:");
@@ -65,4 +72,12 @@ fn main() {
         eng16.first_sad_latency()
     );
     println!("\n16x16 array resources:\n{}", eng16.report());
+
+    if json_flag() {
+        metrics.push((
+            "first_sad_latency_16".to_owned(),
+            JsonValue::Int(eng16.first_sad_latency()),
+        ));
+        write_json_summary("me_systolic", "E3/E8", &metrics);
+    }
 }

@@ -6,7 +6,7 @@
 //! cargo run -p dsra-bench --release --bin mesh_ablation
 //! ```
 
-use dsra_bench::banner;
+use dsra_bench::{banner, json_flag, write_json_summary, JsonValue};
 use dsra_core::fabric::{Fabric, MeshSpec};
 use dsra_dct::{all_impls, DaParams};
 use dsra_me::{MeEngine, Systolic2d};
@@ -22,6 +22,7 @@ fn main() {
         "design", "sw mixed", "sw fine", "ratio", "cfg mixed", "cfg fine", "ratio"
     );
     let da_fabric = Fabric::da_array(20, 14, MeshSpec::mixed());
+    let mut metrics: Vec<(String, JsonValue)> = Vec::new();
     for imp in all_impls(DaParams::precise()).unwrap() {
         let (m, f) = mesh_ablation(imp.netlist(), &da_fabric).unwrap();
         println!(
@@ -34,6 +35,15 @@ fn main() {
             f.config_bits,
             f.config_bits as f64 / m.config_bits as f64
         );
+        let key = imp.name().to_lowercase().replace([' ', '/'], "_");
+        metrics.push((
+            format!("{key}_switch_ratio"),
+            JsonValue::Num(f.switch_points as f64 / m.switch_points as f64),
+        ));
+        metrics.push((
+            format!("{key}_cfg_bit_ratio"),
+            JsonValue::Num(f.config_bits as f64 / m.config_bits as f64),
+        ));
     }
     let eng = Systolic2d::new(8).unwrap();
     let me_fabric = Fabric::me_array(26, 20, MeshSpec::mixed());
@@ -52,4 +62,15 @@ fn main() {
         "\nEvery multi-bit net on the mixed mesh rides a bus track: one\n\
          switch + one configuration bit steer eight wires at once."
     );
+    if json_flag() {
+        metrics.push((
+            "me_switch_ratio".to_owned(),
+            JsonValue::Num(f.switch_points as f64 / m.switch_points as f64),
+        ));
+        metrics.push((
+            "me_cfg_bit_ratio".to_owned(),
+            JsonValue::Num(f.config_bits as f64 / m.config_bits as f64),
+        ));
+        write_json_summary("mesh_ablation", "E6", &metrics);
+    }
 }

@@ -6,7 +6,7 @@
 //! cargo run -p dsra-bench --release --bin pipeline
 //! ```
 
-use dsra_bench::banner;
+use dsra_bench::{banner, json_flag, write_json_summary, JsonValue};
 use dsra_dct::{BasicDa, Cordic2, DaParams, DctImpl, SccFull};
 use dsra_me::SearchParams;
 use dsra_video::{encode_frame, EncodeConfig, Quantizer, SequenceConfig, SyntheticSequence};
@@ -31,6 +31,7 @@ fn main() {
         "{:<10} {:>6} {:>12} {:>10} {:>12}",
         "impl", "QP", "nz levels", "PSNR dB", "DCT cycles"
     );
+    let mut metrics: Vec<(String, JsonValue)> = Vec::new();
     for imp in &impls {
         for qp in [4.0, 10.0, 24.0] {
             let cfg = EncodeConfig {
@@ -49,6 +50,15 @@ fn main() {
                 stats.psnr_db,
                 stats.dct_cycles
             );
+            let key = imp.name().to_lowercase().replace([' ', '/'], "_");
+            metrics.push((
+                format!("{key}_qp{qp:.0}_psnr_db"),
+                JsonValue::Num(stats.psnr_db),
+            ));
+            metrics.push((
+                format!("{key}_qp{qp:.0}_nonzero_levels"),
+                JsonValue::Int(stats.nonzero_levels as u64),
+            ));
         }
     }
     println!(
@@ -56,4 +66,7 @@ fn main() {
          all mappings sit on the same rate-distortion curve — they are\n\
          interchangeable implementations of one transform."
     );
+    if json_flag() {
+        write_json_summary("pipeline", "E10", &metrics);
+    }
 }

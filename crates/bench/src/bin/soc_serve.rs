@@ -1,0 +1,82 @@
+//! E11 — the multi-array SoC runtime under heavy mixed traffic: a seeded
+//! queue of DCT / motion-search / encode jobs served across a pool of DA
+//! and ME arrays with content-addressed bitstream caching and diff-aware
+//! scheduling (DESIGN.md §6).
+//!
+//! ```sh
+//! cargo run -p dsra-bench --release --bin soc_serve
+//! cargo run -p dsra-bench --release --bin soc_serve -- \
+//!     --jobs 1000 --da 2 --me 2 --seed 0x50C5EED --json
+//! ```
+//!
+//! Output is byte-identical across runs with the same arguments — the
+//! scheduler plans deterministically and the worker threads only execute
+//! plans — which is exactly what the `outcome digest` line pins.
+
+use dsra_bench::{banner, json_flag};
+use dsra_runtime::{RuntimeConfig, SocRuntime};
+use dsra_video::{generate_job_mix, JobMixConfig};
+
+fn arg_value(name: &str) -> Option<String> {
+    let args: Vec<String> = std::env::args().collect();
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1).cloned())
+}
+
+fn parse_u64(name: &str, default: u64) -> u64 {
+    arg_value(name)
+        .map(|v| {
+            let v = v.trim();
+            let parsed = if let Some(hex) = v.strip_prefix("0x") {
+                u64::from_str_radix(hex, 16)
+            } else {
+                v.parse()
+            };
+            parsed.unwrap_or_else(|_| panic!("bad value for {name}: {v}"))
+        })
+        .unwrap_or(default)
+}
+
+fn main() {
+    let jobs = parse_u64("--jobs", 1000) as u32;
+    let da = parse_u64("--da", 2) as usize;
+    let me = parse_u64("--me", 2) as usize;
+    let seed = parse_u64("--seed", 0x50C_5EED);
+    banner(
+        "E11",
+        "multi-array SoC runtime: cache + diff-aware scheduling",
+    );
+    println!("pool: {da} DA + {me} ME arrays, {jobs} jobs, seed {seed:#x}\n");
+
+    let mix = generate_job_mix(JobMixConfig {
+        jobs,
+        seed,
+        ..Default::default()
+    });
+    let mut runtime = SocRuntime::new(RuntimeConfig {
+        da_arrays: da,
+        me_arrays: me,
+        ..Default::default()
+    })
+    .expect("runtime construction");
+    let report = runtime.serve(&mix).expect("serve");
+    print!("{}", report.render());
+
+    let hit_rate = report.cache.hit_rate();
+    println!(
+        "\nplace-and-route paid {} time(s) for {} job-kernel lookups",
+        runtime.cache_stats().misses,
+        runtime.cache_stats().lookups()
+    );
+    assert!(
+        jobs < 200 || hit_rate > 0.9,
+        "cache hit rate {hit_rate:.3} below the E11 gate"
+    );
+
+    if json_flag() {
+        std::fs::write("BENCH_runtime.json", report.to_json("E11"))
+            .expect("write BENCH_runtime.json");
+        println!("wrote BENCH_runtime.json");
+    }
+}

@@ -5,7 +5,7 @@
 //! cargo run -p dsra-bench --release --bin table1
 //! ```
 
-use dsra_bench::banner;
+use dsra_bench::{banner, json_flag, write_json_summary, JsonValue};
 use dsra_core::report::table1;
 use dsra_dct::{all_impls, DaParams};
 
@@ -37,5 +37,21 @@ fn main() {
             r.memory_words(),
             r.config_bits()
         );
+    }
+
+    if json_flag() {
+        let mut metrics: Vec<(String, JsonValue)> = Vec::new();
+        for r in &reports {
+            let key = r.name().to_lowercase().replace([' ', '/'], "_");
+            metrics.push((
+                format!("{key}_clusters"),
+                JsonValue::Int(u64::from(r.total_clusters())),
+            ));
+            metrics.push((
+                format!("{key}_config_bits"),
+                JsonValue::Int(r.config_bits()),
+            ));
+        }
+        write_json_summary("table1", "E1", &metrics);
     }
 }

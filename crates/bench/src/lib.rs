@@ -91,3 +91,61 @@ pub fn banner(experiment: &str, artifact: &str) {
     println!("{experiment} — reproduces {artifact}");
     println!("==============================================================");
 }
+
+/// A metric value in a machine-readable benchmark summary.
+#[derive(Debug, Clone, PartialEq)]
+pub enum JsonValue {
+    /// Integer metric.
+    Int(u64),
+    /// Floating-point metric (serialised with 6 decimals, deterministic).
+    Num(f64),
+    /// String metric.
+    Str(String),
+}
+
+impl JsonValue {
+    fn render(&self) -> String {
+        match self {
+            JsonValue::Int(v) => v.to_string(),
+            // JSON has no inf/NaN literals (e.g. PSNR of a lossless frame
+            // is +inf); null keeps the file parseable.
+            JsonValue::Num(v) if !v.is_finite() => "null".to_owned(),
+            JsonValue::Num(v) => format!("{v:.6}"),
+            JsonValue::Str(v) => format!("\"{}\"", v.replace('\\', "\\\\").replace('"', "\\\"")),
+        }
+    }
+}
+
+/// Renders a flat `{"experiment": .., "metrics": {..}}` JSON summary —
+/// the `BENCH_<experiment>.json` payload every experiment binary can emit
+/// with `--json`, so the perf trajectory is machine-readable. Keys may be
+/// `&str` or `String`.
+pub fn json_summary<K: AsRef<str>>(experiment: &str, metrics: &[(K, JsonValue)]) -> String {
+    let mut s = String::new();
+    s.push_str("{\n");
+    s.push_str(&format!("  \"experiment\": \"{experiment}\",\n"));
+    s.push_str("  \"metrics\": {\n");
+    for (i, (key, value)) in metrics.iter().enumerate() {
+        s.push_str(&format!(
+            "    \"{}\": {}{}\n",
+            key.as_ref(),
+            value.render(),
+            if i + 1 == metrics.len() { "" } else { "," }
+        ));
+    }
+    s.push_str("  }\n}\n");
+    s
+}
+
+/// `true` when the binary was invoked with `--json`.
+pub fn json_flag() -> bool {
+    std::env::args().any(|a| a == "--json")
+}
+
+/// Writes a [`json_summary`] to `BENCH_<tag>.json` in the working directory
+/// and prints where it went.
+pub fn write_json_summary<K: AsRef<str>>(tag: &str, experiment: &str, metrics: &[(K, JsonValue)]) {
+    let path = format!("BENCH_{tag}.json");
+    std::fs::write(&path, json_summary(experiment, metrics)).expect("write benchmark summary");
+    println!("wrote {path}");
+}

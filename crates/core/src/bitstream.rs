@@ -101,6 +101,39 @@ impl Bitstream {
         self.frames.len()
     }
 
+    /// Stable content hash over every configuration frame.
+    ///
+    /// Two bitstreams with equal fingerprints are frame-for-frame identical,
+    /// so their [`Bitstream::diff_bits`] is zero and a cache may share one
+    /// copy for both. Netlists with equal [`Netlist::fingerprint`]s compile
+    /// to bitstreams with equal fingerprints on the same fabric (the whole
+    /// pipeline is deterministic).
+    pub fn fingerprint(&self) -> crate::netlist::Fingerprint {
+        let mut h = crate::netlist::FnvHasher::new();
+        h.write_u64(self.cluster_bits);
+        h.write_u64(self.routing_bits);
+        h.write_u64(self.frames.len() as u64);
+        for (addr, words) in &self.frames {
+            match addr {
+                FrameAddr::Site { x, y } => {
+                    h.write_u64(0x51);
+                    h.write_u64(u64::from(*x));
+                    h.write_u64(u64::from(*y));
+                }
+                FrameAddr::Edge { id, bus } => {
+                    h.write_u64(0x52);
+                    h.write_u64(u64::from(*id));
+                    h.write_u64(u64::from(*bus));
+                }
+            }
+            h.write_u64(words.len() as u64);
+            for w in words {
+                h.write_u64(*w);
+            }
+        }
+        h.finish()
+    }
+
     /// Bits that differ between two configurations of the same fabric — the
     /// cost of a partial reconfiguration from `self` to `other`.
     ///
@@ -134,7 +167,7 @@ impl Bitstream {
     }
 }
 
-fn encode_cluster(cfg: &crate::cluster::ClusterCfg) -> Vec<u64> {
+pub(crate) fn encode_cluster(cfg: &crate::cluster::ClusterCfg) -> Vec<u64> {
     use crate::cluster::{AbsDiffMode, AddOp, AddShiftCfg, ClusterCfg, CompMode};
     // Deterministic structural encoding; field layout is arbitrary but
     // stable, which is all diffing requires.

@@ -62,7 +62,9 @@ pub mod prelude {
     };
     pub use crate::error::{CoreError, Result};
     pub use crate::fabric::{Fabric, MeshSpec, SiteKind};
-    pub use crate::netlist::{Net, NetId, Netlist, Node, NodeId, NodeKind, PhysNet, PortRef};
+    pub use crate::netlist::{
+        Fingerprint, Net, NetId, Netlist, Node, NodeId, NodeKind, PhysNet, PortRef,
+    };
     pub use crate::place::{place, Placement, PlacerOptions};
     pub use crate::report::{table1, ResourceReport};
     pub use crate::route::{route, RouterOptions, Routing, RoutingStats, TrackClass};

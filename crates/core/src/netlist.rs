@@ -19,6 +19,60 @@ use crate::cluster::{addr_width, AddShiftCfg, ClusterCfg, ClusterKind, CompMode}
 use crate::error::{CoreError, Result};
 use crate::report::ResourceReport;
 
+/// Stable content hash of a netlist or bitstream (FNV-1a, 128-bit).
+///
+/// Two netlists built by the same deterministic builder with the same
+/// parameters hash equal; any structural difference — a node kind, a port
+/// width, a ROM content word, a connection — changes the value. This is the
+/// content address the runtime's bitstream cache keys compiled
+/// `(placement, routing, bitstream)` artifacts by, so place-and-route is
+/// paid once per distinct kernel rather than once per job.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Fingerprint(pub u128);
+
+impl fmt::Display for Fingerprint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:032x}", self.0)
+    }
+}
+
+/// Incremental FNV-1a/128 hasher behind [`Fingerprint`]. Kept crate-local so
+/// bitstreams and netlists hash through the identical primitive.
+pub(crate) struct FnvHasher {
+    state: u128,
+}
+
+impl FnvHasher {
+    const OFFSET: u128 = 0x6c62_272e_07bb_0142_62b8_2175_6295_c58d;
+    const PRIME: u128 = 0x0000_0000_0100_0000_0000_0000_0000_013b;
+
+    pub(crate) fn new() -> Self {
+        FnvHasher {
+            state: Self::OFFSET,
+        }
+    }
+
+    pub(crate) fn write_bytes(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.state ^= u128::from(b);
+            self.state = self.state.wrapping_mul(Self::PRIME);
+        }
+    }
+
+    pub(crate) fn write_u64(&mut self, v: u64) {
+        self.write_bytes(&v.to_le_bytes());
+    }
+
+    pub(crate) fn write_str(&mut self, s: &str) {
+        self.write_u64(s.len() as u64);
+        self.write_bytes(s.as_bytes());
+    }
+
+    pub(crate) fn finish(&self) -> Fingerprint {
+        Fingerprint(self.state)
+    }
+}
+
 /// Identifies a node inside one [`Netlist`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct NodeId(pub u32);
@@ -716,6 +770,36 @@ impl Netlist {
             .collect()
     }
 
+    /// Stable structural content hash of this netlist.
+    ///
+    /// Covers the netlist name, every node (name, kind, full cluster
+    /// configuration including memory contents) and every net (driver,
+    /// sinks, width), all in deterministic creation order. Equal
+    /// fingerprints therefore mean structurally identical netlists, which —
+    /// because placement, routing and bitstream generation are themselves
+    /// deterministic — compile to identical bitstreams on the same fabric.
+    pub fn fingerprint(&self) -> Fingerprint {
+        let mut h = FnvHasher::new();
+        h.write_str(&self.name);
+        h.write_u64(self.nodes.len() as u64);
+        for node in &self.nodes {
+            h.write_str(&node.name);
+            hash_node_kind(&mut h, &node.kind);
+        }
+        h.write_u64(self.nets.len() as u64);
+        for net in &self.nets {
+            h.write_u64(u64::from(net.driver.node.0));
+            h.write_u64(u64::from(net.driver.port));
+            h.write_u64(u64::from(net.width));
+            h.write_u64(net.sinks.len() as u64);
+            for sink in &net.sinks {
+                h.write_u64(u64::from(sink.node.0));
+                h.write_u64(u64::from(sink.port));
+            }
+        }
+        h.finish()
+    }
+
     /// Builds the Table-1 style resource report for this netlist.
     pub fn resource_report(&self) -> ResourceReport {
         let mut report = ResourceReport::new(&self.name);
@@ -791,6 +875,57 @@ impl Netlist {
                     }
                 }
                 NodeKind::Input { .. } | NodeKind::Const { .. } => {}
+            }
+        }
+    }
+}
+
+fn hash_node_kind(h: &mut FnvHasher, kind: &NodeKind) {
+    match kind {
+        NodeKind::Input { width } => {
+            h.write_u64(0x10);
+            h.write_u64(u64::from(*width));
+        }
+        NodeKind::Output { width } => {
+            h.write_u64(0x11);
+            h.write_u64(u64::from(*width));
+        }
+        NodeKind::Const { value, width } => {
+            h.write_u64(0x12);
+            h.write_u64(*value);
+            h.write_u64(u64::from(*width));
+        }
+        NodeKind::Concat { parts } => {
+            h.write_u64(0x13);
+            h.write_u64(parts.len() as u64);
+            for p in parts {
+                h.write_u64(u64::from(*p));
+            }
+        }
+        NodeKind::Slice {
+            in_width,
+            offset,
+            width,
+        } => {
+            h.write_u64(0x14);
+            h.write_u64(u64::from(*in_width));
+            h.write_u64(u64::from(*offset));
+            h.write_u64(u64::from(*width));
+        }
+        NodeKind::SignExtend { in_width, width } => {
+            h.write_u64(0x15);
+            h.write_u64(u64::from(*in_width));
+            h.write_u64(u64::from(*width));
+        }
+        NodeKind::Cluster(cfg) => {
+            h.write_u64(0x16);
+            // The bitstream's structural cluster encoding already covers
+            // every configuration field (including memory contents), so the
+            // fingerprint and the configuration planes cannot drift apart.
+            let words = crate::bitstream::encode_cluster(cfg);
+            h.write_u64(words.len() as u64);
+            for w in words {
+                h.write_u64(w);
             }
         }
     }
@@ -960,6 +1095,62 @@ mod tests {
         let mut nl = Netlist::new("t");
         nl.input("a", 8).unwrap();
         assert!(matches!(nl.input("a", 8), Err(CoreError::DuplicateNode(_))));
+    }
+
+    #[test]
+    fn fingerprint_is_stable_and_content_sensitive() {
+        let build = |mode: AbsDiffMode, width: u8| {
+            let mut nl = Netlist::new("fp");
+            let a = nl.input("a", width).unwrap();
+            let b = nl.input("b", width).unwrap();
+            let ad = nl
+                .cluster("ad", ClusterCfg::AbsDiff { width, mode })
+                .unwrap();
+            let y = nl.output("y", width).unwrap();
+            nl.connect((a, "out"), (ad, "a")).unwrap();
+            nl.connect((b, "out"), (ad, "b")).unwrap();
+            nl.connect((ad, "y"), (y, "in")).unwrap();
+            nl
+        };
+        let base = build(AbsDiffMode::AbsDiff, 8);
+        // Rebuilding the identical structure reproduces the hash.
+        assert_eq!(
+            base.fingerprint(),
+            build(AbsDiffMode::AbsDiff, 8).fingerprint()
+        );
+        // A mode or width change is a different content address.
+        assert_ne!(base.fingerprint(), build(AbsDiffMode::Sub, 8).fingerprint());
+        assert_ne!(
+            base.fingerprint(),
+            build(AbsDiffMode::AbsDiff, 12).fingerprint()
+        );
+    }
+
+    #[test]
+    fn fingerprint_sees_memory_contents_and_connectivity() {
+        let build = |val: u64, cross: bool| {
+            let mut nl = Netlist::new("fp");
+            let a = nl.input("a", 4).unwrap();
+            let rom = nl
+                .cluster(
+                    "rom",
+                    ClusterCfg::Memory {
+                        words: 16,
+                        width: 8,
+                        contents: vec![val; 16],
+                    },
+                )
+                .unwrap();
+            let y = nl.output("y", 8).unwrap();
+            nl.connect((a, "out"), (rom, "addr")).unwrap();
+            if cross {
+                nl.connect((rom, "dout"), (y, "in")).unwrap();
+            }
+            nl
+        };
+        assert_ne!(build(1, true).fingerprint(), build(2, true).fingerprint());
+        assert_ne!(build(1, true).fingerprint(), build(1, false).fingerprint());
+        assert_eq!(build(3, true).fingerprint(), build(3, true).fingerprint());
     }
 
     #[test]

@@ -2,6 +2,14 @@
 //! annealing. Kept in-crate so `dsra-core` has no runtime dependencies and
 //! placement is reproducible across platforms.
 
+/// One FNV-1a fold step over a 64-bit word: the shared primitive behind
+/// every deterministic digest in the workspace (runtime job checksums,
+/// report digests). Start from any seed and fold words in order; the result
+/// depends on every word and its position.
+pub fn fnv1a_fold(hash: u64, word: u64) -> u64 {
+    (hash ^ word).wrapping_mul(0x0000_0100_0000_01B3)
+}
+
 /// SplitMix64 pseudo-random generator.
 ///
 /// Deterministic for a given seed; passes BigCrush-level statistics for the

@@ -42,5 +42,6 @@ pub mod scenario;
 pub use policy::{select, Condition, ImplProfile};
 pub use reconfig::{ReconfigManager, ReconfigReport, SocConfig};
 pub use scenario::{
-    dynamic_encode, profile_all_impls, standard_da_fabric, ProfiledImpl, ScenarioFrame,
+    compile_netlist, dynamic_encode, profile_all_impls, profile_impl, standard_da_fabric,
+    CompiledArtifact, ProfiledImpl, ScenarioFrame,
 };

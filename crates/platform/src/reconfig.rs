@@ -46,6 +46,15 @@ pub struct ReconfigReport {
     pub micros: f64,
 }
 
+impl ReconfigReport {
+    /// The free report of a no-op switch (already-loaded configuration).
+    pub const NOOP: ReconfigReport = ReconfigReport {
+        bits_written: 0,
+        cycles: 0,
+        micros: 0.0,
+    };
+}
+
 /// A library of named configurations for one fabric plus the currently
 /// loaded one.
 #[derive(Debug, Default)]
@@ -87,23 +96,31 @@ impl ReconfigManager {
 
     /// Loads `name`, returning the switching cost.
     ///
-    /// With partial reconfiguration the cost is the bit-difference against
-    /// the currently loaded configuration; otherwise (or from a cold start)
-    /// the full bitstream is written.
+    /// Switching to the configuration that is already loaded is an explicit
+    /// zero-cost no-op: nothing is written, no history entry is recorded and
+    /// [`ReconfigReport::NOOP`] is returned immediately. The diff-aware
+    /// scheduler in `dsra-runtime` leans on this — routing a job to the
+    /// array that already holds its kernel must cost exactly nothing.
+    ///
+    /// Otherwise, with partial reconfiguration the cost is the
+    /// bit-difference against the currently loaded configuration; without it
+    /// (or from a cold start) the full bitstream is written.
     ///
     /// # Errors
     /// [`CoreError::UnknownNode`] if the name was never registered.
     pub fn switch_to(&mut self, name: &str) -> Result<ReconfigReport> {
+        if self.current.as_deref() == Some(name) {
+            return Ok(ReconfigReport::NOOP);
+        }
         let target = self
             .store
             .get(name)
             .ok_or_else(|| CoreError::UnknownNode(name.to_owned()))?;
         let bits_written = match (&self.current, self.soc.partial_reconfig) {
-            (Some(cur), true) if cur != name => {
+            (Some(cur), true) => {
                 let cur_bs = &self.store[cur];
                 cur_bs.diff_bits(target)
             }
-            (Some(cur), _) if cur == name => 0,
             _ => target.total_bits(),
         };
         let cycles = bits_written.div_ceil(u64::from(self.soc.cfg_bus_bits_per_cycle));
@@ -176,6 +193,29 @@ mod tests {
         let rep = mgr.switch_to("sad").unwrap();
         assert_eq!(rep.bits_written, 0);
         assert_eq!(rep.cycles, 0);
+    }
+
+    #[test]
+    fn switch_to_current_is_an_explicit_noop() {
+        // The runtime scheduler depends on this exact behaviour: re-loading
+        // the already-current configuration writes nothing, costs no cycles,
+        // records no history entry, and holds even without partial
+        // reconfiguration support.
+        for partial in [true, false] {
+            let mut mgr = ReconfigManager::new(SocConfig {
+                partial_reconfig: partial,
+                ..Default::default()
+            });
+            mgr.register("sad", bitstream_for(AbsDiffMode::AbsDiff));
+            mgr.switch_to("sad").unwrap();
+            let history_len = mgr.history().len();
+            for _ in 0..3 {
+                let rep = mgr.switch_to("sad").unwrap();
+                assert_eq!(rep, ReconfigReport::NOOP);
+            }
+            assert_eq!(mgr.history().len(), history_len, "no-ops must not log");
+            assert_eq!(mgr.current(), Some("sad"));
+        }
     }
 
     #[test]

@@ -28,6 +28,66 @@ pub struct ProfiledImpl {
     pub profile: ImplProfile,
 }
 
+/// A compiled kernel: the placement, routing and bitstream one netlist
+/// produces on one fabric. Cloneable so caches can hand out shared copies
+/// (typically behind an `Arc`); `dsra-runtime` keys these by
+/// [`dsra_core::netlist::Fingerprint`].
+#[derive(Debug, Clone)]
+pub struct CompiledArtifact {
+    /// Site assignment of every cluster.
+    pub placement: dsra_core::place::Placement,
+    /// Mesh tracks and routing statistics.
+    pub routing: dsra_core::route::Routing,
+    /// The assembled configuration.
+    pub bitstream: Bitstream,
+}
+
+/// Runs the deterministic compile pipeline — place, route, bitstream — for
+/// one netlist on one fabric.
+///
+/// # Errors
+/// Propagates placement or routing failures.
+pub fn compile_netlist(
+    nl: &dsra_core::netlist::Netlist,
+    fabric: &Fabric,
+) -> Result<CompiledArtifact> {
+    let placement = place(nl, fabric, PlacerOptions::default())?;
+    let routing = route(nl, fabric, &placement, RouterOptions::default())?;
+    let bitstream = Bitstream::generate(nl, fabric, &placement, &routing);
+    Ok(CompiledArtifact {
+        placement,
+        routing,
+        bitstream,
+    })
+}
+
+/// Measures one compiled DCT mapping into the [`ImplProfile`] the run-time
+/// selection policy consumes: area, configuration bits, cycle count,
+/// activity-based energy and coefficient accuracy.
+///
+/// # Errors
+/// Propagates simulator errors.
+pub fn profile_impl(
+    imp: &dyn DctImpl,
+    artifact: &CompiledArtifact,
+    model: &TechModel,
+) -> Result<ImplProfile> {
+    let nl = imp.netlist();
+    let activity = generic_activity(nl)?;
+    let cost = dsra_cost(nl, &artifact.routing.stats, &activity, model);
+    let accuracy = measure_accuracy(imp, 4, 2047, 0xACC)?;
+    Ok(ImplProfile {
+        name: imp.name().to_owned(),
+        clusters: nl.resource_report().total_clusters(),
+        config_bits: artifact.bitstream.total_bits(),
+        cycles_per_block: imp.cycles_per_block(),
+        // Battery-relevant energy: dynamic + leakage (the big-ROM
+        // mappings pay for their 33k-bit configuration planes here).
+        energy_per_block: cost.power() * imp.cycles_per_block() as f64,
+        max_abs_err: accuracy.max_abs_err,
+    })
+}
+
 /// Builds, places, routes, profiles and registers all six DCT mappings on a
 /// shared DA array.
 ///
@@ -41,24 +101,9 @@ pub fn profile_all_impls(
 ) -> Result<Vec<ProfiledImpl>> {
     let mut out = Vec::new();
     for imp in all_impls(params)? {
-        let nl = imp.netlist();
-        let placement = place(nl, fabric, PlacerOptions::default())?;
-        let routing = route(nl, fabric, &placement, RouterOptions::default())?;
-        let bitstream = Bitstream::generate(nl, fabric, &placement, &routing);
-        let activity = generic_activity(nl)?;
-        let cost = dsra_cost(nl, &routing.stats, &activity, model);
-        let accuracy = measure_accuracy(imp.as_ref(), 4, 2047, 0xACC)?;
-        let profile = ImplProfile {
-            name: imp.name().to_owned(),
-            clusters: nl.resource_report().total_clusters(),
-            config_bits: bitstream.total_bits(),
-            cycles_per_block: imp.cycles_per_block(),
-            // Battery-relevant energy: dynamic + leakage (the big-ROM
-            // mappings pay for their 33k-bit configuration planes here).
-            energy_per_block: cost.power() * imp.cycles_per_block() as f64,
-            max_abs_err: accuracy.max_abs_err,
-        };
-        manager.register(imp.name(), bitstream);
+        let artifact = compile_netlist(imp.netlist(), fabric)?;
+        let profile = profile_impl(imp.as_ref(), &artifact, model)?;
+        manager.register(imp.name(), artifact.bitstream);
         out.push(ProfiledImpl {
             implementation: imp,
             profile,

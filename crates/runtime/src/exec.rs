@@ -1,0 +1,185 @@
+//! Per-array job execution: what each worker thread runs.
+//!
+//! A worker owns one simulated array: a `ReconfigManager` holding the
+//! kernels its plan needs, lazily built cycle-accurate engines, and the
+//! assignment list the scheduler produced. Execution is deterministic —
+//! every payload is a pure function of the job spec — so running arrays on
+//! parallel threads cannot change any result, only the wall-clock time to
+//! compute it.
+
+use std::collections::HashMap;
+
+use dsra_core::error::{CoreError, Result};
+use dsra_core::netlist::Fingerprint;
+use dsra_core::rng::SplitMix64;
+use dsra_dct::{DaParams, DctImpl};
+use dsra_me::{MeEngine, SearchParams, Systolic2d};
+use dsra_platform::{ReconfigManager, ReconfigReport, SocConfig};
+use dsra_video::{
+    encode_frame, me_search_planes, EncodeConfig, JobPayload, SequenceConfig, SyntheticSequence,
+};
+
+use crate::kernel::DctMapping;
+use crate::Assignment;
+
+/// What one executed job reports back.
+#[derive(Debug, Clone)]
+pub(crate) struct JobExec {
+    /// Job id (merge key).
+    pub job_id: u32,
+    /// Measured reconfiguration cost (bits actually written on this array).
+    pub reconfig: ReconfigReport,
+    /// Sim-cycles the payload occupied the array.
+    pub exec_cycles: u64,
+    /// Deterministic digest of the payload's outputs.
+    pub checksum: u64,
+}
+
+use dsra_core::rng::fnv1a_fold as mix;
+
+/// Executes one array's plan in order. `assignments` must all target the
+/// same array.
+pub(crate) fn run_worker(
+    soc: SocConfig,
+    params: DaParams,
+    assignments: &[Assignment],
+) -> Result<Vec<JobExec>> {
+    let mut mgr = ReconfigManager::new(soc);
+    // Register each distinct kernel once (the plan references the same Arc
+    // many times); the memoised hex string doubles as the registry key.
+    let mut registered: HashMap<Fingerprint, String> = HashMap::new();
+    for a in assignments {
+        registered.entry(a.kernel.fingerprint).or_insert_with(|| {
+            mgr.register(
+                a.kernel.fingerprint.to_string(),
+                a.kernel.artifact.bitstream.clone(),
+            );
+            a.kernel.fingerprint.to_string()
+        });
+    }
+    let mut dct_impls: HashMap<&'static str, Box<dyn DctImpl>> = HashMap::new();
+    let mut me_engines: HashMap<u8, Systolic2d> = HashMap::new();
+    let mut out = Vec::with_capacity(assignments.len());
+    for a in assignments {
+        let reconfig = mgr.switch_to(&registered[&a.kernel.fingerprint])?;
+        debug_assert_eq!(
+            reconfig.bits_written, a.slot.reconfig_bits,
+            "executed switch cost must match the scheduler's plan"
+        );
+        let (exec_cycles, checksum) = match a.job.payload {
+            JobPayload::DctBlocks { blocks, amplitude } => {
+                let mapping = DctMapping::from_name(&a.kernel.name).ok_or_else(|| {
+                    CoreError::Mismatch(format!("unknown DCT kernel `{}`", a.kernel.name))
+                })?;
+                let imp = match dct_impls.entry(mapping.name()) {
+                    std::collections::hash_map::Entry::Occupied(e) => e.into_mut(),
+                    std::collections::hash_map::Entry::Vacant(e) => {
+                        e.insert(mapping.build(params)?)
+                    }
+                };
+                let mut rng = SplitMix64::new(a.job.seed);
+                let mut cycles = 0u64;
+                let mut sum = 0xA5A5_A5A5u64;
+                for _ in 0..blocks {
+                    let x: [i64; 8] = std::array::from_fn(|_| {
+                        rng.next_below(2 * amplitude as u64 + 1) as i64 - amplitude
+                    });
+                    let y = imp.transform(&x)?;
+                    cycles += imp.cycles_per_block();
+                    for v in y {
+                        // Quantise to kill any last-bit noise before digesting.
+                        sum = mix(sum, (v * 256.0).round() as i64 as u64);
+                    }
+                }
+                (cycles, sum)
+            }
+            JobPayload::MeSearch {
+                size,
+                shift,
+                block,
+                range,
+            } => {
+                let eng = match me_engines.entry(block) {
+                    std::collections::hash_map::Entry::Occupied(e) => e.into_mut(),
+                    std::collections::hash_map::Entry::Vacant(e) => {
+                        e.insert(Systolic2d::new(usize::from(block))?)
+                    }
+                };
+                let (w, h) = (usize::from(size.0), usize::from(size.1));
+                let (b, rg) = (usize::from(block), usize::from(range));
+                // Search a centred block; the full window (block ± range)
+                // must fit inside the plane or the systolic feed would read
+                // out of bounds.
+                let (bx, by) = (w.saturating_sub(b) / 2, h.saturating_sub(b) / 2);
+                if bx < rg || by < rg || bx + b + rg > w || by + b + rg > h {
+                    return Err(CoreError::Mismatch(format!(
+                        "job {}: {w}x{h} plane too small for block {b} ± {rg} search",
+                        a.job.id
+                    )));
+                }
+                let (cur, refp) = me_search_planes(size, shift, a.job.seed);
+                let sp = SearchParams {
+                    block: b,
+                    range: i32::from(range),
+                };
+                let r = eng.search(&cur, &refp, bx, by, &sp)?;
+                let mut sum = 0x5A5A_5A5Au64;
+                sum = mix(sum, r.best.mv.0 as u64);
+                sum = mix(sum, r.best.mv.1 as u64);
+                sum = mix(sum, r.best.sad);
+                sum = mix(sum, r.best.candidates);
+                (r.cycles, sum)
+            }
+            JobPayload::EncodeGop {
+                size,
+                frames,
+                noise,
+            } => {
+                let mapping = DctMapping::from_name(&a.kernel.name).ok_or_else(|| {
+                    CoreError::Mismatch(format!("unknown DCT kernel `{}`", a.kernel.name))
+                })?;
+                let imp = match dct_impls.entry(mapping.name()) {
+                    std::collections::hash_map::Entry::Occupied(e) => e.into_mut(),
+                    std::collections::hash_map::Entry::Vacant(e) => {
+                        e.insert(mapping.build(params)?)
+                    }
+                };
+                let seq = SyntheticSequence::generate(SequenceConfig {
+                    width: usize::from(size.0),
+                    height: usize::from(size.1),
+                    frames: usize::from(frames),
+                    noise,
+                    objects: 1,
+                    seed: a.job.seed,
+                    ..Default::default()
+                });
+                let cfg = EncodeConfig {
+                    search: SearchParams {
+                        block: 16,
+                        range: 2,
+                    },
+                    ..Default::default()
+                };
+                let mut cycles = 0u64;
+                let mut sum = 0xC0DEu64;
+                for f in 1..seq.frames().len() {
+                    let (_, stats) =
+                        encode_frame(seq.frame(f), seq.frame(f - 1), imp.as_ref(), &cfg)?;
+                    cycles += stats.dct_cycles;
+                    sum = mix(sum, stats.total_sad);
+                    sum = mix(sum, stats.estimated_bits);
+                    sum = mix(sum, stats.nonzero_levels as u64);
+                    sum = mix(sum, (stats.psnr_db * 1000.0).round() as i64 as u64);
+                }
+                (cycles, sum)
+            }
+        };
+        out.push(JobExec {
+            job_id: a.job.id,
+            reconfig,
+            exec_cycles,
+            checksum,
+        });
+    }
+    Ok(out)
+}

@@ -1,0 +1,168 @@
+//! Kernel identities: the catalogue of hardware mappings the runtime can
+//! compile and serve.
+//!
+//! A [`KernelId`] names a mapping *by construction recipe*; its compiled
+//! form is addressed by content — the [`Fingerprint`] of the netlist the
+//! recipe builds. Two recipes that happen to build the same structure share
+//! one cache entry.
+
+use dsra_core::error::Result;
+use dsra_core::netlist::{Fingerprint, Netlist};
+use dsra_dct::{BasicDa, Cordic1, Cordic2, DaParams, DctImpl, MixedRom, SccEvenOdd, SccFull};
+use dsra_me::{MeEngine, Systolic2d};
+
+/// Which of the two arrays a kernel occupies.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum ArrayKind {
+    /// Distributed-arithmetic array (DCT workloads).
+    Da,
+    /// Motion-estimation array (block-matching workloads).
+    Me,
+}
+
+impl ArrayKind {
+    /// Display tag.
+    pub fn tag(self) -> &'static str {
+        match self {
+            ArrayKind::Da => "DA",
+            ArrayKind::Me => "ME",
+        }
+    }
+}
+
+/// The six §3 DCT mappings, as schedulable kernel recipes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DctMapping {
+    /// Fig. 4 basic distributed arithmetic.
+    BasicDa,
+    /// Mixed-ROM decomposition.
+    MixedRom,
+    /// CORDIC rotator, variant 1.
+    Cordic1,
+    /// CORDIC rotator, variant 2.
+    Cordic2,
+    /// Skew-circular convolution, even/odd split.
+    SccEvenOdd,
+    /// Skew-circular convolution, full.
+    SccFull,
+}
+
+impl DctMapping {
+    /// All six mappings in Table-1 column order (plus the basic DA first,
+    /// matching `dsra_dct::all_impls`).
+    pub const ALL: [DctMapping; 6] = [
+        DctMapping::BasicDa,
+        DctMapping::MixedRom,
+        DctMapping::Cordic1,
+        DctMapping::Cordic2,
+        DctMapping::SccEvenOdd,
+        DctMapping::SccFull,
+    ];
+
+    /// The mapping's display name (identical to its `DctImpl::name`).
+    pub fn name(self) -> &'static str {
+        match self {
+            DctMapping::BasicDa => "BASIC DA",
+            DctMapping::MixedRom => "MIX ROM",
+            DctMapping::Cordic1 => "CORDIC 1",
+            DctMapping::Cordic2 => "CORDIC 2",
+            DctMapping::SccEvenOdd => "SCC E/O",
+            DctMapping::SccFull => "SCC",
+        }
+    }
+
+    /// Resolves a profile name back to the mapping.
+    pub fn from_name(name: &str) -> Option<Self> {
+        Self::ALL.into_iter().find(|m| m.name() == name)
+    }
+
+    /// Builds the cycle-accurate implementation.
+    ///
+    /// # Errors
+    /// Propagates netlist construction errors.
+    pub fn build(self, params: DaParams) -> Result<Box<dyn DctImpl>> {
+        Ok(match self {
+            DctMapping::BasicDa => Box::new(BasicDa::new(params)?),
+            DctMapping::MixedRom => Box::new(MixedRom::new(params)?),
+            DctMapping::Cordic1 => Box::new(Cordic1::new(params)?),
+            DctMapping::Cordic2 => Box::new(Cordic2::new(params)?),
+            DctMapping::SccEvenOdd => Box::new(SccEvenOdd::new(params)?),
+            DctMapping::SccFull => Box::new(SccFull::new(params)?),
+        })
+    }
+}
+
+/// A schedulable kernel recipe.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum KernelId {
+    /// One of the six DCT mappings on the DA array.
+    Dct(DctMapping),
+    /// The 2-D systolic full-search matcher on the ME array.
+    MeSystolic {
+        /// Block edge in pixels.
+        block: u8,
+    },
+}
+
+impl KernelId {
+    /// Which array this kernel occupies.
+    pub fn array_kind(self) -> ArrayKind {
+        match self {
+            KernelId::Dct(_) => ArrayKind::Da,
+            KernelId::MeSystolic { .. } => ArrayKind::Me,
+        }
+    }
+
+    /// Display name.
+    pub fn display_name(self) -> String {
+        match self {
+            KernelId::Dct(m) => m.name().to_owned(),
+            KernelId::MeSystolic { block } => format!("SYSTOLIC {block}x{block}"),
+        }
+    }
+
+    /// Builds the recipe's netlist and returns it with its content address.
+    ///
+    /// # Errors
+    /// Propagates netlist construction errors.
+    pub fn build_netlist(self, params: DaParams) -> Result<(Netlist, Fingerprint)> {
+        let nl = match self {
+            KernelId::Dct(m) => m.build(params)?.netlist().clone(),
+            KernelId::MeSystolic { block } => {
+                Systolic2d::new(usize::from(block))?.netlist().clone()
+            }
+        };
+        let fp = nl.fingerprint();
+        Ok((nl, fp))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mapping_names_round_trip() {
+        for m in DctMapping::ALL {
+            assert_eq!(DctMapping::from_name(m.name()), Some(m));
+            let imp = m.build(DaParams::precise()).unwrap();
+            assert_eq!(imp.name(), m.name(), "recipe and impl must agree");
+        }
+        assert_eq!(DctMapping::from_name("nope"), None);
+    }
+
+    #[test]
+    fn recipes_are_content_addressed() {
+        let (_, a) = KernelId::Dct(DctMapping::BasicDa)
+            .build_netlist(DaParams::precise())
+            .unwrap();
+        let (_, b) = KernelId::Dct(DctMapping::BasicDa)
+            .build_netlist(DaParams::precise())
+            .unwrap();
+        assert_eq!(a, b, "same recipe, same address");
+        let (_, c) = KernelId::Dct(DctMapping::SccFull)
+            .build_netlist(DaParams::precise())
+            .unwrap();
+        assert_ne!(a, c, "different structure, different address");
+    }
+}

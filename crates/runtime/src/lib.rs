@@ -1,0 +1,577 @@
+//! # dsra-runtime — the multi-array SoC runtime
+//!
+//! The layer between the compile pipeline and the experiments: a
+//! deterministic runtime that serves a queue of heterogeneous video jobs
+//! (DCT blocks, motion searches, encode GOPs from `dsra-video`) across a
+//! pool of simulated ME and DA arrays, using worker threads.
+//!
+//! Three pieces (DESIGN.md §6):
+//!
+//! * a **content-addressed bitstream cache** ([`cache::BitstreamCache`]):
+//!   compiled `(placement, routing, bitstream)` artifacts keyed by
+//!   `Netlist::fingerprint()`, so place-and-route runs once per distinct
+//!   kernel rather than once per job;
+//! * a **diff-aware scheduler** ([`scheduler::DiffAwareScheduler`]): each
+//!   job lands on the array whose loaded bitstream minimises
+//!   `diff_bits()` reconfiguration cost plus queueing delay, with a
+//!   [`scheduler::SchedulePolicy`] hook honouring the platform's run-time
+//!   `Condition` (battery / deadline / quality);
+//! * a **metrics layer** ([`report::RuntimeReport`]): jobs per mega-cycle,
+//!   cache hit rate, total reconfiguration bits and per-array utilisation,
+//!   consumed by the E11 `soc_serve` binary and its Criterion group.
+//!
+//! Determinism is load-bearing: scheduling decisions are made sequentially
+//! before any worker thread starts, and every payload is a pure function of
+//! its job spec, so the report — including its `digest()` — is
+//! byte-identical across runs regardless of thread interleaving.
+//!
+//! ## Quick tour
+//!
+//! ```
+//! use dsra_runtime::{DctMapping, RuntimeConfig, SocRuntime};
+//! use dsra_video::{generate_job_mix, JobMixConfig, JobMixWeights};
+//!
+//! # fn main() -> Result<(), dsra_core::error::CoreError> {
+//! // A small pool (1 DA array, no ME arrays) offering two DCT mappings.
+//! let mut runtime = SocRuntime::new(RuntimeConfig {
+//!     da_arrays: 1,
+//!     me_arrays: 0,
+//!     mappings: vec![DctMapping::BasicDa, DctMapping::MixedRom],
+//!     ..Default::default()
+//! })?;
+//! let jobs = generate_job_mix(JobMixConfig {
+//!     jobs: 8,
+//!     weights: JobMixWeights { dct: 1, me: 0, encode: 0 },
+//!     ..Default::default()
+//! });
+//! let report = runtime.serve(&jobs)?;
+//! assert_eq!(report.jobs, 8);
+//! // Two mappings at most → at most two compiles ever; the rest hit.
+//! assert!(report.cache.hits >= 6);
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod cache;
+mod exec;
+pub mod kernel;
+pub mod report;
+pub mod scheduler;
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use dsra_core::error::{CoreError, Result};
+use dsra_core::fabric::{Fabric, MeshSpec};
+use dsra_core::netlist::{Fingerprint, Netlist};
+use dsra_dct::DaParams;
+use dsra_platform::{profile_impl, standard_da_fabric, Condition, ImplProfile, SocConfig};
+use dsra_tech::TechModel;
+use dsra_video::{JobPayload, JobSpec};
+
+pub use cache::{BitstreamCache, CacheStats, CompiledKernel};
+pub use kernel::{ArrayKind, DctMapping, KernelId};
+pub use report::{ArrayReport, JobOutcome, RuntimeReport};
+pub use scheduler::{ArrayState, DefaultPolicy, DiffAwareScheduler, PlannedSlot, SchedulePolicy};
+
+/// Pool and platform configuration of a [`SocRuntime`].
+#[derive(Debug, Clone)]
+pub struct RuntimeConfig {
+    /// Number of DA arrays in the pool.
+    pub da_arrays: usize,
+    /// Number of ME arrays in the pool.
+    pub me_arrays: usize,
+    /// SoC configuration-path constants (bus width, clock).
+    pub soc: SocConfig,
+    /// Fixed-point parameters for the DCT mappings.
+    pub da_params: DaParams,
+    /// DCT mappings the runtime offers for policy selection.
+    pub mappings: Vec<DctMapping>,
+}
+
+impl Default for RuntimeConfig {
+    fn default() -> Self {
+        RuntimeConfig {
+            da_arrays: 2,
+            me_arrays: 2,
+            soc: SocConfig::default(),
+            da_params: DaParams::precise(),
+            mappings: DctMapping::ALL.to_vec(),
+        }
+    }
+}
+
+/// One planned job: everything a worker needs to execute it.
+#[derive(Debug, Clone)]
+pub struct Assignment {
+    /// The job.
+    pub job: JobSpec,
+    /// Run-time condition derived from the job's service class.
+    pub condition: Condition,
+    /// Compiled kernel serving it (shared cache entry).
+    pub kernel: Arc<CompiledKernel>,
+    /// Where the scheduler placed it and at what reconfiguration cost.
+    pub slot: PlannedSlot,
+    /// Estimated payload cycles used for load balancing.
+    pub est_exec_cycles: u64,
+}
+
+/// A kernel recipe's memoised identity: content address plus the netlist
+/// kept around for the (single) compile on a cache miss.
+#[derive(Debug)]
+struct KernelSeed {
+    fingerprint: Fingerprint,
+    netlist: Netlist,
+}
+
+/// The multi-array SoC runtime.
+pub struct SocRuntime {
+    config: RuntimeConfig,
+    policy: Box<dyn SchedulePolicy>,
+    cache: BitstreamCache,
+    da_fabric: Fabric,
+    /// Profiles of the offered DCT mappings (selection input), aligned with
+    /// `config.mappings`.
+    profiles: Vec<ImplProfile>,
+    dct_seeds: HashMap<&'static str, KernelSeed>,
+    /// ME systolic seeds and their fabrics, one per block edge a job has
+    /// asked for (built lazily — the job's `block` field is the identity).
+    me_seeds: HashMap<u8, (KernelSeed, Fabric)>,
+}
+
+impl SocRuntime {
+    /// Builds a runtime with the [`DefaultPolicy`].
+    ///
+    /// Compiles and profiles the offered DCT mappings up front (each is one
+    /// cache miss); the ME kernel compiles lazily on the first motion job.
+    ///
+    /// # Errors
+    /// Propagates construction, placement, routing or simulation failures.
+    pub fn new(config: RuntimeConfig) -> Result<Self> {
+        Self::with_policy(config, Box::new(DefaultPolicy))
+    }
+
+    /// Builds a runtime with a custom scheduling policy.
+    ///
+    /// # Errors
+    /// See [`SocRuntime::new`].
+    pub fn with_policy(config: RuntimeConfig, policy: Box<dyn SchedulePolicy>) -> Result<Self> {
+        assert!(
+            !config.mappings.is_empty(),
+            "runtime needs at least one DCT mapping to offer"
+        );
+        let da_fabric = standard_da_fabric();
+        let model = TechModel::default();
+        let mut cache = BitstreamCache::new();
+        let mut profiles = Vec::with_capacity(config.mappings.len());
+        let mut dct_seeds = HashMap::new();
+        for mapping in &config.mappings {
+            let imp = mapping.build(config.da_params)?;
+            let netlist = imp.netlist().clone();
+            let fingerprint = netlist.fingerprint();
+            let kernel = cache.get_or_compile(
+                fingerprint,
+                mapping.name(),
+                KernelId::Dct(*mapping).array_kind(),
+                &da_fabric,
+                || Ok(netlist.clone()),
+            )?;
+            profiles.push(profile_impl(imp.as_ref(), &kernel.artifact, &model)?);
+            dct_seeds.insert(
+                mapping.name(),
+                KernelSeed {
+                    fingerprint,
+                    netlist,
+                },
+            );
+        }
+        Ok(SocRuntime {
+            config,
+            policy,
+            cache,
+            da_fabric,
+            profiles,
+            dct_seeds,
+            me_seeds: HashMap::new(),
+        })
+    }
+
+    /// Profiles of the offered DCT mappings.
+    pub fn profiles(&self) -> &[ImplProfile] {
+        &self.profiles
+    }
+
+    /// Lifetime cache counters (across all serve calls).
+    pub fn cache_stats(&self) -> CacheStats {
+        self.cache.stats()
+    }
+
+    /// Serves a job queue across the pool and reports what happened.
+    ///
+    /// Jobs are planned in `(arrival_cycle, id)` order on the current
+    /// thread, then each array's plan runs on its own worker thread. The
+    /// returned report is a pure function of the job list and the runtime
+    /// configuration.
+    ///
+    /// # Errors
+    /// Propagates compile and execution failures; fails if a job's payload
+    /// has no compatible array in the pool.
+    pub fn serve(&mut self, jobs: &[JobSpec]) -> Result<RuntimeReport> {
+        let stats_before = self.cache.stats();
+        let mut order: Vec<&JobSpec> = jobs.iter().collect();
+        order.sort_by_key(|j| (j.arrival_cycle, j.id));
+
+        // Phase 1 — deterministic planning.
+        let mut sched = DiffAwareScheduler::new(
+            self.config.da_arrays,
+            self.config.me_arrays,
+            self.config.soc,
+        );
+        let arrays = self.config.da_arrays + self.config.me_arrays;
+        let mut plans: Vec<Vec<Assignment>> = vec![Vec::new(); arrays];
+        for job in order {
+            let condition = self.policy.condition(job.class);
+            let (kernel, est) = self.kernel_for(job, condition)?;
+            if !sched.arrays().iter().any(|a| a.kind == kernel.array_kind) {
+                return Err(CoreError::Mismatch(format!(
+                    "job {} needs a {} array but the pool has none",
+                    job.id,
+                    kernel.array_kind.tag()
+                )));
+            }
+            let slot = sched.assign(&kernel, job.arrival_cycle, est, self.policy.as_ref());
+            plans[slot.array].push(Assignment {
+                job: *job,
+                condition,
+                kernel,
+                slot,
+                est_exec_cycles: est,
+            });
+        }
+
+        // Phase 2 — parallel execution, one worker thread per array.
+        let soc = self.config.soc;
+        let params = self.config.da_params;
+        let results: Vec<Result<Vec<exec::JobExec>>> = std::thread::scope(|s| {
+            let handles: Vec<_> = plans
+                .iter()
+                .map(|plan| s.spawn(move || exec::run_worker(soc, params, plan)))
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("array worker panicked"))
+                .collect()
+        });
+
+        // Phase 3 — deterministic merge.
+        let mut execs = Vec::with_capacity(arrays);
+        for r in results {
+            execs.push(r?);
+        }
+        let cache_delta = self.cache.stats().since(stats_before);
+        Ok(assemble_report(&self.config, &plans, &execs, cache_delta))
+    }
+
+    /// Resolves the kernel and estimated cycles for one job.
+    fn kernel_for(
+        &mut self,
+        job: &JobSpec,
+        condition: Condition,
+    ) -> Result<(Arc<CompiledKernel>, u64)> {
+        match job.payload {
+            JobPayload::DctBlocks { blocks, .. } => {
+                let (kernel, cycles_per_block) = self.dct_kernel(condition)?;
+                Ok((kernel, cycles_per_block * u64::from(blocks)))
+            }
+            JobPayload::MeSearch { block, range, .. } => {
+                // One systolic kernel per block edge, seeded on first sight
+                // — the kernel the worker will execute is exactly the one
+                // priced and cached here.
+                let kernel_id = KernelId::MeSystolic { block };
+                let params = self.config.da_params;
+                let (seed, fabric) = match self.me_seeds.entry(block) {
+                    std::collections::hash_map::Entry::Occupied(e) => &*e.into_mut(),
+                    std::collections::hash_map::Entry::Vacant(e) => {
+                        let (netlist, fingerprint) = kernel_id.build_netlist(params)?;
+                        let fabric = me_fabric_for(&netlist);
+                        &*e.insert((
+                            KernelSeed {
+                                fingerprint,
+                                netlist,
+                            },
+                            fabric,
+                        ))
+                    }
+                };
+                let kernel = self.cache.get_or_compile(
+                    seed.fingerprint,
+                    &kernel_id.display_name(),
+                    kernel_id.array_kind(),
+                    fabric,
+                    || Ok(seed.netlist.clone()),
+                )?;
+                let candidates = {
+                    let side = 2 * u64::from(range) + 1;
+                    side * side
+                };
+                Ok((kernel, candidates * u64::from(block) * 2))
+            }
+            JobPayload::EncodeGop { size, frames, .. } => {
+                let (kernel, cycles_per_block) = self.dct_kernel(condition)?;
+                let blocks8 = (u64::from(size.0) / 8)
+                    * (u64::from(size.1) / 8)
+                    * u64::from(frames.saturating_sub(1));
+                // 16 1-D transforms per 8×8 block (rows + columns).
+                Ok((kernel, blocks8 * 16 * cycles_per_block))
+            }
+        }
+    }
+
+    /// Picks the DCT mapping for a condition and fetches its compiled
+    /// kernel through the cache (a hit after warm-up).
+    fn dct_kernel(&mut self, condition: Condition) -> Result<(Arc<CompiledKernel>, u64)> {
+        let profile = self
+            .policy
+            .select_mapping(&self.profiles, condition)
+            .ok_or_else(|| {
+                CoreError::Mismatch(format!("no offered mapping satisfies {condition:?}"))
+            })?;
+        let seed = self
+            .dct_seeds
+            .get(profile.name.as_str())
+            .expect("profiles and seeds are built together");
+        let kernel = self.cache.get_or_compile(
+            seed.fingerprint,
+            &profile.name,
+            ArrayKind::Da,
+            &self.da_fabric,
+            || Ok(seed.netlist.clone()),
+        )?;
+        Ok((kernel, profile.cycles_per_block))
+    }
+}
+
+/// Smallest standard ME array that fits `netlist` (cluster capacity only;
+/// the perimeter provides I/O pads).
+fn me_fabric_for(netlist: &Netlist) -> Fabric {
+    let report = netlist.resource_report();
+    let mut height = 6u16;
+    loop {
+        let fabric = Fabric::me_array(height + 3, height, MeshSpec::mixed());
+        if fabric.check_capacity(&report).is_ok() {
+            return fabric;
+        }
+        height += 1;
+    }
+}
+
+fn payload_tag(payload: &JobPayload) -> &'static str {
+    match payload {
+        JobPayload::DctBlocks { .. } => "dct",
+        JobPayload::MeSearch { .. } => "me",
+        JobPayload::EncodeGop { .. } => "encode",
+    }
+}
+
+/// Folds per-array plans and execution results into the final report.
+fn assemble_report(
+    config: &RuntimeConfig,
+    plans: &[Vec<Assignment>],
+    execs: &[Vec<exec::JobExec>],
+    cache: CacheStats,
+) -> RuntimeReport {
+    let mut outcomes = Vec::new();
+    let mut arrays = Vec::with_capacity(plans.len());
+    let mut makespan = 0u64;
+    for (array_id, (plan, exec)) in plans.iter().zip(execs).enumerate() {
+        debug_assert_eq!(plan.len(), exec.len());
+        let kind = if array_id < config.da_arrays {
+            ArrayKind::Da
+        } else {
+            ArrayKind::Me
+        };
+        let mut free_at = 0u64;
+        let mut a = ArrayReport {
+            id: array_id,
+            kind,
+            jobs: plan.len(),
+            exec_cycles: 0,
+            reconfig_cycles: 0,
+            reconfig_bits: 0,
+            reconfig_events: 0,
+            utilization_pct: 0.0,
+        };
+        for (asg, ex) in plan.iter().zip(exec) {
+            assert_eq!(
+                asg.job.id, ex.job_id,
+                "worker results must stay in plan order"
+            );
+            let reconfig_cycles = ex.reconfig.cycles;
+            let start = free_at.max(asg.job.arrival_cycle);
+            let end = start + reconfig_cycles + ex.exec_cycles;
+            free_at = end;
+            a.exec_cycles += ex.exec_cycles;
+            a.reconfig_cycles += reconfig_cycles;
+            a.reconfig_bits += ex.reconfig.bits_written;
+            a.reconfig_events += usize::from(ex.reconfig.bits_written > 0);
+            outcomes.push(JobOutcome {
+                id: asg.job.id,
+                kind: payload_tag(&asg.job.payload),
+                array: array_id,
+                kernel: asg.kernel.name.clone(),
+                reconfig_bits: ex.reconfig.bits_written,
+                exec_cycles: ex.exec_cycles,
+                start_cycle: start,
+                end_cycle: end,
+                checksum: ex.checksum,
+            });
+        }
+        makespan = makespan.max(free_at);
+        arrays.push(a);
+    }
+    for a in &mut arrays {
+        let busy = a.exec_cycles + a.reconfig_cycles;
+        a.utilization_pct = if makespan == 0 {
+            0.0
+        } else {
+            busy as f64 * 100.0 / makespan as f64
+        };
+    }
+    outcomes.sort_by_key(|o| o.id);
+    let count = |tag: &str| outcomes.iter().filter(|o| o.kind == tag).count();
+    RuntimeReport {
+        jobs: outcomes.len(),
+        dct_jobs: count("dct"),
+        me_jobs: count("me"),
+        encode_jobs: count("encode"),
+        makespan_cycles: makespan,
+        jobs_per_megacycle: if makespan == 0 {
+            0.0
+        } else {
+            outcomes.len() as f64 * 1e6 / makespan as f64
+        },
+        cache,
+        total_reconfig_bits: arrays.iter().map(|a| a.reconfig_bits).sum(),
+        reconfig_events: arrays.iter().map(|a| a.reconfig_events).sum(),
+        arrays,
+        outcomes,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dsra_video::{generate_job_mix, JobMixConfig, JobMixWeights};
+
+    fn small_mix(jobs: u32, seed: u64) -> Vec<JobSpec> {
+        generate_job_mix(JobMixConfig {
+            jobs,
+            seed,
+            ..Default::default()
+        })
+    }
+
+    fn small_runtime() -> SocRuntime {
+        SocRuntime::new(RuntimeConfig {
+            da_arrays: 2,
+            me_arrays: 2,
+            mappings: vec![
+                DctMapping::BasicDa,
+                DctMapping::MixedRom,
+                DctMapping::SccFull,
+            ],
+            ..Default::default()
+        })
+        .unwrap()
+    }
+
+    #[test]
+    fn serve_is_deterministic_across_runtimes_and_threads() {
+        let jobs = small_mix(40, 7);
+        let a = small_runtime().serve(&jobs).unwrap();
+        let b = small_runtime().serve(&jobs).unwrap();
+        assert_eq!(a.digest(), b.digest());
+        assert_eq!(a.render(), b.render());
+        assert_eq!(a.to_json("E11"), b.to_json("E11"));
+    }
+
+    #[test]
+    fn cache_pays_compile_once_per_kernel() {
+        let mut rt = small_runtime();
+        let report = rt.serve(&small_mix(60, 11)).unwrap();
+        assert_eq!(report.jobs, 60);
+        // Worst case: 3 offered DCT mappings (already compiled at startup,
+        // so all serve-time DCT lookups hit) + 1 ME kernel miss.
+        assert!(report.cache.misses <= 1, "misses: {:?}", report.cache);
+        assert!(report.cache.hit_rate() > 0.9);
+        // Every array the pool offers for a present job kind did real work.
+        assert!(report.makespan_cycles > 0);
+        assert!(report.total_reconfig_bits > 0);
+    }
+
+    #[test]
+    fn report_covers_every_job_exactly_once() {
+        let mut rt = small_runtime();
+        let jobs = small_mix(50, 3);
+        let report = rt.serve(&jobs).unwrap();
+        assert_eq!(report.outcomes.len(), 50);
+        let mut ids: Vec<u32> = report.outcomes.iter().map(|o| o.id).collect();
+        ids.dedup();
+        assert_eq!(ids, (0..50).collect::<Vec<_>>());
+        assert_eq!(report.dct_jobs + report.me_jobs + report.encode_jobs, 50);
+        // Timeline sanity: jobs never start before arrival and never end
+        // before they start.
+        for (o, j) in report.outcomes.iter().zip(&jobs) {
+            assert!(o.start_cycle >= j.arrival_cycle);
+            assert!(o.end_cycle >= o.start_cycle);
+        }
+    }
+
+    #[test]
+    fn undersized_me_plane_is_an_error_not_a_panic() {
+        use dsra_video::{JobPayload, ServiceClass};
+        let mut rt = SocRuntime::new(RuntimeConfig {
+            da_arrays: 1,
+            me_arrays: 1,
+            mappings: vec![DctMapping::BasicDa],
+            ..Default::default()
+        })
+        .unwrap();
+        let job = JobSpec {
+            id: 0,
+            arrival_cycle: 0,
+            class: ServiceClass::Quality,
+            payload: JobPayload::MeSearch {
+                size: (10, 10),
+                shift: (1, 0),
+                block: 8,
+                range: 2,
+            },
+            seed: 1,
+        };
+        assert!(rt.serve(&[job]).is_err());
+    }
+
+    #[test]
+    fn me_jobs_need_an_me_array() {
+        let mut rt = SocRuntime::new(RuntimeConfig {
+            da_arrays: 1,
+            me_arrays: 0,
+            mappings: vec![DctMapping::BasicDa],
+            ..Default::default()
+        })
+        .unwrap();
+        let jobs = generate_job_mix(JobMixConfig {
+            jobs: 4,
+            weights: JobMixWeights {
+                dct: 0,
+                me: 1,
+                encode: 0,
+            },
+            ..Default::default()
+        });
+        assert!(rt.serve(&jobs).is_err());
+    }
+}

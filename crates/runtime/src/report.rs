@@ -1,0 +1,195 @@
+//! Runtime metrics: what a serve run measured, rendered for humans and as
+//! machine-readable JSON.
+//!
+//! Everything here is a pure function of the (deterministic) serve result,
+//! so two runs with the same seed render byte-identical reports — the
+//! property the E11 acceptance gate checks.
+
+use crate::cache::CacheStats;
+use crate::kernel::ArrayKind;
+
+/// Per-array aggregate.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ArrayReport {
+    /// Array id.
+    pub id: usize,
+    /// Fabric kind.
+    pub kind: ArrayKind,
+    /// Jobs executed.
+    pub jobs: usize,
+    /// Cycles spent executing payloads.
+    pub exec_cycles: u64,
+    /// Cycles spent on the configuration bus.
+    pub reconfig_cycles: u64,
+    /// Bits rewritten by reconfigurations.
+    pub reconfig_bits: u64,
+    /// Switches that actually wrote bits.
+    pub reconfig_events: usize,
+    /// Busy fraction of the makespan, in percent.
+    pub utilization_pct: f64,
+}
+
+/// One served job, in job-id order.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JobOutcome {
+    /// Job id.
+    pub id: u32,
+    /// Payload kind tag (`dct` / `me` / `encode`).
+    pub kind: &'static str,
+    /// Array that served it.
+    pub array: usize,
+    /// Kernel that served it.
+    pub kernel: String,
+    /// Bits the switch before this job rewrote.
+    pub reconfig_bits: u64,
+    /// Payload sim-cycles.
+    pub exec_cycles: u64,
+    /// Start cycle (after arrival and queueing).
+    pub start_cycle: u64,
+    /// Completion cycle.
+    pub end_cycle: u64,
+    /// Deterministic output digest.
+    pub checksum: u64,
+}
+
+/// The full serve report.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RuntimeReport {
+    /// Jobs served.
+    pub jobs: usize,
+    /// DCT-block jobs.
+    pub dct_jobs: usize,
+    /// Motion-search jobs.
+    pub me_jobs: usize,
+    /// Encode-GOP jobs.
+    pub encode_jobs: usize,
+    /// Sim-cycle at which the last job completed.
+    pub makespan_cycles: u64,
+    /// Throughput: jobs per million sim-cycles.
+    pub jobs_per_megacycle: f64,
+    /// Bitstream-cache counters for this serve call.
+    pub cache: CacheStats,
+    /// Total bits rewritten across all arrays.
+    pub total_reconfig_bits: u64,
+    /// Switches that actually wrote bits.
+    pub reconfig_events: usize,
+    /// Per-array aggregates (array-id order).
+    pub arrays: Vec<ArrayReport>,
+    /// Per-job outcomes (job-id order).
+    pub outcomes: Vec<JobOutcome>,
+}
+
+impl RuntimeReport {
+    /// Deterministic digest over every job outcome — one number that
+    /// changes if any job's placement, cost or payload result changes.
+    pub fn digest(&self) -> u64 {
+        let mut h = 0xCBF2_9CE4_8422_2325u64;
+        let mut mix = |v: u64| {
+            h = dsra_core::rng::fnv1a_fold(h, v);
+        };
+        for o in &self.outcomes {
+            mix(u64::from(o.id));
+            mix(o.array as u64);
+            mix(o.reconfig_bits);
+            mix(o.exec_cycles);
+            mix(o.start_cycle);
+            mix(o.end_cycle);
+            mix(o.checksum);
+        }
+        h
+    }
+
+    /// Human-readable summary (stable across runs for the same seed).
+    pub fn render(&self) -> String {
+        let mut s = String::new();
+        s.push_str(&format!(
+            "jobs served        : {} ({} dct, {} me, {} encode)\n",
+            self.jobs, self.dct_jobs, self.me_jobs, self.encode_jobs
+        ));
+        s.push_str(&format!(
+            "makespan           : {} sim-cycles ({:.2} jobs/Mcycle)\n",
+            self.makespan_cycles, self.jobs_per_megacycle
+        ));
+        s.push_str(&format!(
+            "bitstream cache    : {} lookups, {} hits, {} misses ({:.2}% hit rate)\n",
+            self.cache.lookups(),
+            self.cache.hits,
+            self.cache.misses,
+            self.cache.hit_rate() * 100.0
+        ));
+        s.push_str(&format!(
+            "reconfiguration    : {} bits over {} events\n",
+            self.total_reconfig_bits, self.reconfig_events
+        ));
+        s.push_str("array  kind  jobs   exec-cycles  reconfig-bits  events  util%\n");
+        for a in &self.arrays {
+            s.push_str(&format!(
+                "{:>5}  {:<4}  {:>4}  {:>12}  {:>13}  {:>6}  {:>5.1}\n",
+                a.id,
+                a.kind.tag(),
+                a.jobs,
+                a.exec_cycles,
+                a.reconfig_bits,
+                a.reconfig_events,
+                a.utilization_pct
+            ));
+        }
+        s.push_str(&format!("outcome digest     : {:#018x}\n", self.digest()));
+        s
+    }
+
+    /// Machine-readable JSON summary (the `BENCH_runtime.json` payload).
+    pub fn to_json(&self, experiment: &str) -> String {
+        let mut s = String::new();
+        s.push_str("{\n");
+        s.push_str(&format!("  \"experiment\": \"{experiment}\",\n"));
+        s.push_str(&format!("  \"jobs\": {},\n", self.jobs));
+        s.push_str(&format!("  \"dct_jobs\": {},\n", self.dct_jobs));
+        s.push_str(&format!("  \"me_jobs\": {},\n", self.me_jobs));
+        s.push_str(&format!("  \"encode_jobs\": {},\n", self.encode_jobs));
+        s.push_str(&format!(
+            "  \"makespan_cycles\": {},\n",
+            self.makespan_cycles
+        ));
+        s.push_str(&format!(
+            "  \"jobs_per_megacycle\": {:.4},\n",
+            self.jobs_per_megacycle
+        ));
+        s.push_str(&format!(
+            "  \"cache\": {{\"lookups\": {}, \"hits\": {}, \"misses\": {}, \"hit_rate\": {:.6}}},\n",
+            self.cache.lookups(),
+            self.cache.hits,
+            self.cache.misses,
+            self.cache.hit_rate()
+        ));
+        s.push_str(&format!(
+            "  \"total_reconfig_bits\": {},\n",
+            self.total_reconfig_bits
+        ));
+        s.push_str(&format!(
+            "  \"reconfig_events\": {},\n",
+            self.reconfig_events
+        ));
+        s.push_str(&format!(
+            "  \"outcome_digest\": \"{:#018x}\",\n",
+            self.digest()
+        ));
+        s.push_str("  \"arrays\": [\n");
+        for (i, a) in self.arrays.iter().enumerate() {
+            s.push_str(&format!(
+                "    {{\"id\": {}, \"kind\": \"{}\", \"jobs\": {}, \"exec_cycles\": {}, \
+                 \"reconfig_bits\": {}, \"reconfig_events\": {}, \"utilization_pct\": {:.2}}}{}\n",
+                a.id,
+                a.kind.tag(),
+                a.jobs,
+                a.exec_cycles,
+                a.reconfig_bits,
+                a.reconfig_events,
+                a.utilization_pct,
+                if i + 1 == self.arrays.len() { "" } else { "," }
+            ));
+        }
+        s.push_str("  ]\n}\n");
+        s
+    }
+}

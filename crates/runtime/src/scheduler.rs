@@ -1,0 +1,305 @@
+//! Diff-aware job scheduling across the array pool.
+//!
+//! The scheduler walks jobs in arrival order and assigns each to the
+//! compatible array where it is cheapest to run *now*: the partial
+//! reconfiguration cost against the array's currently loaded bitstream
+//! (`diff_bits` over the configuration bus — zero when the kernel is
+//! already resident) plus the wait until that array drains its backlog, in
+//! sim-cycles. Kernels therefore develop array affinity automatically, and
+//! identical kernels spill to a second array only once queueing delay
+//! outweighs a reconfiguration.
+//!
+//! Assignment is a pure, sequential function of the job list and pool
+//! state; worker threads only execute the resulting per-array plans, so
+//! thread scheduling can never change any decision.
+
+use std::sync::Arc;
+
+use dsra_platform::{select, Condition, ImplProfile, SocConfig};
+use dsra_video::ServiceClass;
+
+use crate::cache::CompiledKernel;
+use crate::kernel::ArrayKind;
+
+/// Scheduler-visible state of one array.
+#[derive(Debug)]
+pub struct ArrayState {
+    /// Array id (dense, DA arrays first).
+    pub id: usize,
+    /// Fabric kind.
+    pub kind: ArrayKind,
+    /// Kernel whose bitstream the array will hold after the jobs planned so
+    /// far have run.
+    pub loaded: Option<Arc<CompiledKernel>>,
+    /// Sim-cycle at which the array finishes its planned work.
+    pub free_at: u64,
+    /// Number of planned jobs.
+    pub pending_jobs: usize,
+}
+
+impl ArrayState {
+    fn new(id: usize, kind: ArrayKind) -> Self {
+        ArrayState {
+            id,
+            kind,
+            loaded: None,
+            free_at: 0,
+            pending_jobs: 0,
+        }
+    }
+}
+
+/// Policy hook: how service classes map to platform conditions, how DCT
+/// mappings are selected, and how reconfiguration cost trades against
+/// queueing delay. Implement this to experiment with scheduling policies;
+/// the [`DefaultPolicy`] reproduces the paper's §5 behaviour.
+pub trait SchedulePolicy {
+    /// Maps a job's service class to the run-time condition the platform
+    /// policy understands.
+    fn condition(&self, class: ServiceClass) -> Condition {
+        match class {
+            ServiceClass::Quality => Condition::HighQuality,
+            ServiceClass::LowPower => Condition::LowBattery,
+            ServiceClass::Deadline(max_cycles_per_block) => Condition::Deadline {
+                max_cycles_per_block,
+            },
+            ServiceClass::Background => Condition::MinArea,
+        }
+    }
+
+    /// Picks the DCT mapping for a condition among the offered profiles.
+    ///
+    /// Falls back to [`Condition::HighQuality`] when the condition is
+    /// unsatisfiable (e.g. a deadline no offered mapping meets), so a job is
+    /// never dropped just because its preference cannot be honoured.
+    fn select_mapping<'a>(
+        &self,
+        profiles: &'a [ImplProfile],
+        condition: Condition,
+    ) -> Option<&'a ImplProfile> {
+        select(profiles, condition).or_else(|| select(profiles, Condition::HighQuality))
+    }
+
+    /// Cost of placing a job on `array` when loading its kernel there takes
+    /// `reconfig_cycles` on the configuration bus and the array's backlog
+    /// delays the start by `wait_cycles`. Lower is better; ties break
+    /// towards the lower array id.
+    fn assignment_cost(&self, reconfig_cycles: u64, wait_cycles: u64, array: &ArrayState) -> u64 {
+        let _ = array;
+        reconfig_cycles + wait_cycles
+    }
+}
+
+/// The default diff-aware policy: §5 condition mapping, platform `select`,
+/// reconfiguration cycles + queueing delay as the cost.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct DefaultPolicy;
+
+impl SchedulePolicy for DefaultPolicy {}
+
+/// One planned reconfiguration-aware placement.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PlannedSlot {
+    /// Chosen array id.
+    pub array: usize,
+    /// Bits the switch will rewrite (0 when the kernel is resident).
+    pub reconfig_bits: u64,
+    /// Cycles on the configuration bus for those bits.
+    pub reconfig_cycles: u64,
+}
+
+/// The pool-state half of the scheduler: array states plus the diff-aware
+/// argmin. Kernel selection stays in the runtime (it owns profiles and the
+/// cache); this type owns *where* work lands.
+#[derive(Debug)]
+pub struct DiffAwareScheduler {
+    arrays: Vec<ArrayState>,
+    soc: SocConfig,
+}
+
+impl DiffAwareScheduler {
+    /// A pool of `da` DA arrays followed by `me` ME arrays, all cold,
+    /// pricing switches with the SoC's configuration-path constants (bus
+    /// width and partial-reconfiguration support — the plan must price
+    /// exactly what the per-array `ReconfigManager` will later charge).
+    pub fn new(da: usize, me: usize, soc: SocConfig) -> Self {
+        let mut arrays = Vec::with_capacity(da + me);
+        for _ in 0..da {
+            let id = arrays.len();
+            arrays.push(ArrayState::new(id, ArrayKind::Da));
+        }
+        for _ in 0..me {
+            let id = arrays.len();
+            arrays.push(ArrayState::new(id, ArrayKind::Me));
+        }
+        DiffAwareScheduler { arrays, soc }
+    }
+
+    /// Current array states (scheduling order).
+    pub fn arrays(&self) -> &[ArrayState] {
+        &self.arrays
+    }
+
+    /// Reconfiguration bits to load `kernel` on `array` right now —
+    /// mirrors `ReconfigManager::switch_to`: free when resident, a frame
+    /// diff under partial reconfiguration, a full rewrite otherwise.
+    fn reconfig_bits(&self, array: &ArrayState, kernel: &CompiledKernel) -> u64 {
+        match &array.loaded {
+            None => kernel.total_bits(),
+            Some(resident) if resident.fingerprint == kernel.fingerprint => 0,
+            Some(_) if !self.soc.partial_reconfig => kernel.total_bits(),
+            Some(resident) => resident
+                .artifact
+                .bitstream
+                .diff_bits(&kernel.artifact.bitstream),
+        }
+    }
+
+    /// Assigns one job arriving at `arrival_cycle` that needs `kernel` for
+    /// an estimated `est_exec_cycles` of work, updating the planned pool
+    /// state. Returns the placement.
+    ///
+    /// # Panics
+    /// Panics if the pool has no array of the kernel's kind.
+    pub fn assign(
+        &mut self,
+        kernel: &Arc<CompiledKernel>,
+        arrival_cycle: u64,
+        est_exec_cycles: u64,
+        policy: &dyn SchedulePolicy,
+    ) -> PlannedSlot {
+        let chosen = self
+            .arrays
+            .iter()
+            .filter(|a| a.kind == kernel.array_kind)
+            .map(|a| {
+                let bits = self.reconfig_bits(a, kernel);
+                let cycles = bits.div_ceil(u64::from(self.soc.cfg_bus_bits_per_cycle));
+                let wait = a.free_at.saturating_sub(arrival_cycle);
+                (policy.assignment_cost(cycles, wait, a), a.id, bits, cycles)
+            })
+            .min_by_key(|&(cost, id, _, _)| (cost, id))
+            .unwrap_or_else(|| {
+                panic!(
+                    "pool has no {} array for kernel `{}`",
+                    kernel.array_kind.tag(),
+                    kernel.name
+                )
+            });
+        let (_, id, reconfig_bits, reconfig_cycles) = chosen;
+        let state = &mut self.arrays[id];
+        state.loaded = Some(Arc::clone(kernel));
+        let start = state.free_at.max(arrival_cycle);
+        state.free_at = start + reconfig_cycles + est_exec_cycles;
+        state.pending_jobs += 1;
+        PlannedSlot {
+            array: id,
+            reconfig_bits,
+            reconfig_cycles,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dsra_core::fabric::{Fabric, MeshSpec};
+    use dsra_core::netlist::Netlist;
+    use dsra_core::prelude::{AbsDiffMode, ClusterCfg};
+    use dsra_platform::compile_netlist;
+
+    fn kernel(mode: AbsDiffMode) -> Arc<CompiledKernel> {
+        let mut nl = Netlist::new("k");
+        let a = nl.input("a", 8).unwrap();
+        let b = nl.input("b", 8).unwrap();
+        let y = nl.output("y", 8).unwrap();
+        let ad = nl
+            .cluster("ad", ClusterCfg::AbsDiff { width: 8, mode })
+            .unwrap();
+        nl.connect((a, "out"), (ad, "a")).unwrap();
+        nl.connect((b, "out"), (ad, "b")).unwrap();
+        nl.connect((ad, "y"), (y, "in")).unwrap();
+        let fabric = Fabric::me_array(8, 8, MeshSpec::mixed());
+        Arc::new(CompiledKernel {
+            name: format!("{mode:?}"),
+            fingerprint: nl.fingerprint(),
+            array_kind: ArrayKind::Me,
+            artifact: compile_netlist(&nl, &fabric).unwrap(),
+        })
+    }
+
+    #[test]
+    fn resident_kernel_wins_over_cold_array() {
+        let mut sched = DiffAwareScheduler::new(0, 2, SocConfig::default());
+        let k = kernel(AbsDiffMode::AbsDiff);
+        // First job cold-starts array 0 (tie on cost → lowest id).
+        let p0 = sched.assign(&k, 0, 10, &DefaultPolicy);
+        assert_eq!(p0.array, 0);
+        assert_eq!(p0.reconfig_bits, k.total_bits());
+        // Second job with the same kernel: array 0 is loaded, and with the
+        // backlog drained by the late arrival the switch is free.
+        let p1 = sched.assign(&k, 1 << 20, 10, &DefaultPolicy);
+        assert_eq!(p1.array, 0);
+        assert_eq!(p1.reconfig_bits, 0);
+    }
+
+    #[test]
+    fn queueing_delay_eventually_spills_to_a_second_array() {
+        let mut sched = DiffAwareScheduler::new(0, 2, SocConfig::default());
+        let k = kernel(AbsDiffMode::AbsDiff);
+        // A burst of same-kernel jobs all arriving at cycle 0: affinity
+        // holds until array 0's queue costs more than a cold start of
+        // array 1, then the load balances.
+        let cold_cycles = k.total_bits().div_ceil(32);
+        let mut spilled = false;
+        for _ in 0..200 {
+            let p = sched.assign(&k, 0, cold_cycles / 4 + 1, &DefaultPolicy);
+            if p.array == 1 {
+                spilled = true;
+                break;
+            }
+        }
+        assert!(spilled, "load balancing must engage under a burst");
+    }
+
+    #[test]
+    fn different_kernel_prefers_the_cheaper_diff() {
+        let mut sched = DiffAwareScheduler::new(0, 2, SocConfig::default());
+        let ka = kernel(AbsDiffMode::AbsDiff);
+        let kb = kernel(AbsDiffMode::Sub);
+        sched.assign(&ka, 0, 0, &DefaultPolicy); // array 0 holds ka
+                                                 // Arriving after array 0 drained: a partial reconfiguration against
+                                                 // ka beats a full cold write onto empty array 1.
+        let p = sched.assign(&kb, 1 << 20, 0, &DefaultPolicy);
+        assert_eq!(p.array, 0);
+        assert!(p.reconfig_bits > 0);
+        assert!(p.reconfig_bits < kb.total_bits());
+    }
+
+    #[test]
+    fn without_partial_reconfig_every_switch_is_a_full_rewrite() {
+        // The plan must price exactly what ReconfigManager::switch_to will
+        // charge: with partial reconfiguration off, a kernel change costs
+        // the full target bitstream (a resident kernel is still free).
+        let soc = SocConfig {
+            partial_reconfig: false,
+            ..Default::default()
+        };
+        let mut sched = DiffAwareScheduler::new(0, 1, soc);
+        let ka = kernel(AbsDiffMode::AbsDiff);
+        let kb = kernel(AbsDiffMode::Sub);
+        sched.assign(&ka, 0, 0, &DefaultPolicy);
+        let resident = sched.assign(&ka, 1 << 20, 0, &DefaultPolicy);
+        assert_eq!(resident.reconfig_bits, 0);
+        let switch = sched.assign(&kb, 2 << 20, 0, &DefaultPolicy);
+        assert_eq!(switch.reconfig_bits, kb.total_bits());
+    }
+
+    #[test]
+    fn kinds_are_respected() {
+        let mut sched = DiffAwareScheduler::new(1, 1, SocConfig::default());
+        let k = kernel(AbsDiffMode::AbsDiff); // an ME kernel
+        let p = sched.assign(&k, 0, 0, &DefaultPolicy);
+        assert_eq!(sched.arrays()[p.array].kind, ArrayKind::Me);
+    }
+}

@@ -25,12 +25,17 @@
 #![warn(missing_docs)]
 
 pub mod entropy;
+pub mod jobs;
 pub mod metrics;
 pub mod pipeline;
 pub mod quant;
 pub mod sequence;
 
 pub use entropy::{estimate_bits, run_length, zigzag_scan, RunLevel};
+pub use jobs::{
+    generate_job_mix, me_search_planes, JobMixConfig, JobMixWeights, JobPayload, JobSpec,
+    ServiceClass,
+};
 pub use metrics::{mse, psnr};
 pub use pipeline::{encode_frame, EncodeConfig, EncodeStats};
 pub use quant::{dequantize_block, quantize_block, Quantizer};

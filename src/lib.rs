@@ -15,7 +15,9 @@
 //!   power comparisons);
 //! * [`video`] — synthetic sequences, quantisation, PSNR, encode pipeline;
 //! * [`platform`] — the reconfigurable SoC: bitstream manager, run-time
-//!   policies, dynamic switching.
+//!   policies, dynamic switching;
+//! * [`runtime`] — the multi-array SoC runtime: content-addressed bitstream
+//!   cache, diff-aware scheduling, worker-thread job service.
 //!
 //! ## Quickstart
 //!
@@ -37,6 +39,7 @@ pub use dsra_core as core;
 pub use dsra_dct as dct;
 pub use dsra_me as me;
 pub use dsra_platform as platform;
+pub use dsra_runtime as runtime;
 pub use dsra_sim as sim;
 pub use dsra_tech as tech;
 pub use dsra_video as video;

@@ -43,6 +43,14 @@ fn experiment_index_references_resolve() {
         design.contains("## 4. Experiment index"),
         "DESIGN.md must keep the §4 experiment index crates/bench cites"
     );
+    assert!(
+        design.contains("## 6. Runtime layer"),
+        "DESIGN.md must document the dsra-runtime layer (§6)"
+    );
+    assert!(
+        readme.contains("`dsra-runtime`"),
+        "README crate map must list dsra-runtime"
+    );
 
     for bin in [
         "table1",
@@ -53,6 +61,7 @@ fn experiment_index_references_resolve() {
         "dynamic_switch",
         "dct_energy",
         "pipeline",
+        "soc_serve",
     ] {
         let path = root.join(format!("crates/bench/src/bin/{bin}.rs"));
         assert!(path.is_file(), "README indexes missing binary {bin}");

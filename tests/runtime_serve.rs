@@ -1,0 +1,46 @@
+//! Integration gate for the E11 runtime layer through the `dsra` facade:
+//! a small mixed queue served across a 4-array pool must be deterministic,
+//! cache-friendly and spread across both fabric kinds.
+
+use dsra::runtime::{DctMapping, RuntimeConfig, SocRuntime};
+use dsra::video::{generate_job_mix, JobMixConfig};
+
+fn runtime() -> SocRuntime {
+    SocRuntime::new(RuntimeConfig {
+        da_arrays: 2,
+        me_arrays: 2,
+        mappings: vec![DctMapping::BasicDa, DctMapping::MixedRom],
+        ..Default::default()
+    })
+    .expect("runtime builds")
+}
+
+#[test]
+fn serve_small_mix_end_to_end() {
+    let jobs = generate_job_mix(JobMixConfig {
+        jobs: 30,
+        seed: 0xE11,
+        ..Default::default()
+    });
+    let report = runtime().serve(&jobs).expect("serve");
+    assert_eq!(report.jobs, 30);
+    assert_eq!(report.arrays.len(), 4);
+
+    // Content-addressed caching: at most one serve-time compile (the ME
+    // systolic kernel) no matter how many jobs arrive; everything else hits.
+    assert!(report.cache.misses <= 1, "cache: {:?}", report.cache);
+    assert!(report.cache.hit_rate() > 0.9);
+
+    // Both fabric kinds did work (the default mix contains every job kind).
+    let da_jobs: usize = report.arrays[..2].iter().map(|a| a.jobs).sum();
+    let me_jobs: usize = report.arrays[2..].iter().map(|a| a.jobs).sum();
+    assert_eq!(da_jobs, report.dct_jobs + report.encode_jobs);
+    assert_eq!(me_jobs, report.me_jobs);
+    assert!(report.total_reconfig_bits > 0, "cold starts write bits");
+
+    // Determinism: a fresh runtime over the same queue reproduces the
+    // report byte for byte, worker threads notwithstanding.
+    let again = runtime().serve(&jobs).expect("serve again");
+    assert_eq!(report.render(), again.render());
+    assert_eq!(report.digest(), again.digest());
+}
