@@ -1,0 +1,160 @@
+//! E12 — energy-aware serving per battery charge: the E11 job mix is
+//! served in chunks until a full battery discharges, once per scheduling
+//! policy (naive / diff-aware / energy-aware), comparing jobs served per
+//! charge (DESIGN.md §7).
+//!
+//! ```sh
+//! cargo run -p dsra-bench --release --bin battery_serve
+//! cargo run -p dsra-bench --release --bin battery_serve -- \
+//!     --capacity 2e9 --chunk 120 --da 2 --me 2 --seed 0x50C5EED --json
+//! ```
+//!
+//! Output is byte-identical across runs with the same arguments: the
+//! battery drains by the deterministic per-serve energy totals, and every
+//! policy decision is a pure function of (jobs, config, battery reading).
+//! The discharge loop itself is `dsra_bench::discharge_battery` — the
+//! same definition `tests/battery_serve.rs` gates in tier-1.
+
+use dsra_bench::{
+    banner, discharge_battery, json_flag, write_json_summary, DischargeOutcome, JsonValue,
+};
+use dsra_runtime::{
+    DefaultPolicy, EnergyAwarePolicy, NaivePolicy, PowerConfig, RuntimeConfig, SchedulePolicy,
+};
+use dsra_video::JobMixConfig;
+
+fn arg_value(name: &str) -> Option<String> {
+    let args: Vec<String> = std::env::args().collect();
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1).cloned())
+}
+
+fn parse_u64(name: &str, default: u64) -> u64 {
+    arg_value(name)
+        .map(|v| {
+            let v = v.trim();
+            let parsed = if let Some(hex) = v.strip_prefix("0x") {
+                u64::from_str_radix(hex, 16)
+            } else {
+                v.parse()
+            };
+            parsed.unwrap_or_else(|_| panic!("bad value for {name}: {v}"))
+        })
+        .unwrap_or(default)
+}
+
+fn parse_u32(name: &str, default: u32) -> u32 {
+    u32::try_from(parse_u64(name, u64::from(default)))
+        .unwrap_or_else(|_| panic!("value for {name} exceeds u32"))
+}
+
+fn parse_u8(name: &str, default: u8) -> u8 {
+    u8::try_from(parse_u64(name, u64::from(default)))
+        .unwrap_or_else(|_| panic!("value for {name} exceeds u8"))
+}
+
+fn parse_f64(name: &str, default: f64) -> f64 {
+    arg_value(name)
+        .map(|v| {
+            v.trim()
+                .parse()
+                .unwrap_or_else(|_| panic!("bad value for {name}: {v}"))
+        })
+        .unwrap_or(default)
+}
+
+fn main() {
+    let capacity = parse_f64("--capacity", 2.0e9);
+    let chunk = parse_u32("--chunk", 120);
+    let da = parse_u64("--da", 2) as usize;
+    let me = parse_u64("--me", 2) as usize;
+    let seed = parse_u64("--seed", 0x50C_5EED);
+    let low_pct = parse_u8("--low-pct", 20);
+    let max_serves = parse_u64("--max-serves", 64);
+    banner("E12", "energy-aware serving: jobs per full battery charge");
+    println!(
+        "battery {capacity:.3e} J, {chunk}-job chunks of the E11 mix (seed {seed:#x}), \
+         pool {da} DA + {me} ME, low-battery threshold {low_pct}%\n"
+    );
+
+    let config = || RuntimeConfig {
+        da_arrays: da,
+        me_arrays: me,
+        power: PowerConfig {
+            battery_capacity_j: capacity,
+            low_battery_pct: low_pct,
+            ..Default::default()
+        },
+        ..Default::default()
+    };
+    let base = JobMixConfig {
+        jobs: chunk,
+        seed,
+        ..Default::default()
+    };
+    let policies: Vec<Box<dyn SchedulePolicy>> = vec![
+        Box::new(NaivePolicy),
+        Box::new(DefaultPolicy),
+        Box::new(EnergyAwarePolicy::default()),
+    ];
+    let mut runs: Vec<DischargeOutcome> = Vec::new();
+    for policy in policies {
+        runs.push(discharge_battery(config(), policy, base, max_serves).expect("discharge run"));
+    }
+
+    println!("policy        jobs/charge  serves  low-batt  J/job       frames/J");
+    for r in &runs {
+        println!(
+            "{:<12}  {:>11}  {:>6}  {:>8}  {:>10.3e}  {:.6e}",
+            r.policy,
+            r.jobs_served,
+            r.reports.len(),
+            r.low_battery_serves,
+            r.joules_per_job(),
+            r.frames_per_joule()
+        );
+    }
+
+    let by_name = |n: &str| runs.iter().find(|r| r.policy == n).unwrap();
+    let naive = by_name("naive");
+    let energy = by_name("energy-aware");
+    println!(
+        "\nenergy-aware served {} jobs per charge vs. {} naive ({:+.1} %) — \
+         the paper's low-battery argument, measured.",
+        energy.jobs_served,
+        naive.jobs_served,
+        (energy.jobs_served as f64 / naive.jobs_served.max(1) as f64 - 1.0) * 100.0
+    );
+    assert!(
+        energy.jobs_served > naive.jobs_served,
+        "E12 gate: energy-aware must serve strictly more jobs per charge"
+    );
+
+    if json_flag() {
+        let mut metrics: Vec<(String, JsonValue)> = vec![
+            ("battery_capacity_j".into(), JsonValue::Num(capacity)),
+            ("chunk_jobs".into(), JsonValue::Int(u64::from(chunk))),
+            ("low_battery_pct".into(), JsonValue::Int(u64::from(low_pct))),
+        ];
+        for r in &runs {
+            let key = r.policy.replace('-', "_");
+            metrics.push((
+                format!("{key}_jobs_per_charge"),
+                JsonValue::Int(r.jobs_served as u64),
+            ));
+            metrics.push((
+                format!("{key}_serves"),
+                JsonValue::Int(r.reports.len() as u64),
+            ));
+            metrics.push((format!("{key}_total_j"), JsonValue::Num(r.total_j)));
+        }
+        metrics.push((
+            "energy_aware_gain_pct".into(),
+            JsonValue::Num(
+                (energy.jobs_served as f64 / naive.jobs_served.max(1) as f64 - 1.0) * 100.0,
+            ),
+        ));
+        write_json_summary("battery_serve", "E12", &metrics);
+    }
+}

@@ -7,11 +7,13 @@
 //! cargo run -p dsra-bench --release --bin dct_energy
 //! ```
 
-use dsra_bench::{banner, da_activity, json_flag, write_json_summary, JsonValue};
+use dsra_bench::{banner, json_flag, write_json_summary, JsonValue};
 use dsra_core::fabric::{Fabric, MeshSpec};
 use dsra_core::place::{place, PlacerOptions};
 use dsra_core::route::{route, RouterOptions};
 use dsra_dct::{all_impls, measure_accuracy, DaParams};
+use dsra_platform::profiling_activity;
+use dsra_power::{energy_per_block, OperatingPoint};
 use dsra_tech::{dsra_cost, TechModel};
 
 fn main() {
@@ -22,24 +24,31 @@ fn main() {
     let fabric = Fabric::da_array(20, 14, MeshSpec::mixed());
     let model = TechModel::default();
     println!(
-        "{:<10} {:>9} {:>10} {:>12} {:>13} {:>11}",
-        "impl", "clusters", "area", "E/cycle", "E/block", "max |err|"
+        "{:<10} {:>9} {:>10} {:>12} {:>10} {:>13} {:>11}",
+        "impl", "clusters", "area", "E-dyn/cyc", "P-leak", "E/block", "max |err|"
     );
     let mut rows = Vec::new();
     for imp in all_impls(DaParams::precise()).unwrap() {
         let nl = imp.netlist();
         let placement = place(nl, &fabric, PlacerOptions::default()).unwrap();
         let routing = route(nl, &fabric, &placement, RouterOptions::default()).unwrap();
-        let act = da_activity(nl, 256);
+        // Static + dynamic through the power subsystem's single
+        // energy-per-block producer, fed the same profiling stimulus
+        // `profile_impl` measures under — formula *and* activity input
+        // are shared, so this table and the numbers the run-time
+        // policies (and E12's energy accounts) select on cannot drift.
+        let act = profiling_activity(nl).unwrap();
         let cost = dsra_cost(nl, &routing.stats, &act, &model);
         let acc = measure_accuracy(imp.as_ref(), 8, 2047, 0xE9).unwrap();
-        let e_block = cost.dyn_energy_per_cycle * imp.cycles_per_block() as f64;
+        let split = cost.energy_split();
+        let e_block = energy_per_block(&split, imp.cycles_per_block(), &OperatingPoint::NOMINAL);
         println!(
-            "{:<10} {:>9} {:>10.1} {:>12.1} {:>13.1} {:>11.3}",
+            "{:<10} {:>9} {:>10.1} {:>12.1} {:>10.1} {:>13.1} {:>11.3}",
             imp.name(),
             nl.resource_report().total_clusters(),
             cost.area,
-            cost.dyn_energy_per_cycle,
+            split.dyn_energy_per_cycle,
+            split.leak_power,
             e_block,
             acc.max_abs_err
         );

@@ -59,8 +59,8 @@ fn main() {
     let conditions = [
         Condition::HighQuality,
         Condition::HighQuality,
-        Condition::LowBattery,
-        Condition::LowBattery,
+        Condition::LowBattery { charge_pct: 18 },
+        Condition::LowBattery { charge_pct: 14 },
     ];
     let cfg = EncodeConfig {
         search: SearchParams {

@@ -1,0 +1,95 @@
+//! The E12 discharge loop, shared between the `battery_serve` binary and
+//! `tests/battery_serve.rs` so the CI smoke gate and the tier-1 gate
+//! measure one definition of "jobs served per battery charge".
+
+use dsra_core::error::Result;
+use dsra_runtime::{RuntimeConfig, RuntimeReport, SchedulePolicy, SocRuntime};
+use dsra_video::{generate_job_mix, JobMixConfig};
+
+/// What one policy achieved on one full battery charge.
+pub struct DischargeOutcome {
+    /// The policy's display name.
+    pub policy: &'static str,
+    /// Jobs that completed with charge still in the battery — the E12
+    /// figure of merit.
+    pub jobs_served: usize,
+    /// Joules drained across all serves (≥ capacity once discharged).
+    pub total_j: f64,
+    /// Exact frames encoded across all serves.
+    pub encoded_frames: u64,
+    /// Serves planned while the battery read at or below the low
+    /// threshold.
+    pub low_battery_serves: usize,
+    /// Whether the battery actually ran dry within the serve budget.
+    pub discharged: bool,
+    /// Every per-serve report, in order.
+    pub reports: Vec<RuntimeReport>,
+}
+
+impl DischargeOutcome {
+    /// Mean joules per served job.
+    pub fn joules_per_job(&self) -> f64 {
+        if self.jobs_served == 0 {
+            0.0
+        } else {
+            self.total_j / self.jobs_served as f64
+        }
+    }
+
+    /// Encoded frames per joule.
+    pub fn frames_per_joule(&self) -> f64 {
+        if self.total_j > 0.0 {
+            self.encoded_frames as f64 / self.total_j
+        } else {
+            0.0
+        }
+    }
+}
+
+/// Serves chunks of the mix described by `base` (via
+/// [`JobMixConfig::chunk`]) until the runtime's battery is empty or
+/// `max_serves` is hit. A job counts as served iff its battery-trajectory
+/// sample shows charge remaining when it completed.
+///
+/// # Errors
+/// Propagates runtime construction and serve failures.
+pub fn discharge_battery(
+    config: RuntimeConfig,
+    policy: Box<dyn SchedulePolicy>,
+    base: JobMixConfig,
+    max_serves: u64,
+) -> Result<DischargeOutcome> {
+    let low_pct = config.power.low_battery_pct;
+    let mut runtime = SocRuntime::with_policy(config, policy)?;
+    let mut out = DischargeOutcome {
+        policy: runtime.policy_name(),
+        jobs_served: 0,
+        total_j: 0.0,
+        encoded_frames: 0,
+        low_battery_serves: 0,
+        discharged: false,
+        reports: Vec::new(),
+    };
+    for index in 0..max_serves {
+        if runtime.battery().is_empty() {
+            break;
+        }
+        if runtime.battery().charge_pct() <= low_pct {
+            out.low_battery_serves += 1;
+        }
+        let jobs = generate_job_mix(base.chunk(index));
+        let report = runtime.serve(&jobs)?;
+        let e = &report.energy;
+        out.jobs_served += e
+            .battery
+            .samples
+            .iter()
+            .filter(|s| s.charge_j > 0.0)
+            .count();
+        out.total_j += e.total_j();
+        out.encoded_frames += e.encoded_frames;
+        out.reports.push(report);
+    }
+    out.discharged = runtime.battery().is_empty();
+    Ok(out)
+}

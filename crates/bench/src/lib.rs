@@ -19,9 +19,15 @@
 
 #![warn(missing_docs)]
 
+pub mod discharge;
+pub mod json;
+
 use dsra_core::netlist::Netlist;
 use dsra_me::Plane;
 use dsra_sim::{Activity, Simulator};
+
+pub use discharge::{discharge_battery, DischargeOutcome};
+pub use json::{parse_json, Json};
 
 /// Deterministic hash-noise planes with a known shift (no displacement
 /// aliasing) — the standard ME workload.

@@ -1,0 +1,140 @@
+//! The `BENCH_<name>.json` contract (ISSUE 3 satellite): everything the
+//! experiment binaries can write with `--json` must be parseable JSON
+//! carrying the required keys. Before this test the trajectory files were
+//! write-only — nothing in the workspace could read one back.
+
+use dsra_bench::{json_summary, parse_json, Json, JsonValue};
+use dsra_runtime::{DctMapping, RuntimeConfig, SocRuntime};
+use dsra_video::{generate_job_mix, JobMixConfig, JobMixWeights};
+
+/// The flat `json_summary` shape every per-experiment writer uses:
+/// `experiment` plus a `metrics` object, surviving the awkward cases
+/// (non-finite numbers become null, strings get escaped).
+#[test]
+fn json_summary_emits_the_contract_shape() {
+    let doc = json_summary(
+        "E12",
+        &[
+            ("jobs", JsonValue::Int(42)),
+            ("joules_per_job", JsonValue::Num(3.25)),
+            ("psnr_db", JsonValue::Num(f64::INFINITY)),
+            ("nan_metric", JsonValue::Num(f64::NAN)),
+            ("label", JsonValue::Str("quote\" back\\slash".into())),
+        ],
+    );
+    let v = parse_json(&doc).unwrap_or_else(|e| panic!("unparseable summary: {e}\n{doc}"));
+    assert_eq!(v.get("experiment").and_then(Json::as_str), Some("E12"));
+    let metrics = v.get("metrics").expect("metrics object");
+    assert_eq!(metrics.get("jobs").and_then(Json::as_f64), Some(42.0));
+    assert_eq!(
+        metrics.get("joules_per_job").and_then(Json::as_f64),
+        Some(3.25)
+    );
+    // JSON has no inf/NaN literals; the writer must null them.
+    assert_eq!(metrics.get("psnr_db"), Some(&Json::Null));
+    assert_eq!(metrics.get("nan_metric"), Some(&Json::Null));
+    assert_eq!(
+        metrics.get("label").and_then(Json::as_str),
+        Some("quote\" back\\slash")
+    );
+}
+
+/// The full `RuntimeReport::to_json` payload (`BENCH_runtime.json`):
+/// parseable, and every required key present — including the energy and
+/// battery-trajectory sections E12 adds.
+#[test]
+fn runtime_report_json_carries_required_keys() {
+    let mut rt = SocRuntime::new(RuntimeConfig {
+        da_arrays: 1,
+        me_arrays: 1,
+        mappings: vec![DctMapping::BasicDa],
+        ..Default::default()
+    })
+    .expect("runtime");
+    let jobs = generate_job_mix(JobMixConfig {
+        jobs: 6,
+        weights: JobMixWeights {
+            dct: 2,
+            me: 1,
+            encode: 1,
+        },
+        ..Default::default()
+    });
+    let report = rt.serve(&jobs).expect("serve");
+    let doc = report.to_json("E11");
+    let v = parse_json(&doc).unwrap_or_else(|e| panic!("unparseable report: {e}\n{doc}"));
+
+    assert_eq!(v.get("experiment").and_then(Json::as_str), Some("E11"));
+    for key in [
+        "jobs",
+        "dct_jobs",
+        "me_jobs",
+        "encode_jobs",
+        "makespan_cycles",
+        "jobs_per_megacycle",
+        "total_reconfig_bits",
+        "reconfig_events",
+    ] {
+        assert!(
+            v.get(key).and_then(Json::as_f64).is_some(),
+            "missing numeric key {key}"
+        );
+    }
+    assert!(v.get("outcome_digest").and_then(Json::as_str).is_some());
+    let cache = v.get("cache").expect("cache object");
+    for key in ["lookups", "hits", "misses", "hit_rate"] {
+        assert!(cache.get(key).and_then(Json::as_f64).is_some());
+    }
+    let energy = v.get("energy").expect("energy object");
+    for key in [
+        "total_j",
+        "dynamic_j",
+        "static_j",
+        "reconfig_j",
+        "gated_cycles",
+        "joules_per_job",
+        "encoded_frames",
+        "frames_per_joule",
+    ] {
+        assert!(
+            energy.get(key).and_then(Json::as_f64).is_some(),
+            "missing energy key {key}"
+        );
+    }
+    assert!(energy.get("point").and_then(Json::as_str).is_some());
+    let battery = v.get("battery").expect("battery object");
+    for key in ["capacity_j", "start_j", "end_j", "idle_drain_j"] {
+        assert!(battery.get(key).and_then(Json::as_f64).is_some());
+    }
+    let trajectory = battery
+        .get("trajectory")
+        .and_then(Json::as_array)
+        .expect("trajectory array");
+    assert_eq!(trajectory.len(), 6, "one trajectory sample per job");
+    for sample in trajectory {
+        assert!(sample.get("job").and_then(Json::as_f64).is_some());
+        assert!(sample.get("charge_j").and_then(Json::as_f64).is_some());
+    }
+    let arrays = v.get("arrays").and_then(Json::as_array).expect("arrays");
+    assert_eq!(arrays.len(), 2);
+    for a in arrays {
+        for key in [
+            "id",
+            "jobs",
+            "exec_cycles",
+            "reconfig_bits",
+            "utilization_pct",
+            "energy_j",
+            "dynamic_j",
+            "static_j",
+            "reconfig_j",
+            "gated_cycles",
+        ] {
+            assert!(
+                a.get(key).and_then(Json::as_f64).is_some(),
+                "missing array key {key}"
+            );
+        }
+        assert!(a.get("kind").and_then(Json::as_str).is_some());
+    }
+}

@@ -29,8 +29,10 @@
 //!         max_abs_err: 0.9,
 //!     },
 //! ];
-//! // Low battery → the controller swaps in the lowest-energy mapping.
-//! assert_eq!(select(&profiles, Condition::LowBattery).unwrap().name, "MIX ROM");
+//! // Battery down to 15 % → the controller swaps in the lowest-energy
+//! // mapping (the condition carries the measured charge reading).
+//! let cond = Condition::LowBattery { charge_pct: 15 };
+//! assert_eq!(select(&profiles, cond).unwrap().name, "MIX ROM");
 //! ```
 
 #![warn(missing_docs)]
@@ -42,6 +44,6 @@ pub mod scenario;
 pub use policy::{select, Condition, ImplProfile};
 pub use reconfig::{ReconfigManager, ReconfigReport, SocConfig};
 pub use scenario::{
-    compile_netlist, dynamic_encode, profile_all_impls, profile_impl, standard_da_fabric,
-    CompiledArtifact, ProfiledImpl, ScenarioFrame,
+    compile_netlist, dynamic_encode, profile_all_impls, profile_impl, profiling_activity,
+    standard_da_fabric, CompiledArtifact, ProfiledImpl, ScenarioFrame,
 };

@@ -28,8 +28,14 @@ pub struct ImplProfile {
 pub enum Condition {
     /// Mains powered / high quality: minimise output error.
     HighQuality,
-    /// Low battery: minimise energy per block.
-    LowBattery,
+    /// Low battery: minimise energy per block. Carries the measured
+    /// battery state (remaining charge in whole percent, e.g. from
+    /// `dsra_power::Battery::charge_pct`) that raised the condition —
+    /// a real threshold crossing, not a label.
+    LowBattery {
+        /// Remaining battery charge in percent at selection time.
+        charge_pct: u8,
+    },
     /// Real-time deadline: cheapest implementation meeting a cycle budget.
     Deadline {
         /// Maximum admissible cycles per block.
@@ -41,6 +47,12 @@ pub enum Condition {
 
 /// Selects the best profile for a condition. Returns `None` when no profile
 /// satisfies the constraint (e.g. an unreachable deadline).
+///
+/// Tie behaviour: under [`Condition::LowBattery`], equal energies
+/// tie-break towards the smaller cluster footprint (less area to leak
+/// through while the battery is the binding constraint); any remaining
+/// tie — and ties under every other condition — resolves to the earliest
+/// profile in the slice.
 pub fn select(profiles: &[ImplProfile], condition: Condition) -> Option<&ImplProfile> {
     let candidates: Vec<&ImplProfile> = match condition {
         Condition::Deadline {
@@ -54,14 +66,18 @@ pub fn select(profiles: &[ImplProfile], condition: Condition) -> Option<&ImplPro
     let key = |p: &&ImplProfile| -> f64 {
         match condition {
             Condition::HighQuality => p.max_abs_err,
-            Condition::LowBattery | Condition::Deadline { .. } => p.energy_per_block,
+            Condition::LowBattery { .. } | Condition::Deadline { .. } => p.energy_per_block,
             Condition::MinArea => f64::from(p.clusters),
         }
     };
     candidates.into_iter().min_by(|a, b| {
-        key(a)
+        let primary = key(a)
             .partial_cmp(&key(b))
-            .unwrap_or(std::cmp::Ordering::Equal)
+            .unwrap_or(std::cmp::Ordering::Equal);
+        primary.then_with(|| match condition {
+            Condition::LowBattery { .. } => a.clusters.cmp(&b.clusters),
+            _ => std::cmp::Ordering::Equal,
+        })
     })
 }
 
@@ -116,7 +132,47 @@ mod tests {
     #[test]
     fn low_battery_picks_lowest_energy() {
         let p = profiles();
-        assert_eq!(select(&p, Condition::LowBattery).unwrap().name, "MIX ROM");
+        assert_eq!(
+            select(&p, Condition::LowBattery { charge_pct: 15 })
+                .unwrap()
+                .name,
+            "MIX ROM"
+        );
+    }
+
+    #[test]
+    fn low_battery_ties_break_on_area_then_order() {
+        // MIX ROM (32 clusters, listed earlier) and SCC (24 clusters,
+        // listed later) at identical energy: LowBattery prefers the
+        // smaller footprint (less plane to leak through)…
+        let mut p = profiles();
+        p[1].energy_per_block = 4.0; // MIX ROM, 32 clusters
+        p[3].energy_per_block = 4.0; // SCC, 24 clusters
+        assert_eq!(
+            select(&p, Condition::LowBattery { charge_pct: 9 })
+                .unwrap()
+                .name,
+            "SCC"
+        );
+        // …while every other energy-driven condition keeps the plain
+        // earliest-wins tie behaviour (area is ignored).
+        let sel = select(
+            &p,
+            Condition::Deadline {
+                max_cycles_per_block: 100,
+            },
+        )
+        .unwrap();
+        assert_eq!(sel.name, "MIX ROM");
+        // An exact (energy, clusters) tie under LowBattery also resolves
+        // to the earliest profile.
+        p[3].clusters = 32;
+        assert_eq!(
+            select(&p, Condition::LowBattery { charge_pct: 9 })
+                .unwrap()
+                .name,
+            "MIX ROM"
+        );
     }
 
     #[test]

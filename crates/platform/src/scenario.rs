@@ -73,7 +73,7 @@ pub fn profile_impl(
     model: &TechModel,
 ) -> Result<ImplProfile> {
     let nl = imp.netlist();
-    let activity = generic_activity(nl)?;
+    let activity = profiling_activity(nl)?;
     let cost = dsra_cost(nl, &artifact.routing.stats, &activity, model);
     let accuracy = measure_accuracy(imp, 4, 2047, 0xACC)?;
     Ok(ImplProfile {
@@ -81,9 +81,16 @@ pub fn profile_impl(
         clusters: nl.resource_report().total_clusters(),
         config_bits: artifact.bitstream.total_bits(),
         cycles_per_block: imp.cycles_per_block(),
-        // Battery-relevant energy: dynamic + leakage (the big-ROM
+        // Battery-relevant energy: static + dynamic through the power
+        // subsystem's single energy-per-block producer (the big-ROM
         // mappings pay for their 33k-bit configuration planes here).
-        energy_per_block: cost.power() * imp.cycles_per_block() as f64,
+        // E9 (`dct_energy`) prints the same call, so the offline table
+        // and the run-time selection cannot drift.
+        energy_per_block: dsra_power::energy_per_block(
+            &cost.energy_split(),
+            imp.cycles_per_block(),
+            &dsra_power::OperatingPoint::NOMINAL,
+        ),
         max_abs_err: accuracy.max_abs_err,
     })
 }
@@ -114,7 +121,9 @@ pub fn profile_all_impls(
 
 /// Exercises a netlist with a generic stimulus to collect representative
 /// switching activity (the profiling workload of §3.6's activity remark).
-fn generic_activity(nl: &dsra_core::netlist::Netlist) -> Result<dsra_sim::Activity> {
+/// Public so other layers (the runtime's bitstream cache) price kernels
+/// with exactly the stimulus the profiles were measured under.
+pub fn profiling_activity(nl: &dsra_core::netlist::Netlist) -> Result<dsra_sim::Activity> {
     let mut sim = Simulator::new(nl)?;
     let inputs: Vec<String> = nl
         .input_nodes()
@@ -263,7 +272,7 @@ mod tests {
         let conditions = [
             Condition::HighQuality,
             Condition::HighQuality,
-            Condition::LowBattery,
+            Condition::LowBattery { charge_pct: 12 },
         ];
         let cfg = EncodeConfig {
             search: dsra_me::SearchParams {

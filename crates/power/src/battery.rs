@@ -1,0 +1,106 @@
+//! The battery: a finite energy reservoir in (arbitrary) joules.
+//!
+//! Everything here is plain saturating f64 arithmetic — deterministic,
+//! platform-independent, and incapable of going negative, which the
+//! property tests pin. The runtime drains it from the per-serve energy
+//! totals; the `battery_serve` experiment (E12) runs it to empty.
+
+/// A battery with a fixed capacity and a current charge, both in the
+/// technology model's arbitrary energy units.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Battery {
+    capacity_j: f64,
+    charge_j: f64,
+}
+
+impl Battery {
+    /// A full battery of `capacity_j` (non-finite or negative capacities
+    /// are clamped to zero).
+    pub fn new(capacity_j: f64) -> Self {
+        let capacity_j = if capacity_j.is_finite() {
+            capacity_j.max(0.0)
+        } else {
+            0.0
+        };
+        Battery {
+            capacity_j,
+            charge_j: capacity_j,
+        }
+    }
+
+    /// Design capacity.
+    pub fn capacity_j(&self) -> f64 {
+        self.capacity_j
+    }
+
+    /// Remaining charge.
+    pub fn charge_j(&self) -> f64 {
+        self.charge_j
+    }
+
+    /// Remaining charge as a fraction of capacity in `[0, 1]` (an empty
+    /// zero-capacity battery reads 0).
+    pub fn fraction(&self) -> f64 {
+        if self.capacity_j <= 0.0 {
+            0.0
+        } else {
+            self.charge_j / self.capacity_j
+        }
+    }
+
+    /// Remaining charge in whole percent, rounded — the reading
+    /// `dsra_platform::Condition::LowBattery` carries.
+    pub fn charge_pct(&self) -> u8 {
+        (self.fraction() * 100.0).round().clamp(0.0, 100.0) as u8
+    }
+
+    /// `true` once fully discharged.
+    pub fn is_empty(&self) -> bool {
+        self.charge_j <= 0.0
+    }
+
+    /// Draws `joules`, saturating at empty; returns what was actually
+    /// drained. Non-finite or negative requests drain nothing (a battery
+    /// is not charged by accounting glitches).
+    pub fn drain(&mut self, joules: f64) -> f64 {
+        if !joules.is_finite() || joules <= 0.0 {
+            return 0.0;
+        }
+        let drained = joules.min(self.charge_j);
+        self.charge_j -= drained;
+        drained
+    }
+
+    /// Back to full capacity.
+    pub fn recharge_full(&mut self) {
+        self.charge_j = self.capacity_j;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn drain_saturates_at_empty() {
+        let mut b = Battery::new(10.0);
+        assert_eq!(b.drain(4.0), 4.0);
+        assert_eq!(b.charge_pct(), 60);
+        assert_eq!(b.drain(100.0), 6.0);
+        assert!(b.is_empty());
+        assert_eq!(b.charge_j(), 0.0);
+        b.recharge_full();
+        assert_eq!(b.charge_j(), 10.0);
+    }
+
+    #[test]
+    fn bogus_requests_drain_nothing() {
+        let mut b = Battery::new(5.0);
+        assert_eq!(b.drain(-1.0), 0.0);
+        assert_eq!(b.drain(f64::NAN), 0.0);
+        assert_eq!(b.drain(f64::INFINITY), 0.0);
+        assert_eq!(b.charge_j(), 5.0);
+        assert_eq!(Battery::new(f64::NAN).capacity_j(), 0.0);
+        assert_eq!(Battery::new(0.0).fraction(), 0.0);
+    }
+}

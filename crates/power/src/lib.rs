@@ -1,0 +1,91 @@
+//! # dsra-power — battery, DVFS and energy accounting
+//!
+//! The paper's headline claims are *power* claims (−75 % for the ME
+//! array, §3.6's activity-driven energy differences between DCT
+//! mappings), and its §5 motivation is a battery: "different run-time
+//! constraints, such as low-battery conditions". This crate turns the
+//! repo's one-shot offline energy table (E9) into a subsystem the
+//! runtime can actually serve against:
+//!
+//! * a [`Battery`] — capacity in (arbitrary) joules, drained by measured
+//!   per-serve energy, never negative;
+//! * [`OperatingPoint`]s — DVFS pairs scaling dynamic energy ∝ V² and
+//!   leakage ∝ V, with leakage paid per *time* so slow clocks soak up
+//!   more of it per cycle;
+//! * [`EnergyAccount`]s — per-array integration of static + dynamic
+//!   energy from `dsra_tech::EnergySplit` costs and `dsra_sim::Activity`
+//!   counters, with power-gating of idle arrays;
+//! * the [`energy_per_block`] bridge both E9 (`dct_energy`) and the
+//!   runtime profiles consume, so the offline table and the serving
+//!   stack cannot drift.
+//!
+//! ## Quick tour
+//!
+//! ```
+//! use dsra_power::{energy_per_block, Battery, EnergyAccount, OperatingPoint};
+//! use dsra_tech::EnergySplit;
+//!
+//! let split = EnergySplit { dyn_energy_per_cycle: 40.0, leak_power: 10.0 };
+//! // At the nominal point a 16-cycle block costs (40 + 10) × 16 joules…
+//! let nominal = energy_per_block(&split, 16, &OperatingPoint::NOMINAL);
+//! assert!((nominal - 800.0).abs() < 1e-9);
+//! // …and the eco point trades voltage for time: cheaper switching,
+//! // more leakage soaked per (longer) cycle.
+//! let eco = energy_per_block(&split, 16, &OperatingPoint::ECO);
+//! assert!(eco < nominal);
+//!
+//! // A battery serves blocks until it runs dry — never below zero.
+//! let mut battery = Battery::new(2000.0);
+//! let mut blocks = 0;
+//! while !battery.is_empty() {
+//!     battery.drain(nominal);
+//!     blocks += 1;
+//! }
+//! assert_eq!(blocks, 3); // 800 + 800 + saturated remainder
+//! # let _ = EnergyAccount::new("doc");
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod account;
+pub mod battery;
+pub mod dvfs;
+
+pub use account::EnergyAccount;
+pub use battery::Battery;
+pub use dvfs::{OperatingPoint, NOMINAL_FREQ_MHZ, NOMINAL_VOLTAGE};
+
+use dsra_tech::EnergySplit;
+
+/// Energy one cycle costs at an operating point: V²-scaled dynamic energy
+/// plus the leakage the (V-scaled, 1/f-stretched) cycle soaks up.
+pub fn energy_per_cycle(split: &EnergySplit, point: &OperatingPoint) -> f64 {
+    split.dyn_energy_per_cycle * point.dyn_energy_scale()
+        + point.leak_energy_per_cycle(split.leak_power)
+}
+
+/// Energy one block costs: [`energy_per_cycle`] × cycles. This is *the*
+/// energy-per-block producer — `dsra_platform::profile_impl` and the E9
+/// `dct_energy` table both call it, so the number the run-time policies
+/// select on and the number the offline table prints are one number.
+pub fn energy_per_block(split: &EnergySplit, cycles_per_block: u64, point: &OperatingPoint) -> f64 {
+    energy_per_cycle(split, point) * cycles_per_block as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nominal_energy_per_block_matches_legacy_power_times_cycles() {
+        // Pre-power-subsystem, profiles priced a block as
+        // `ImplCost::power() * cycles`. The nominal operating point must
+        // reproduce that exactly or every E7/E11 selection would shift.
+        let split = EnergySplit {
+            dyn_energy_per_cycle: 123.25,
+            leak_power: 77.5,
+        };
+        let legacy = (split.dyn_energy_per_cycle + split.leak_power) * 14.0;
+        assert!((energy_per_block(&split, 14, &OperatingPoint::NOMINAL) - legacy).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,121 @@
+//! Property tests for the power subsystem (ISSUE 3 satellite): energy is
+//! monotone in activity, gating never costs energy, the DVFS table is
+//! sane, and the battery cannot go negative.
+
+use dsra_power::{energy_per_cycle, Battery, EnergyAccount, OperatingPoint};
+use dsra_sim::Activity;
+use dsra_tech::{EnergySplit, TechModel};
+use proptest::prelude::*;
+
+proptest! {
+    /// More toggles can never cost less dynamic energy: charging an
+    /// account with element-wise larger activity yields ≥ joules, at
+    /// every operating point.
+    #[test]
+    fn energy_is_monotone_in_toggle_counts(
+        net in 0u64..10_000,
+        node in 0u64..10_000,
+        extra_net in 0u64..10_000,
+        extra_node in 0u64..10_000,
+        hops_milli in 1000u64..5000,
+    ) {
+        let model = TechModel::default();
+        let hops = hops_milli as f64 / 1000.0;
+        let base = Activity::synthetic(vec![net, net / 2], vec![node], 64);
+        let more = Activity::synthetic(
+            vec![net + extra_net, net / 2 + extra_net],
+            vec![node + extra_node],
+            64,
+        );
+        for point in OperatingPoint::ALL {
+            let mut a = EnergyAccount::new("a");
+            let mut b = EnergyAccount::new("b");
+            let ja = a.charge_activity(&base, &model, hops, &point);
+            let jb = b.charge_activity(&more, &model, hops, &point);
+            prop_assert!(jb >= ja, "{jb} < {ja} at {}", point.name);
+            prop_assert!(ja >= 0.0);
+        }
+    }
+
+    /// Power-gating an idle array never increases total energy, whatever
+    /// the leakage, duration or operating point.
+    #[test]
+    fn gating_an_idle_array_never_increases_energy(
+        cycles in 0u64..1_000_000,
+        leak_milli in 0u64..10_000_000,
+        active in 0u64..10_000,
+    ) {
+        let leak = leak_milli as f64 / 1000.0;
+        let split = EnergySplit { dyn_energy_per_cycle: 17.0, leak_power: leak };
+        for point in OperatingPoint::ALL {
+            let mut powered = EnergyAccount::new("p");
+            let mut gated = EnergyAccount::new("g");
+            // Same productive work on both…
+            powered.charge_active(active, &split, &point);
+            gated.charge_active(active, &split, &point);
+            // …then the same idle stretch, gated on one side only.
+            powered.charge_idle(cycles, leak, &point, false);
+            gated.charge_idle(cycles, leak, &point, true);
+            prop_assert!(gated.total_j() <= powered.total_j());
+            prop_assert_eq!(gated.gated_cycles, cycles);
+        }
+    }
+
+    /// Every DVFS point with a lower V·f product costs ≤ dynamic energy
+    /// per operation (dynamic energy scales with V², and the table keeps
+    /// V monotone in V·f).
+    #[test]
+    fn lower_vf_point_never_costs_more_dynamic_energy_per_op(
+        dyn_milli in 0u64..1_000_000,
+    ) {
+        let e = dyn_milli as f64 / 1000.0;
+        for a in OperatingPoint::ALL {
+            for b in OperatingPoint::ALL {
+                if a.vf_product() <= b.vf_product() {
+                    prop_assert!(
+                        e * a.dyn_energy_scale() <= e * b.dyn_energy_scale(),
+                        "{} vs {}", a.name, b.name
+                    );
+                }
+            }
+        }
+    }
+
+    /// The battery never goes negative, whatever sequence of drains is
+    /// thrown at it, and drained totals never exceed capacity.
+    #[test]
+    fn battery_never_goes_negative(
+        capacity_milli in 0u64..10_000_000,
+        d0 in 0u64..5_000_000,
+        d1 in 0u64..5_000_000,
+        d2 in 0u64..5_000_000,
+        d3 in 0u64..5_000_000,
+    ) {
+        let capacity = capacity_milli as f64 / 1000.0;
+        let mut battery = Battery::new(capacity);
+        let mut drained = 0.0;
+        for d in [d0, d1, d2, d3] {
+            drained += battery.drain(d as f64 / 1000.0);
+            prop_assert!(battery.charge_j() >= 0.0);
+            prop_assert!(battery.fraction() >= 0.0 && battery.fraction() <= 1.0);
+            prop_assert!(battery.charge_pct() <= 100);
+        }
+        prop_assert!(drained <= capacity + 1e-9);
+        prop_assert!((battery.charge_j() + drained - capacity).abs() < 1e-6);
+    }
+}
+
+/// Non-property sanity: energy_per_cycle is the sum of its DVFS-scaled
+/// halves at every point (no hidden cross terms).
+#[test]
+fn energy_per_cycle_decomposes() {
+    let split = EnergySplit {
+        dyn_energy_per_cycle: 31.0,
+        leak_power: 9.0,
+    };
+    for point in OperatingPoint::ALL {
+        let whole = energy_per_cycle(&split, &point);
+        let parts = 31.0 * point.dyn_energy_scale() + point.leak_energy_per_cycle(9.0);
+        assert!((whole - parts).abs() < 1e-12, "{}", point.name);
+    }
+}

@@ -12,7 +12,8 @@ use std::sync::Arc;
 use dsra_core::error::Result;
 use dsra_core::fabric::Fabric;
 use dsra_core::netlist::{Fingerprint, Netlist};
-use dsra_platform::{compile_netlist, CompiledArtifact};
+use dsra_platform::{compile_netlist, profiling_activity, CompiledArtifact};
+use dsra_tech::{dsra_cost, EnergySplit, TechModel};
 
 use crate::kernel::ArrayKind;
 
@@ -28,6 +29,10 @@ pub struct CompiledKernel {
     pub array_kind: ArrayKind,
     /// The placement, routing and bitstream.
     pub artifact: CompiledArtifact,
+    /// Static/dynamic energy split under the profiling stimulus — what
+    /// the energy accounts integrate per cycle while this kernel runs
+    /// (and leak per cycle while it merely stays loaded).
+    pub split: EnergySplit,
 }
 
 impl CompiledKernel {
@@ -92,12 +97,22 @@ fn fabric_key(fabric: &Fabric) -> String {
 pub struct BitstreamCache {
     entries: HashMap<CacheKey, Arc<CompiledKernel>>,
     stats: CacheStats,
+    /// Technology constants pricing each compiled kernel's energy split.
+    model: TechModel,
 }
 
 impl BitstreamCache {
-    /// An empty cache.
+    /// An empty cache pricing kernels with the default technology model.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// An empty cache with explicit technology constants.
+    pub fn with_model(model: TechModel) -> Self {
+        BitstreamCache {
+            model,
+            ..Default::default()
+        }
     }
 
     /// Current hit/miss counters.
@@ -148,11 +163,18 @@ impl BitstreamCache {
             "cache key must be the netlist's own content address"
         );
         let artifact = compile_netlist(&nl, fabric)?;
+        // Price the kernel once, at compile time: the same profiling
+        // stimulus `dsra_platform::profile_impl` measures under, so the
+        // energy the accounts integrate is the energy the policies
+        // selected on.
+        let activity = profiling_activity(&nl)?;
+        let split = dsra_cost(&nl, &artifact.routing.stats, &activity, &self.model).energy_split();
         let kernel = Arc::new(CompiledKernel {
             name: name.to_owned(),
             fingerprint,
             array_kind,
             artifact,
+            split,
         });
         self.entries.insert(key, Arc::clone(&kernel));
         Ok(kernel)

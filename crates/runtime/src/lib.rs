@@ -68,13 +68,48 @@ use dsra_core::fabric::{Fabric, MeshSpec};
 use dsra_core::netlist::{Fingerprint, Netlist};
 use dsra_dct::DaParams;
 use dsra_platform::{profile_impl, standard_da_fabric, Condition, ImplProfile, SocConfig};
-use dsra_tech::TechModel;
+use dsra_power::{Battery, EnergyAccount, OperatingPoint};
+use dsra_tech::{EnergySplit, TechModel};
 use dsra_video::{JobPayload, JobSpec};
 
 pub use cache::{BitstreamCache, CacheStats, CompiledKernel};
 pub use kernel::{ArrayKind, DctMapping, KernelId};
-pub use report::{ArrayReport, JobOutcome, RuntimeReport};
-pub use scheduler::{ArrayState, DefaultPolicy, DiffAwareScheduler, PlannedSlot, SchedulePolicy};
+pub use report::{
+    ArrayReport, BatterySample, BatteryTrajectory, EnergyReport, JobOutcome, RuntimeReport,
+};
+pub use scheduler::{
+    ArrayState, DefaultPolicy, DiffAwareScheduler, EnergyAwarePolicy, NaivePolicy, PlannedSlot,
+    PowerSnapshot, SchedulePolicy,
+};
+
+/// Power-domain configuration of a [`SocRuntime`]: the battery the pool
+/// serves from, the DVFS point it runs at, and the constants the energy
+/// accounts integrate with.
+#[derive(Debug, Clone, Copy)]
+pub struct PowerConfig {
+    /// DVFS operating point the arrays run at.
+    pub dvfs: OperatingPoint,
+    /// Battery capacity in the technology model's (arbitrary) joules.
+    pub battery_capacity_j: f64,
+    /// Battery percentage at or below which energy-aware policies switch
+    /// to battery-stretching behaviour.
+    pub low_battery_pct: u8,
+    /// Energy per configuration bit written (dynamic, V²-scaled).
+    pub reconfig_energy_per_bit: f64,
+}
+
+impl Default for PowerConfig {
+    fn default() -> Self {
+        PowerConfig {
+            dvfs: OperatingPoint::NOMINAL,
+            // Roughly ten default 1000-job serves at nominal — enough for
+            // E12's discharge loop to see the low-battery phase kick in.
+            battery_capacity_j: 2.0e10,
+            low_battery_pct: 20,
+            reconfig_energy_per_bit: 2.0,
+        }
+    }
+}
 
 /// Pool and platform configuration of a [`SocRuntime`].
 #[derive(Debug, Clone)]
@@ -89,6 +124,8 @@ pub struct RuntimeConfig {
     pub da_params: DaParams,
     /// DCT mappings the runtime offers for policy selection.
     pub mappings: Vec<DctMapping>,
+    /// Battery, DVFS and energy-accounting constants.
+    pub power: PowerConfig,
 }
 
 impl Default for RuntimeConfig {
@@ -99,6 +136,7 @@ impl Default for RuntimeConfig {
             soc: SocConfig::default(),
             da_params: DaParams::precise(),
             mappings: DctMapping::ALL.to_vec(),
+            power: PowerConfig::default(),
         }
     }
 }
@@ -131,6 +169,7 @@ pub struct SocRuntime {
     config: RuntimeConfig,
     policy: Box<dyn SchedulePolicy>,
     cache: BitstreamCache,
+    battery: Battery,
     da_fabric: Fabric,
     /// Profiles of the offered DCT mappings (selection input), aligned with
     /// `config.mappings`.
@@ -164,7 +203,7 @@ impl SocRuntime {
         );
         let da_fabric = standard_da_fabric();
         let model = TechModel::default();
-        let mut cache = BitstreamCache::new();
+        let mut cache = BitstreamCache::with_model(model);
         let mut profiles = Vec::with_capacity(config.mappings.len());
         let mut dct_seeds = HashMap::new();
         for mapping in &config.mappings {
@@ -187,10 +226,12 @@ impl SocRuntime {
                 },
             );
         }
+        let battery = Battery::new(config.power.battery_capacity_j);
         Ok(SocRuntime {
             config,
             policy,
             cache,
+            battery,
             da_fabric,
             profiles,
             dct_seeds,
@@ -208,6 +249,21 @@ impl SocRuntime {
         self.cache.stats()
     }
 
+    /// The battery the pool serves from (drained by every serve call).
+    pub fn battery(&self) -> &Battery {
+        &self.battery
+    }
+
+    /// Swaps in a fresh, full battery.
+    pub fn recharge_full(&mut self) {
+        self.battery.recharge_full();
+    }
+
+    /// The scheduling policy's display name.
+    pub fn policy_name(&self) -> &'static str {
+        self.policy.name()
+    }
+
     /// Serves a job queue across the pool and reports what happened.
     ///
     /// Jobs are planned in `(arrival_cycle, id)` order on the current
@@ -223,6 +279,16 @@ impl SocRuntime {
         let mut order: Vec<&JobSpec> = jobs.iter().collect();
         order.sort_by_key(|j| (j.arrival_cycle, j.id));
 
+        // The power state every decision in this serve sees: the battery
+        // reading is taken once at planning time (the controller samples
+        // its gauge, then plans), keeping the whole plan a pure function
+        // of (jobs, config, battery-at-start).
+        let power = PowerSnapshot {
+            battery_charge_pct: self.battery.charge_pct(),
+            low_battery_pct: self.config.power.low_battery_pct,
+            dvfs: self.config.power.dvfs,
+        };
+
         // Phase 1 — deterministic planning.
         let mut sched = DiffAwareScheduler::new(
             self.config.da_arrays,
@@ -232,7 +298,7 @@ impl SocRuntime {
         let arrays = self.config.da_arrays + self.config.me_arrays;
         let mut plans: Vec<Vec<Assignment>> = vec![Vec::new(); arrays];
         for job in order {
-            let condition = self.policy.condition(job.class);
+            let condition = self.policy.condition(job.class, &power);
             let (kernel, est) = self.kernel_for(job, condition)?;
             if !sched.arrays().iter().any(|a| a.kind == kernel.array_kind) {
                 return Err(CoreError::Mismatch(format!(
@@ -241,7 +307,13 @@ impl SocRuntime {
                     kernel.array_kind.tag()
                 )));
             }
-            let slot = sched.assign(&kernel, job.arrival_cycle, est, self.policy.as_ref());
+            let slot = sched.assign(
+                &kernel,
+                job.arrival_cycle,
+                est,
+                self.policy.as_ref(),
+                &power,
+            );
             plans[slot.array].push(Assignment {
                 job: *job,
                 condition,
@@ -265,13 +337,23 @@ impl SocRuntime {
                 .collect()
         });
 
-        // Phase 3 — deterministic merge.
+        // Phase 3 — deterministic merge, energy integration, battery
+        // drain.
         let mut execs = Vec::with_capacity(arrays);
         for r in results {
             execs.push(r?);
         }
         let cache_delta = self.cache.stats().since(stats_before);
-        Ok(assemble_report(&self.config, &plans, &execs, cache_delta))
+        let report = assemble_report(
+            &self.config,
+            &plans,
+            &execs,
+            cache_delta,
+            self.policy.power_gate_idle(),
+            &self.battery,
+        );
+        self.battery.drain(report.energy.total_j());
+        Ok(report)
     }
 
     /// Resolves the kernel and estimated cycles for one job.
@@ -375,15 +457,25 @@ fn payload_tag(payload: &JobPayload) -> &'static str {
     }
 }
 
-/// Folds per-array plans and execution results into the final report.
+/// Folds per-array plans and execution results into the final report,
+/// integrating per-array energy (DESIGN.md §7) and the battery trajectory.
 fn assemble_report(
     config: &RuntimeConfig,
     plans: &[Vec<Assignment>],
     execs: &[Vec<exec::JobExec>],
     cache: CacheStats,
+    gate_idle: bool,
+    battery: &Battery,
 ) -> RuntimeReport {
+    let point = config.power.dvfs;
+    let e_bit = config.power.reconfig_energy_per_bit;
     let mut outcomes = Vec::new();
     let mut arrays = Vec::with_capacity(plans.len());
+    let mut accounts = Vec::with_capacity(plans.len());
+    // The kernel left loaded on each array and when the array drained,
+    // for tail-idle leakage once the makespan is known.
+    let mut residual: Vec<(Option<EnergySplit>, u64)> = Vec::with_capacity(plans.len());
+    let mut encoded_frames = 0u64;
     let mut makespan = 0u64;
     for (array_id, (plan, exec)) in plans.iter().zip(execs).enumerate() {
         debug_assert_eq!(plan.len(), exec.len());
@@ -392,6 +484,10 @@ fn assemble_report(
         } else {
             ArrayKind::Me
         };
+        let mut account = EnergyAccount::new(format!("{}{}", kind.tag(), array_id));
+        // An unconfigured array leaks nothing attributable until its
+        // first kernel lands; after that, whatever is loaded leaks.
+        let mut loaded: Option<EnergySplit> = None;
         let mut free_at = 0u64;
         let mut a = ArrayReport {
             id: array_id,
@@ -402,6 +498,10 @@ fn assemble_report(
             reconfig_bits: 0,
             reconfig_events: 0,
             utilization_pct: 0.0,
+            dynamic_j: 0.0,
+            static_j: 0.0,
+            reconfig_j: 0.0,
+            gated_cycles: 0,
         };
         for (asg, ex) in plan.iter().zip(exec) {
             assert_eq!(
@@ -411,11 +511,29 @@ fn assemble_report(
             let reconfig_cycles = ex.reconfig.cycles;
             let start = free_at.max(asg.job.arrival_cycle);
             let end = start + reconfig_cycles + ex.exec_cycles;
+            // Idle gap before this job: the previously loaded plane
+            // leaks (or is gated).
+            if let Some(prev) = loaded {
+                account.charge_idle(start - free_at, prev.leak_power, &point, gate_idle);
+            }
+            let split = asg.kernel.split;
+            // The job's attributable energy: its reconfiguration write,
+            // the leakage of the (new) plane while the bus writes it,
+            // and its execution window, all from one account snapshot.
+            let before = account.total_j();
+            account.charge_reconfig(ex.reconfig.bits_written, e_bit, &point);
+            account.charge_idle(reconfig_cycles, split.leak_power, &point, false);
+            account.charge_active(ex.exec_cycles, &split, &point);
+            let energy_j = account.total_j() - before;
+            loaded = Some(split);
             free_at = end;
             a.exec_cycles += ex.exec_cycles;
             a.reconfig_cycles += reconfig_cycles;
             a.reconfig_bits += ex.reconfig.bits_written;
             a.reconfig_events += usize::from(ex.reconfig.bits_written > 0);
+            if let JobPayload::EncodeGop { frames, .. } = asg.job.payload {
+                encoded_frames += u64::from(frames.saturating_sub(1));
+            }
             outcomes.push(JobOutcome {
                 id: asg.job.id,
                 kind: payload_tag(&asg.job.payload),
@@ -426,23 +544,68 @@ fn assemble_report(
                 start_cycle: start,
                 end_cycle: end,
                 checksum: ex.checksum,
+                energy_j,
             });
         }
         makespan = makespan.max(free_at);
+        residual.push((loaded, free_at));
+        accounts.push(account);
         arrays.push(a);
     }
-    for a in &mut arrays {
+    // Tail idle: every array leaks (or gates) from its last job to the
+    // pool-wide makespan. Like the inter-job gaps, this energy belongs
+    // to no job — everything outside the per-job attributions feeds the
+    // trajectory's idle drain.
+    let job_energy_total: f64 = outcomes.iter().map(|o| o.energy_j).sum();
+    for (account, (loaded, free_at)) in accounts.iter_mut().zip(&residual) {
+        if let Some(split) = loaded {
+            account.charge_idle(makespan - free_at, split.leak_power, &point, gate_idle);
+        }
+    }
+    for (a, account) in arrays.iter_mut().zip(&accounts) {
         let busy = a.exec_cycles + a.reconfig_cycles;
         a.utilization_pct = if makespan == 0 {
             0.0
         } else {
             busy as f64 * 100.0 / makespan as f64
         };
+        a.dynamic_j = account.dynamic_j;
+        a.static_j = account.static_j;
+        a.reconfig_j = account.reconfig_j;
+        a.gated_cycles = account.gated_cycles;
     }
+    let dynamic_j: f64 = accounts.iter().map(|c| c.dynamic_j).sum();
+    let static_j: f64 = accounts.iter().map(|c| c.static_j).sum();
+    let reconfig_j: f64 = accounts.iter().map(|c| c.reconfig_j).sum();
+    let total_j = dynamic_j + static_j + reconfig_j;
+    let idle_drain_j = total_j - job_energy_total;
+
+    // Battery trajectory: drain per-job energies in completion order,
+    // then the idle leakage, saturating exactly as the real battery does.
+    let mut by_completion: Vec<(u64, u32, f64)> = outcomes
+        .iter()
+        .map(|o| (o.end_cycle, o.id, o.energy_j))
+        .collect();
+    by_completion.sort_unstable_by_key(|&(end, id, _)| (end, id));
+    let start_j = battery.charge_j();
+    let mut sim = *battery;
+    let samples: Vec<BatterySample> = by_completion
+        .into_iter()
+        .map(|(_, id, energy_j)| {
+            sim.drain(energy_j);
+            BatterySample {
+                job: id,
+                charge_j: sim.charge_j(),
+            }
+        })
+        .collect();
+    sim.drain(idle_drain_j);
+
     outcomes.sort_by_key(|o| o.id);
     let count = |tag: &str| outcomes.iter().filter(|o| o.kind == tag).count();
+    let jobs = outcomes.len();
     RuntimeReport {
-        jobs: outcomes.len(),
+        jobs,
         dct_jobs: count("dct"),
         me_jobs: count("me"),
         encode_jobs: count("encode"),
@@ -450,11 +613,36 @@ fn assemble_report(
         jobs_per_megacycle: if makespan == 0 {
             0.0
         } else {
-            outcomes.len() as f64 * 1e6 / makespan as f64
+            jobs as f64 * 1e6 / makespan as f64
         },
         cache,
         total_reconfig_bits: arrays.iter().map(|a| a.reconfig_bits).sum(),
         reconfig_events: arrays.iter().map(|a| a.reconfig_events).sum(),
+        energy: EnergyReport {
+            point,
+            dynamic_j,
+            static_j,
+            reconfig_j,
+            gated_cycles: accounts.iter().map(|c| c.gated_cycles).sum(),
+            joules_per_job: if jobs == 0 {
+                0.0
+            } else {
+                total_j / jobs as f64
+            },
+            encoded_frames,
+            frames_per_joule: if total_j > 0.0 {
+                encoded_frames as f64 / total_j
+            } else {
+                0.0
+            },
+            battery: BatteryTrajectory {
+                capacity_j: battery.capacity_j(),
+                start_j,
+                end_j: sim.charge_j(),
+                idle_drain_j,
+                samples,
+            },
+        },
         arrays,
         outcomes,
     }
@@ -495,6 +683,31 @@ mod tests {
         assert_eq!(a.digest(), b.digest());
         assert_eq!(a.render(), b.render());
         assert_eq!(a.to_json("E11"), b.to_json("E11"));
+        // …including the energy columns and the full battery trajectory.
+        assert_eq!(a.energy, b.energy);
+    }
+
+    #[test]
+    fn digest_covers_energy_columns_and_battery_trajectory() {
+        let mut rt = small_runtime();
+        let report = rt.serve(&small_mix(12, 9)).unwrap();
+        assert!(report.energy.total_j() > 0.0);
+        assert_eq!(report.energy.battery.samples.len(), report.jobs);
+        let digest = report.digest();
+        // Any energy column shifting must change the digest: per-job
+        // attribution, the serve totals, and the battery trajectory.
+        let mut t = report.clone();
+        t.outcomes[0].energy_j += 1.0;
+        assert_ne!(t.digest(), digest, "per-job energy must be pinned");
+        let mut t = report.clone();
+        t.energy.static_j += 1.0;
+        assert_ne!(t.digest(), digest, "static energy must be pinned");
+        let mut t = report.clone();
+        t.energy.battery.samples[0].charge_j += 1.0;
+        assert_ne!(t.digest(), digest, "battery trajectory must be pinned");
+        let mut t = report.clone();
+        t.energy.gated_cycles += 1;
+        assert_ne!(t.digest(), digest, "gated cycles must be pinned");
     }
 
     #[test]

@@ -5,6 +5,8 @@
 //! so two runs with the same seed render byte-identical reports — the
 //! property the E11 acceptance gate checks.
 
+use dsra_power::OperatingPoint;
+
 use crate::cache::CacheStats;
 use crate::kernel::ArrayKind;
 
@@ -27,6 +29,21 @@ pub struct ArrayReport {
     pub reconfig_events: usize,
     /// Busy fraction of the makespan, in percent.
     pub utilization_pct: f64,
+    /// Activity-based dynamic energy this array burned (joules).
+    pub dynamic_j: f64,
+    /// Leakage energy, active and idle (joules).
+    pub static_j: f64,
+    /// Configuration-plane write energy (joules).
+    pub reconfig_j: f64,
+    /// Idle cycles spent power-gated (leaking nothing).
+    pub gated_cycles: u64,
+}
+
+impl ArrayReport {
+    /// Everything this array drained from the battery.
+    pub fn energy_j(&self) -> f64 {
+        self.dynamic_j + self.static_j + self.reconfig_j
+    }
 }
 
 /// One served job, in job-id order.
@@ -50,6 +67,67 @@ pub struct JobOutcome {
     pub end_cycle: u64,
     /// Deterministic output digest.
     pub checksum: u64,
+    /// Energy attributable to this job (execution dynamic + leakage over
+    /// its busy window + its reconfiguration write), in joules.
+    pub energy_j: f64,
+}
+
+/// One point of the battery trajectory: the charge left after a job's
+/// energy was drained, in completion order.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BatterySample {
+    /// Job id.
+    pub job: u32,
+    /// Battery charge after this job, saturating at empty.
+    pub charge_j: f64,
+}
+
+/// Battery state over one serve: per-job samples plus the idle leakage
+/// no single job owns.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BatteryTrajectory {
+    /// Design capacity of the battery.
+    pub capacity_j: f64,
+    /// Charge when the serve was planned.
+    pub start_j: f64,
+    /// Charge after the whole serve (jobs + idle leakage), saturating.
+    pub end_j: f64,
+    /// Idle-array leakage drained on top of the per-job energies.
+    pub idle_drain_j: f64,
+    /// Per-job battery readings in completion (`end_cycle`, id) order.
+    pub samples: Vec<BatterySample>,
+}
+
+/// Energy metrics of one serve — the power subsystem's half of the
+/// report (DESIGN.md §7).
+#[derive(Debug, Clone, PartialEq)]
+pub struct EnergyReport {
+    /// DVFS operating point the serve ran at.
+    pub point: OperatingPoint,
+    /// Activity-based dynamic energy (joules).
+    pub dynamic_j: f64,
+    /// Leakage energy, active and idle (joules).
+    pub static_j: f64,
+    /// Configuration-plane write energy (joules).
+    pub reconfig_j: f64,
+    /// Idle cycles that leaked nothing because the policy gates idle
+    /// arrays.
+    pub gated_cycles: u64,
+    /// Mean joules per served job (total / jobs).
+    pub joules_per_job: f64,
+    /// Frames encoded by the mix's encode-GOP jobs (exact count).
+    pub encoded_frames: u64,
+    /// Encoded frames per joule (0 when the mix had no encode jobs).
+    pub frames_per_joule: f64,
+    /// Battery state over the serve.
+    pub battery: BatteryTrajectory,
+}
+
+impl EnergyReport {
+    /// Total joules the serve drained.
+    pub fn total_j(&self) -> f64 {
+        self.dynamic_j + self.static_j + self.reconfig_j
+    }
 }
 
 /// The full serve report.
@@ -73,6 +151,8 @@ pub struct RuntimeReport {
     pub total_reconfig_bits: u64,
     /// Switches that actually wrote bits.
     pub reconfig_events: usize,
+    /// Energy and battery metrics.
+    pub energy: EnergyReport,
     /// Per-array aggregates (array-id order).
     pub arrays: Vec<ArrayReport>,
     /// Per-job outcomes (job-id order).
@@ -80,8 +160,10 @@ pub struct RuntimeReport {
 }
 
 impl RuntimeReport {
-    /// Deterministic digest over every job outcome — one number that
-    /// changes if any job's placement, cost or payload result changes.
+    /// Deterministic digest over every job outcome *and* the energy
+    /// columns — one number that changes if any job's placement, cost,
+    /// payload result, attributed energy or the battery trajectory
+    /// changes.
     pub fn digest(&self) -> u64 {
         let mut h = 0xCBF2_9CE4_8422_2325u64;
         let mut mix = |v: u64| {
@@ -95,6 +177,18 @@ impl RuntimeReport {
             mix(o.start_cycle);
             mix(o.end_cycle);
             mix(o.checksum);
+            mix(o.energy_j.to_bits());
+        }
+        mix(self.energy.dynamic_j.to_bits());
+        mix(self.energy.static_j.to_bits());
+        mix(self.energy.reconfig_j.to_bits());
+        mix(self.energy.gated_cycles);
+        mix(self.energy.battery.start_j.to_bits());
+        mix(self.energy.battery.end_j.to_bits());
+        mix(self.energy.battery.idle_drain_j.to_bits());
+        for s in &self.energy.battery.samples {
+            mix(u64::from(s.job));
+            mix(s.charge_j.to_bits());
         }
         h
     }
@@ -121,17 +215,42 @@ impl RuntimeReport {
             "reconfiguration    : {} bits over {} events\n",
             self.total_reconfig_bits, self.reconfig_events
         ));
-        s.push_str("array  kind  jobs   exec-cycles  reconfig-bits  events  util%\n");
+        let e = &self.energy;
+        s.push_str(&format!(
+            "energy @ {:<9}: {:.1} J ({:.1} dynamic, {:.1} static, {:.1} reconfig)\n",
+            e.point.name,
+            e.total_j(),
+            e.dynamic_j,
+            e.static_j,
+            e.reconfig_j
+        ));
+        s.push_str(&format!(
+            "efficiency         : {:.2} J/job, {:.6} frames/J, {} gated cycles\n",
+            e.joules_per_job, e.frames_per_joule, e.gated_cycles
+        ));
+        s.push_str(&format!(
+            "battery            : {:.1} -> {:.1} J of {:.1} ({} samples, {:.1} J idle drain)\n",
+            e.battery.start_j,
+            e.battery.end_j,
+            e.battery.capacity_j,
+            e.battery.samples.len(),
+            e.battery.idle_drain_j
+        ));
+        s.push_str(
+            "array  kind  jobs   exec-cycles  reconfig-bits  events  util%      energy-J  gated\n",
+        );
         for a in &self.arrays {
             s.push_str(&format!(
-                "{:>5}  {:<4}  {:>4}  {:>12}  {:>13}  {:>6}  {:>5.1}\n",
+                "{:>5}  {:<4}  {:>4}  {:>12}  {:>13}  {:>6}  {:>5.1}  {:>12.1}  {:>5}\n",
                 a.id,
                 a.kind.tag(),
                 a.jobs,
                 a.exec_cycles,
                 a.reconfig_bits,
                 a.reconfig_events,
-                a.utilization_pct
+                a.utilization_pct,
+                a.energy_j(),
+                a.gated_cycles
             ));
         }
         s.push_str(&format!("outcome digest     : {:#018x}\n", self.digest()));
@@ -174,11 +293,42 @@ impl RuntimeReport {
             "  \"outcome_digest\": \"{:#018x}\",\n",
             self.digest()
         ));
+        let e = &self.energy;
+        s.push_str(&format!(
+            "  \"energy\": {{\"point\": \"{}\", \"total_j\": {:.6}, \"dynamic_j\": {:.6}, \
+             \"static_j\": {:.6}, \"reconfig_j\": {:.6}, \"gated_cycles\": {}, \
+             \"joules_per_job\": {:.6}, \"encoded_frames\": {}, \"frames_per_joule\": {:.6}}},\n",
+            e.point.name,
+            e.total_j(),
+            e.dynamic_j,
+            e.static_j,
+            e.reconfig_j,
+            e.gated_cycles,
+            e.joules_per_job,
+            e.encoded_frames,
+            e.frames_per_joule
+        ));
+        s.push_str(&format!(
+            "  \"battery\": {{\"capacity_j\": {:.6}, \"start_j\": {:.6}, \"end_j\": {:.6}, \
+             \"idle_drain_j\": {:.6}, \"trajectory\": [",
+            e.battery.capacity_j, e.battery.start_j, e.battery.end_j, e.battery.idle_drain_j
+        ));
+        for (i, sample) in e.battery.samples.iter().enumerate() {
+            s.push_str(&format!(
+                "{}{{\"job\": {}, \"charge_j\": {:.6}}}",
+                if i == 0 { "" } else { ", " },
+                sample.job,
+                sample.charge_j
+            ));
+        }
+        s.push_str("]},\n");
         s.push_str("  \"arrays\": [\n");
         for (i, a) in self.arrays.iter().enumerate() {
             s.push_str(&format!(
                 "    {{\"id\": {}, \"kind\": \"{}\", \"jobs\": {}, \"exec_cycles\": {}, \
-                 \"reconfig_bits\": {}, \"reconfig_events\": {}, \"utilization_pct\": {:.2}}}{}\n",
+                 \"reconfig_bits\": {}, \"reconfig_events\": {}, \"utilization_pct\": {:.2}, \
+                 \"energy_j\": {:.6}, \"dynamic_j\": {:.6}, \"static_j\": {:.6}, \
+                 \"reconfig_j\": {:.6}, \"gated_cycles\": {}}}{}\n",
                 a.id,
                 a.kind.tag(),
                 a.jobs,
@@ -186,6 +336,11 @@ impl RuntimeReport {
                 a.reconfig_bits,
                 a.reconfig_events,
                 a.utilization_pct,
+                a.energy_j(),
+                a.dynamic_j,
+                a.static_j,
+                a.reconfig_j,
+                a.gated_cycles,
                 if i + 1 == self.arrays.len() { "" } else { "," }
             ));
         }

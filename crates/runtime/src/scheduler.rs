@@ -16,10 +16,43 @@
 use std::sync::Arc;
 
 use dsra_platform::{select, Condition, ImplProfile, SocConfig};
+use dsra_power::OperatingPoint;
 use dsra_video::ServiceClass;
 
 use crate::cache::CompiledKernel;
 use crate::kernel::ArrayKind;
+
+/// Power state the runtime exposes to scheduling decisions: the battery
+/// reading at serve start, the configured low-battery threshold and the
+/// DVFS point in force. Policies that ignore it behave exactly as before
+/// the power subsystem existed.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PowerSnapshot {
+    /// Battery charge in whole percent when the serve was planned.
+    pub battery_charge_pct: u8,
+    /// Threshold (percent) below which energy-aware policies switch to
+    /// battery-stretching behaviour.
+    pub low_battery_pct: u8,
+    /// Operating point the arrays run at.
+    pub dvfs: OperatingPoint,
+}
+
+impl PowerSnapshot {
+    /// `true` once the battery has fallen to (or below) the threshold.
+    pub fn is_low(&self) -> bool {
+        self.battery_charge_pct <= self.low_battery_pct
+    }
+}
+
+impl Default for PowerSnapshot {
+    fn default() -> Self {
+        PowerSnapshot {
+            battery_charge_pct: 100,
+            low_battery_pct: 20,
+            dvfs: OperatingPoint::NOMINAL,
+        }
+    }
+}
 
 /// Scheduler-visible state of one array.
 #[derive(Debug)]
@@ -54,12 +87,22 @@ impl ArrayState {
 /// queueing delay. Implement this to experiment with scheduling policies;
 /// the [`DefaultPolicy`] reproduces the paper's §5 behaviour.
 pub trait SchedulePolicy {
+    /// Display name (E12 prints per-policy comparisons).
+    fn name(&self) -> &'static str {
+        "diff-aware"
+    }
+
     /// Maps a job's service class to the run-time condition the platform
-    /// policy understands.
-    fn condition(&self, class: ServiceClass) -> Condition {
+    /// policy understands, given the power state at planning time. The
+    /// default honours the class as stated, turning `LowPower` into a
+    /// [`Condition::LowBattery`] that carries the *measured* battery
+    /// reading.
+    fn condition(&self, class: ServiceClass, power: &PowerSnapshot) -> Condition {
         match class {
             ServiceClass::Quality => Condition::HighQuality,
-            ServiceClass::LowPower => Condition::LowBattery,
+            ServiceClass::LowPower => Condition::LowBattery {
+                charge_pct: power.battery_charge_pct,
+            },
             ServiceClass::Deadline(max_cycles_per_block) => Condition::Deadline {
                 max_cycles_per_block,
             },
@@ -84,9 +127,22 @@ pub trait SchedulePolicy {
     /// `reconfig_cycles` on the configuration bus and the array's backlog
     /// delays the start by `wait_cycles`. Lower is better; ties break
     /// towards the lower array id.
-    fn assignment_cost(&self, reconfig_cycles: u64, wait_cycles: u64, array: &ArrayState) -> u64 {
-        let _ = array;
+    fn assignment_cost(
+        &self,
+        reconfig_cycles: u64,
+        wait_cycles: u64,
+        array: &ArrayState,
+        power: &PowerSnapshot,
+    ) -> u64 {
+        let _ = (array, power);
         reconfig_cycles + wait_cycles
+    }
+
+    /// `true` if idle arrays should be power-gated (leak nothing while
+    /// holding no work). The default keeps them powered — exactly the
+    /// pre-power-subsystem energy behaviour.
+    fn power_gate_idle(&self) -> bool {
+        false
     }
 }
 
@@ -96,6 +152,106 @@ pub trait SchedulePolicy {
 pub struct DefaultPolicy;
 
 impl SchedulePolicy for DefaultPolicy {}
+
+/// The energy-oblivious baseline E12 compares against: every job is
+/// treated as a mains-powered quality job, and placement balances queue
+/// depth only — the reconfiguration bits a move costs are invisible to
+/// it, so kernels ping-pong between arrays and the configuration plane
+/// burns joules the work never needed.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NaivePolicy;
+
+impl SchedulePolicy for NaivePolicy {
+    fn name(&self) -> &'static str {
+        "naive"
+    }
+
+    fn condition(&self, _class: ServiceClass, _power: &PowerSnapshot) -> Condition {
+        Condition::HighQuality
+    }
+
+    fn assignment_cost(
+        &self,
+        _reconfig_cycles: u64,
+        wait_cycles: u64,
+        _array: &ArrayState,
+        _power: &PowerSnapshot,
+    ) -> u64 {
+        wait_cycles
+    }
+}
+
+/// The energy-aware policy (E12): trades joules against deadline slack.
+///
+/// * Below the low-battery threshold every non-deadline job is served as
+///   [`Condition::LowBattery`] — the battery is the binding constraint,
+///   so the lowest-energy mapping wins (deadline jobs keep their cycle
+///   budget; `select` already minimises energy within it).
+/// * Reconfiguration writes are weighted above queueing delay in the
+///   placement cost — a configuration bit written is joules gone, while
+///   waiting merely spends slack — and the weight doubles once the
+///   battery is low.
+/// * Idle arrays are power-gated.
+#[derive(Debug, Clone, Copy)]
+pub struct EnergyAwarePolicy {
+    /// Cost weight of one reconfiguration cycle vs. one wait cycle while
+    /// the battery is healthy.
+    pub reconfig_weight: u64,
+    /// The multiplier applied to that weight once the battery is low.
+    pub low_battery_factor: u64,
+}
+
+impl Default for EnergyAwarePolicy {
+    fn default() -> Self {
+        EnergyAwarePolicy {
+            reconfig_weight: 4,
+            low_battery_factor: 2,
+        }
+    }
+}
+
+impl SchedulePolicy for EnergyAwarePolicy {
+    fn name(&self) -> &'static str {
+        "energy-aware"
+    }
+
+    fn condition(&self, class: ServiceClass, power: &PowerSnapshot) -> Condition {
+        if power.is_low() {
+            match class {
+                ServiceClass::Deadline(max_cycles_per_block) => Condition::Deadline {
+                    max_cycles_per_block,
+                },
+                _ => Condition::LowBattery {
+                    charge_pct: power.battery_charge_pct,
+                },
+            }
+        } else {
+            DefaultPolicy.condition(class, power)
+        }
+    }
+
+    fn assignment_cost(
+        &self,
+        reconfig_cycles: u64,
+        wait_cycles: u64,
+        _array: &ArrayState,
+        power: &PowerSnapshot,
+    ) -> u64 {
+        let weight = self.reconfig_weight
+            * if power.is_low() {
+                self.low_battery_factor
+            } else {
+                1
+            };
+        reconfig_cycles
+            .saturating_mul(weight)
+            .saturating_add(wait_cycles)
+    }
+
+    fn power_gate_idle(&self) -> bool {
+        true
+    }
+}
 
 /// One planned reconfiguration-aware placement.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -167,6 +323,7 @@ impl DiffAwareScheduler {
         arrival_cycle: u64,
         est_exec_cycles: u64,
         policy: &dyn SchedulePolicy,
+        power: &PowerSnapshot,
     ) -> PlannedSlot {
         let chosen = self
             .arrays
@@ -176,7 +333,12 @@ impl DiffAwareScheduler {
                 let bits = self.reconfig_bits(a, kernel);
                 let cycles = bits.div_ceil(u64::from(self.soc.cfg_bus_bits_per_cycle));
                 let wait = a.free_at.saturating_sub(arrival_cycle);
-                (policy.assignment_cost(cycles, wait, a), a.id, bits, cycles)
+                (
+                    policy.assignment_cost(cycles, wait, a, power),
+                    a.id,
+                    bits,
+                    cycles,
+                )
             })
             .min_by_key(|&(cost, id, _, _)| (cost, id))
             .unwrap_or_else(|| {
@@ -225,7 +387,15 @@ mod tests {
             fingerprint: nl.fingerprint(),
             array_kind: ArrayKind::Me,
             artifact: compile_netlist(&nl, &fabric).unwrap(),
+            split: dsra_tech::EnergySplit {
+                dyn_energy_per_cycle: 10.0,
+                leak_power: 5.0,
+            },
         })
+    }
+
+    fn snap() -> PowerSnapshot {
+        PowerSnapshot::default()
     }
 
     #[test]
@@ -233,12 +403,12 @@ mod tests {
         let mut sched = DiffAwareScheduler::new(0, 2, SocConfig::default());
         let k = kernel(AbsDiffMode::AbsDiff);
         // First job cold-starts array 0 (tie on cost → lowest id).
-        let p0 = sched.assign(&k, 0, 10, &DefaultPolicy);
+        let p0 = sched.assign(&k, 0, 10, &DefaultPolicy, &snap());
         assert_eq!(p0.array, 0);
         assert_eq!(p0.reconfig_bits, k.total_bits());
         // Second job with the same kernel: array 0 is loaded, and with the
         // backlog drained by the late arrival the switch is free.
-        let p1 = sched.assign(&k, 1 << 20, 10, &DefaultPolicy);
+        let p1 = sched.assign(&k, 1 << 20, 10, &DefaultPolicy, &snap());
         assert_eq!(p1.array, 0);
         assert_eq!(p1.reconfig_bits, 0);
     }
@@ -253,7 +423,7 @@ mod tests {
         let cold_cycles = k.total_bits().div_ceil(32);
         let mut spilled = false;
         for _ in 0..200 {
-            let p = sched.assign(&k, 0, cold_cycles / 4 + 1, &DefaultPolicy);
+            let p = sched.assign(&k, 0, cold_cycles / 4 + 1, &DefaultPolicy, &snap());
             if p.array == 1 {
                 spilled = true;
                 break;
@@ -267,10 +437,10 @@ mod tests {
         let mut sched = DiffAwareScheduler::new(0, 2, SocConfig::default());
         let ka = kernel(AbsDiffMode::AbsDiff);
         let kb = kernel(AbsDiffMode::Sub);
-        sched.assign(&ka, 0, 0, &DefaultPolicy); // array 0 holds ka
-                                                 // Arriving after array 0 drained: a partial reconfiguration against
-                                                 // ka beats a full cold write onto empty array 1.
-        let p = sched.assign(&kb, 1 << 20, 0, &DefaultPolicy);
+        sched.assign(&ka, 0, 0, &DefaultPolicy, &snap()); // array 0 holds ka
+                                                          // Arriving after array 0 drained: a partial reconfiguration against
+                                                          // ka beats a full cold write onto empty array 1.
+        let p = sched.assign(&kb, 1 << 20, 0, &DefaultPolicy, &snap());
         assert_eq!(p.array, 0);
         assert!(p.reconfig_bits > 0);
         assert!(p.reconfig_bits < kb.total_bits());
@@ -288,10 +458,10 @@ mod tests {
         let mut sched = DiffAwareScheduler::new(0, 1, soc);
         let ka = kernel(AbsDiffMode::AbsDiff);
         let kb = kernel(AbsDiffMode::Sub);
-        sched.assign(&ka, 0, 0, &DefaultPolicy);
-        let resident = sched.assign(&ka, 1 << 20, 0, &DefaultPolicy);
+        sched.assign(&ka, 0, 0, &DefaultPolicy, &snap());
+        let resident = sched.assign(&ka, 1 << 20, 0, &DefaultPolicy, &snap());
         assert_eq!(resident.reconfig_bits, 0);
-        let switch = sched.assign(&kb, 2 << 20, 0, &DefaultPolicy);
+        let switch = sched.assign(&kb, 2 << 20, 0, &DefaultPolicy, &snap());
         assert_eq!(switch.reconfig_bits, kb.total_bits());
     }
 
@@ -299,7 +469,73 @@ mod tests {
     fn kinds_are_respected() {
         let mut sched = DiffAwareScheduler::new(1, 1, SocConfig::default());
         let k = kernel(AbsDiffMode::AbsDiff); // an ME kernel
-        let p = sched.assign(&k, 0, 0, &DefaultPolicy);
+        let p = sched.assign(&k, 0, 0, &DefaultPolicy, &snap());
         assert_eq!(sched.arrays()[p.array].kind, ArrayKind::Me);
+    }
+
+    #[test]
+    fn naive_policy_ignores_reconfig_and_battery() {
+        use dsra_video::ServiceClass;
+        let naive = NaivePolicy;
+        let low = PowerSnapshot {
+            battery_charge_pct: 5,
+            ..Default::default()
+        };
+        // Every class flattens to HighQuality, battery notwithstanding.
+        for class in [
+            ServiceClass::Quality,
+            ServiceClass::LowPower,
+            ServiceClass::Deadline(16),
+            ServiceClass::Background,
+        ] {
+            assert_eq!(naive.condition(class, &low), Condition::HighQuality);
+        }
+        // A mountain of reconfiguration bits costs it nothing.
+        let state = ArrayState::new(0, ArrayKind::Da);
+        assert_eq!(naive.assignment_cost(1 << 30, 7, &state, &low), 7);
+        assert!(!naive.power_gate_idle());
+    }
+
+    #[test]
+    fn energy_aware_policy_reacts_to_the_battery() {
+        use dsra_video::ServiceClass;
+        let policy = EnergyAwarePolicy::default();
+        let healthy = PowerSnapshot {
+            battery_charge_pct: 80,
+            ..Default::default()
+        };
+        let low = PowerSnapshot {
+            battery_charge_pct: 12,
+            ..Default::default()
+        };
+        // Healthy battery: classes are honoured as stated.
+        assert_eq!(
+            policy.condition(ServiceClass::Quality, &healthy),
+            Condition::HighQuality
+        );
+        // Low battery: quality and background jobs bend to the battery,
+        // carrying the measured reading…
+        assert_eq!(
+            policy.condition(ServiceClass::Quality, &low),
+            Condition::LowBattery { charge_pct: 12 }
+        );
+        assert_eq!(
+            policy.condition(ServiceClass::Background, &low),
+            Condition::LowBattery { charge_pct: 12 }
+        );
+        // …while deadline slack is still honoured.
+        assert_eq!(
+            policy.condition(ServiceClass::Deadline(16), &low),
+            Condition::Deadline {
+                max_cycles_per_block: 16
+            }
+        );
+        // Reconfiguration is weighted above waiting, more so when low.
+        let state = ArrayState::new(0, ArrayKind::Da);
+        let healthy_cost = policy.assignment_cost(100, 10, &state, &healthy);
+        let low_cost = policy.assignment_cost(100, 10, &state, &low);
+        assert!(healthy_cost > 100 + 10);
+        assert!(low_cost > healthy_cost);
+        assert!(policy.power_gate_idle());
     }
 }

@@ -26,6 +26,18 @@ impl Activity {
         }
     }
 
+    /// Builds an activity record from explicit toggle counts — for energy
+    /// models and property tests that need controlled activity without
+    /// running a simulation (e.g. `dsra-power`'s monotonicity properties).
+    /// Simulation-produced records come from [`crate::Simulator::activity`].
+    pub fn synthetic(net_toggles: Vec<u64>, node_output_toggles: Vec<u64>, cycles: u64) -> Self {
+        Activity {
+            net_toggles,
+            node_output_toggles,
+            cycles,
+        }
+    }
+
     pub(crate) fn record_net(&mut self, net: usize, prev: u64, cur: u64) {
         self.net_toggles[net] += u64::from((prev ^ cur).count_ones());
     }

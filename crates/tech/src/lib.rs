@@ -28,6 +28,7 @@ pub mod model;
 
 pub use compare::{evaluate_against_fpga, mesh_ablation, Evaluation};
 pub use model::{
-    compare as compare_costs, dsra_cost, fpga_cost, map_cluster_to_fpga, map_netlist_to_fpga,
-    Comparison, FpgaResources, ImplCost, TechModel,
+    cluster_leakage, compare as compare_costs, dsra_cost, fpga_cost, map_cluster_to_fpga,
+    map_netlist_to_fpga, mean_hops, routing_leakage, Comparison, EnergySplit, FpgaResources,
+    ImplCost, TechModel,
 };

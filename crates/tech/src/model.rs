@@ -113,6 +113,58 @@ impl ImplCost {
     pub fn power(&self) -> f64 {
         self.dyn_energy_per_cycle + self.leak_power
     }
+
+    /// The static/dynamic split the power subsystem (`dsra-power`)
+    /// consumes: activity-driven energy per cycle on one side, leakage
+    /// power on the other. Voltage/frequency scaling applies differently
+    /// to the two halves, which is why downstream accounting must never
+    /// re-merge them into a single number.
+    pub fn energy_split(&self) -> EnergySplit {
+        EnergySplit {
+            dyn_energy_per_cycle: self.dyn_energy_per_cycle,
+            leak_power: self.leak_power,
+        }
+    }
+}
+
+/// An implementation's energy cost split into its voltage-scaling classes:
+/// dynamic (activity-based, scales ∝ V²) and static leakage (scales ∝ V,
+/// paid per *time* rather than per toggle). Produced by
+/// [`ImplCost::energy_split`]; consumed by `dsra-power`.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct EnergySplit {
+    /// Activity-based dynamic energy per simulated cycle at nominal V/f.
+    pub dyn_energy_per_cycle: f64,
+    /// Leakage power at nominal V (energy per time unit; one cycle = one
+    /// time unit at the nominal clock).
+    pub leak_power: f64,
+}
+
+/// Leakage power of one configured cluster: its private configuration
+/// plane plus its logic/memory area, at nominal voltage.
+///
+/// This is the power-gating granularity — an idle array stops paying
+/// exactly the sum of its clusters' leakage (the routing plane's share is
+/// priced separately from [`RoutingStats`], see [`routing_leakage`]).
+pub fn cluster_leakage(cfg: &ClusterCfg, model: &TechModel) -> f64 {
+    let (base_area, mem_bits) = match cfg {
+        ClusterCfg::Memory { words, width, .. } => {
+            (model.a_cluster, u64::from(*words) * u64::from(*width))
+        }
+        _ => (
+            model.a_cluster + f64::from(cfg.element_count()) * model.a_element,
+            0,
+        ),
+    };
+    let area = base_area + mem_bits as f64 * model.a_mem_bit;
+    f64::from(cfg.config_bits()) * model.p_leak_cfg + area * model.p_leak_area
+}
+
+/// Leakage power of the routing plane: its configuration bits plus the
+/// switch-point area, at nominal voltage.
+pub fn routing_leakage(routing: &RoutingStats, model: &TechModel) -> f64 {
+    routing.config_bits as f64 * model.p_leak_cfg
+        + routing.switch_points as f64 * model.a_switch * model.p_leak_area
 }
 
 /// Per-cluster FPGA resource estimate.
@@ -292,8 +344,10 @@ pub fn fpga_cost(
 }
 
 /// Average net length in hops (plus one for the connection boxes) — the
-/// per-toggle wire-capacitance proxy.
-fn mean_hops(routing: &RoutingStats) -> f64 {
+/// per-toggle wire-capacitance proxy. Public so activity-based energy
+/// integration elsewhere (`dsra-power`) prices toggles exactly as
+/// [`dsra_cost`] does.
+pub fn mean_hops(routing: &RoutingStats) -> f64 {
     1.0 + routing.total_hops as f64 / routing.nets.max(1) as f64
 }
 
@@ -366,6 +420,68 @@ mod tests {
         assert!(r.clbs() >= 100);
         let r2 = FpgaResources { luts: 10, ffs: 200 };
         assert!(r2.clbs() >= 200);
+    }
+
+    #[test]
+    fn per_cluster_leakage_sums_to_the_priced_total() {
+        // The power-gating granularity must account for every leakage
+        // term dsra_cost prices: Σ cluster_leakage + routing_leakage ==
+        // ImplCost::leak_power, exactly (same constants, same quantities).
+        use dsra_core::fabric::{Fabric, MeshSpec};
+        use dsra_core::netlist::{Netlist, NodeKind};
+        use dsra_core::place::{place, PlacerOptions};
+        use dsra_core::route::{route, RouterOptions};
+
+        let mut nl = Netlist::new("leak");
+        let addr = nl.input("addr", 4).unwrap();
+        let b = nl.input("b", 8).unwrap();
+        let y = nl.output("y", 8).unwrap();
+        let rom = nl
+            .cluster(
+                "rom",
+                ClusterCfg::Memory {
+                    words: 16,
+                    width: 8,
+                    contents: vec![3; 16],
+                },
+            )
+            .unwrap();
+        let add = nl
+            .cluster(
+                "add",
+                ClusterCfg::AddShift(AddShiftCfg::Add {
+                    width: 8,
+                    serial: false,
+                }),
+            )
+            .unwrap();
+        nl.connect((addr, "out"), (rom, "addr")).unwrap();
+        nl.connect((rom, "dout"), (add, "a")).unwrap();
+        nl.connect((b, "out"), (add, "b")).unwrap();
+        nl.connect((add, "y"), (y, "in")).unwrap();
+
+        let fabric = Fabric::da_array(8, 8, MeshSpec::mixed());
+        let placement = place(&nl, &fabric, PlacerOptions::default()).unwrap();
+        let routing = route(&nl, &fabric, &placement, RouterOptions::default()).unwrap();
+        let model = TechModel::default();
+        let activity =
+            dsra_sim::Activity::synthetic(vec![0; nl.nets().len()], vec![0; nl.nodes().len()], 1);
+        let cost = dsra_cost(&nl, &routing.stats, &activity, &model);
+
+        let cluster_sum: f64 = nl
+            .nodes()
+            .iter()
+            .filter_map(|n| match &n.kind {
+                NodeKind::Cluster(cfg) => Some(cluster_leakage(cfg, &model)),
+                _ => None,
+            })
+            .sum();
+        let total = cluster_sum + routing_leakage(&routing.stats, &model);
+        assert!(
+            (total - cost.leak_power).abs() < 1e-9 * cost.leak_power.max(1.0),
+            "split {total} vs priced {}",
+            cost.leak_power
+        );
     }
 
     #[test]

@@ -16,8 +16,11 @@
 //! * [`video`] — synthetic sequences, quantisation, PSNR, encode pipeline;
 //! * [`platform`] — the reconfigurable SoC: bitstream manager, run-time
 //!   policies, dynamic switching;
+//! * [`power`] — battery model, DVFS operating points, per-array energy
+//!   accounting and power gating;
 //! * [`runtime`] — the multi-array SoC runtime: content-addressed bitstream
-//!   cache, diff-aware scheduling, worker-thread job service.
+//!   cache, diff-aware scheduling, energy-aware serving, worker-thread job
+//!   service.
 //!
 //! ## Quickstart
 //!
@@ -39,6 +42,7 @@ pub use dsra_core as core;
 pub use dsra_dct as dct;
 pub use dsra_me as me;
 pub use dsra_platform as platform;
+pub use dsra_power as power;
 pub use dsra_runtime as runtime;
 pub use dsra_sim as sim;
 pub use dsra_tech as tech;

@@ -48,8 +48,16 @@ fn experiment_index_references_resolve() {
         "DESIGN.md must document the dsra-runtime layer (§6)"
     );
     assert!(
+        design.contains("## 7. Power model"),
+        "DESIGN.md must document the dsra-power subsystem (§7)"
+    );
+    assert!(
         readme.contains("`dsra-runtime`"),
         "README crate map must list dsra-runtime"
+    );
+    assert!(
+        readme.contains("`dsra-power`"),
+        "README crate map must list dsra-power"
     );
 
     for bin in [
@@ -62,6 +70,7 @@ fn experiment_index_references_resolve() {
         "dct_energy",
         "pipeline",
         "soc_serve",
+        "battery_serve",
     ] {
         let path = root.join(format!("crates/bench/src/bin/{bin}.rs"));
         assert!(path.is_file(), "README indexes missing binary {bin}");
