@@ -1,0 +1,98 @@
+//! Hot-path micro-benchmarks gating the zero-allocation serving work
+//! (ISSUE 4): the flat-plan cycle engine and the packed bitstream diff.
+//! CI runs this file as a smoke pass so regressions in either surface
+//! before they reach the `soc_serve` numbers.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::time::Duration;
+
+use dsra_core::bitstream::Bitstream;
+use dsra_core::fabric::{Fabric, MeshSpec};
+use dsra_core::place::{place, PlacerOptions};
+use dsra_core::route::{route, RouterOptions};
+use dsra_dct::{all_impls, BasicDa, DaParams, DctImpl};
+use dsra_me::{MeEngine, Systolic2d};
+use dsra_sim::{ExecPlan, Simulator};
+
+/// `engine_step`: raw cycles/second of the flat-plan simulator on the two
+/// array archetypes — the bit-serial DA datapath and the 2-D systolic ME
+/// array. Steady-state stepping performs zero heap allocations.
+fn bench_engine_step(c: &mut Criterion) {
+    let mut g = c.benchmark_group("engine_step");
+    g.sample_size(10).measurement_time(Duration::from_secs(3));
+
+    let da = BasicDa::new(DaParams::precise()).unwrap();
+    let da_plan = ExecPlan::compile(da.netlist()).unwrap();
+    let mut da_sim = Simulator::with_plan(da.netlist(), &da_plan);
+    g.bench_function("basic_da_1k_cycles", |b| {
+        b.iter(|| {
+            da_sim.run(1000);
+            da_sim.cycle()
+        })
+    });
+
+    let me = Systolic2d::new(16).unwrap();
+    let me_plan = ExecPlan::compile(me.netlist()).unwrap();
+    let mut me_sim = Simulator::with_plan(me.netlist(), &me_plan);
+    g.bench_function("systolic2d_1k_cycles", |b| {
+        b.iter(|| {
+            me_sim.run(1000);
+            me_sim.cycle()
+        })
+    });
+
+    // Per-search construction over a shared plan (what the ME worker pays
+    // per job): must stay cheap — buffers only, no graph walk.
+    g.bench_function("with_plan_construction", |b| {
+        b.iter(|| Simulator::with_plan(me.netlist(), &me_plan).cycle())
+    });
+    g.finish();
+}
+
+/// `diff_bits`: the packed XOR+popcount sweep against the map-walk
+/// reference it replaced, over all 36 pairs of the six compiled DCT
+/// mappings — the exact probe the diff-aware scheduler issues.
+fn bench_diff_bits(c: &mut Criterion) {
+    let mut g = c.benchmark_group("diff_bits");
+    g.sample_size(10).measurement_time(Duration::from_secs(3));
+    let fabric = Fabric::da_array(20, 14, MeshSpec::mixed());
+    let bitstreams: Vec<Bitstream> = all_impls(DaParams::precise())
+        .unwrap()
+        .iter()
+        .map(|imp| {
+            let p = place(imp.netlist(), &fabric, PlacerOptions::default()).unwrap();
+            let r = route(imp.netlist(), &fabric, &p, RouterOptions::default()).unwrap();
+            Bitstream::generate(imp.netlist(), &fabric, &p, &r)
+        })
+        .collect();
+    g.bench_function("packed_pairwise", |b| {
+        b.iter(|| {
+            let mut total = 0u64;
+            for a in &bitstreams {
+                for other in &bitstreams {
+                    total += a.diff_bits_packed(other);
+                }
+            }
+            total
+        })
+    });
+    g.bench_function("map_pairwise_reference", |b| {
+        b.iter(|| {
+            let mut total = 0u64;
+            for a in &bitstreams {
+                for other in &bitstreams {
+                    total += a.diff_bits_map(other);
+                }
+            }
+            total
+        })
+    });
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default();
+    targets = bench_engine_step, bench_diff_bits
+}
+criterion_main!(benches);

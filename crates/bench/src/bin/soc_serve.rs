@@ -75,8 +75,14 @@ fn main() {
     );
 
     if json_flag() {
-        std::fs::write("BENCH_runtime.json", report.to_json("E11"))
-            .expect("write BENCH_runtime.json");
+        // The phases object carries this run's wall-clock planning/exec
+        // split; everything else in the document is byte-identical per
+        // seed.
+        std::fs::write(
+            "BENCH_runtime.json",
+            report.to_json_with_phases("E11", runtime.phase_timings()),
+        )
+        .expect("write BENCH_runtime.json");
         println!("wrote BENCH_runtime.json");
     }
 }

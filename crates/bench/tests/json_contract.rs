@@ -4,7 +4,7 @@
 //! write-only — nothing in the workspace could read one back.
 
 use dsra_bench::{json_summary, parse_json, Json, JsonValue};
-use dsra_runtime::{DctMapping, RuntimeConfig, SocRuntime};
+use dsra_runtime::{DctMapping, PhaseTimings, RuntimeConfig, SocRuntime};
 use dsra_video::{generate_job_mix, JobMixConfig, JobMixWeights};
 
 /// The flat `json_summary` shape every per-experiment writer uses:
@@ -115,6 +115,36 @@ fn runtime_report_json_carries_required_keys() {
         assert!(sample.get("job").and_then(Json::as_f64).is_some());
         assert!(sample.get("charge_j").and_then(Json::as_f64).is_some());
     }
+    // `soc_serve --json` writes the timed variant: same document plus a
+    // `phases` object carrying the serve's wall-clock planning/exec split
+    // (ISSUE 4). Both keys are part of the BENCH_runtime.json contract.
+    let timed = report.to_json_with_phases("E11", rt.phase_timings());
+    let tv =
+        parse_json(&timed).unwrap_or_else(|e| panic!("unparseable timed report: {e}\n{timed}"));
+    let ph = tv.get("phases").expect("phases object");
+    for key in ["planning_ms", "exec_ms"] {
+        assert!(
+            ph.get(key).and_then(Json::as_f64).is_some(),
+            "missing phase key {key}"
+        );
+    }
+    // Stripping the phases object back out recovers the deterministic
+    // document byte for byte.
+    let explicit = report.to_json_with_phases(
+        "E11",
+        PhaseTimings {
+            planning_ms: 1.5,
+            exec_ms: 2.5,
+        },
+    );
+    let stripped: String = explicit
+        .lines()
+        .filter(|l| !l.contains("\"phases\""))
+        .collect::<Vec<_>>()
+        .join("\n")
+        + "\n";
+    assert_eq!(stripped, doc, "phases must be a pure addition");
+
     let arrays = v.get("arrays").and_then(Json::as_array).expect("arrays");
     assert_eq!(arrays.len(), 2);
     for a in arrays {

@@ -34,11 +34,22 @@ pub enum FrameAddr {
 }
 
 /// A fully assembled configuration for one fabric.
+///
+/// Besides the per-frame map, a bitstream carries a canonical **packed**
+/// representation built once at generation time: a sorted frame index over
+/// one contiguous word plane. Diffing two packed bitstreams is a single
+/// merge sweep of XOR + popcount over word slices — no `BTreeSet` of keys,
+/// no per-frame map lookups, no allocation (see [`Bitstream::diff_bits_packed`]).
 #[derive(Debug, Clone, Default)]
 pub struct Bitstream {
     frames: BTreeMap<FrameAddr, Vec<u64>>,
     cluster_bits: u64,
     routing_bits: u64,
+    /// Sorted `(frame, start, len)` index into `words` (frame-address order,
+    /// mirroring the `BTreeMap` iteration order).
+    index: Vec<(FrameAddr, u32, u32)>,
+    /// All frame words, contiguous, in index order.
+    words: Vec<u64>,
 }
 
 impl Bitstream {
@@ -78,7 +89,45 @@ impl Bitstream {
             let lane_bits = u64::from(route.lanes);
             bs.routing_bits += (route.edges.len() as u64 + 2) * lane_bits;
         }
+        bs.pack();
         bs
+    }
+
+    /// Builds a bitstream directly from a frame map — for diff algebra
+    /// tests and synthetic workloads. Only the frames (and therefore
+    /// [`Bitstream::diff_bits`] / [`Bitstream::fingerprint`]) are
+    /// meaningful; the cluster/routing bit totals of a synthetic stream are
+    /// zero.
+    pub fn from_frames(frames: BTreeMap<FrameAddr, Vec<u64>>) -> Self {
+        let mut bs = Bitstream {
+            frames,
+            ..Bitstream::default()
+        };
+        bs.pack();
+        bs
+    }
+
+    /// Rebuilds the packed index/word plane from the frame map.
+    fn pack(&mut self) {
+        self.index.clear();
+        self.words.clear();
+        self.index.reserve(self.frames.len());
+        for (addr, words) in &self.frames {
+            let start = self.words.len() as u32;
+            self.words.extend_from_slice(words);
+            self.index.push((*addr, start, words.len() as u32));
+        }
+    }
+
+    /// The packed words of one frame, if present (binary search over the
+    /// sorted index).
+    pub fn packed_frame(&self, addr: FrameAddr) -> Option<&[u64]> {
+        let i = self
+            .index
+            .binary_search_by(|&(a, _, _)| a.cmp(&addr))
+            .ok()?;
+        let (_, start, len) = self.index[i];
+        Some(&self.words[start as usize..(start + len) as usize])
     }
 
     /// Total configuration bits (clusters + routing).
@@ -138,8 +187,58 @@ impl Bitstream {
     /// cost of a partial reconfiguration from `self` to `other`.
     ///
     /// Frames present on only one side count in full (they must be written
-    /// or cleared).
+    /// or cleared). Delegates to the packed sweep
+    /// ([`Bitstream::diff_bits_packed`]); the original map walk survives as
+    /// [`Bitstream::diff_bits_map`], the reference the property tests hold
+    /// the fast path against.
     pub fn diff_bits(&self, other: &Bitstream) -> u64 {
+        self.diff_bits_packed(other)
+    }
+
+    /// Allocation-free diff over the packed representation: one merge walk
+    /// of the two sorted frame indexes, XOR + popcount over the word planes.
+    pub fn diff_bits_packed(&self, other: &Bitstream) -> u64 {
+        let mut bits = 0u64;
+        let (mut i, mut j) = (0usize, 0usize);
+        while i < self.index.len() && j < other.index.len() {
+            let (ka, sa, la) = self.index[i];
+            let (kb, sb, lb) = other.index[j];
+            match ka.cmp(&kb) {
+                std::cmp::Ordering::Less => {
+                    bits += ones(&self.words[sa as usize..(sa + la) as usize]);
+                    i += 1;
+                }
+                std::cmp::Ordering::Greater => {
+                    bits += ones(&other.words[sb as usize..(sb + lb) as usize]);
+                    j += 1;
+                }
+                std::cmp::Ordering::Equal => {
+                    let a = &self.words[sa as usize..(sa + la) as usize];
+                    let b = &other.words[sb as usize..(sb + lb) as usize];
+                    let common = a.len().min(b.len());
+                    for (wa, wb) in a[..common].iter().zip(&b[..common]) {
+                        bits += u64::from((wa ^ wb).count_ones());
+                    }
+                    bits += ones(&a[common..]);
+                    bits += ones(&b[common..]);
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+        for &(_, s, l) in &self.index[i..] {
+            bits += ones(&self.words[s as usize..(s + l) as usize]);
+        }
+        for &(_, s, l) in &other.index[j..] {
+            bits += ones(&other.words[s as usize..(s + l) as usize]);
+        }
+        bits
+    }
+
+    /// The original map-based diff (BTreeSet key union + per-frame
+    /// lookups), kept as the executable specification of
+    /// [`Bitstream::diff_bits_packed`].
+    pub fn diff_bits_map(&self, other: &Bitstream) -> u64 {
         let mut bits = 0u64;
         let keys: std::collections::BTreeSet<_> = self
             .frames
@@ -165,6 +264,11 @@ impl Bitstream {
         }
         bits
     }
+}
+
+/// Total set bits in a word slice.
+fn ones(words: &[u64]) -> u64 {
+    words.iter().map(|w| u64::from(w.count_ones())).sum()
 }
 
 pub(crate) fn encode_cluster(cfg: &crate::cluster::ClusterCfg) -> Vec<u64> {
@@ -334,5 +438,32 @@ mod tests {
         let b1 = mk(0xFF);
         // 16 words x 8 flipped bits = 128 differing content bits.
         assert!(b0.diff_bits(&b1) >= 128);
+    }
+
+    #[test]
+    fn packed_diff_matches_map_diff_on_compiled_streams() {
+        let (nl1, f, p1, r1) = build(AbsDiffMode::AbsDiff);
+        let (nl2, _, p2, r2) = build(AbsDiffMode::Sub);
+        let a = Bitstream::generate(&nl1, &f, &p1, &r1);
+        let b = Bitstream::generate(&nl2, &f, &p2, &r2);
+        assert_eq!(a.diff_bits_packed(&b), a.diff_bits_map(&b));
+        assert_eq!(a.diff_bits_packed(&a), 0);
+    }
+
+    #[test]
+    fn packing_round_trips_every_frame() {
+        let (nl, f, p, r) = build(AbsDiffMode::AbsDiff);
+        let bs = Bitstream::generate(&nl, &f, &p, &r);
+        assert!(bs.frame_count() > 0);
+        for (addr, words) in &bs.frames {
+            assert_eq!(bs.packed_frame(*addr), Some(words.as_slice()));
+        }
+        assert_eq!(
+            bs.packed_frame(FrameAddr::Site {
+                x: u16::MAX,
+                y: u16::MAX
+            }),
+            None
+        );
     }
 }

@@ -8,7 +8,11 @@
 //!   fingerprints compile to bitstreams with equal fingerprints and zero
 //!   diff; distinct kernels differ in both.
 
+use std::collections::BTreeMap;
+
+use dsra_core::bitstream::FrameAddr;
 use dsra_core::prelude::*;
+use dsra_core::rng::SplitMix64;
 use proptest::prelude::*;
 
 /// A small parameterised DA-style kernel: an add/sub datapath plus a ROM
@@ -56,6 +60,71 @@ fn compile(nl: &Netlist) -> Bitstream {
     let p = place(nl, &fabric, PlacerOptions::default()).unwrap();
     let r = route(nl, &fabric, &p, RouterOptions::default()).unwrap();
     Bitstream::generate(nl, &fabric, &p, &r)
+}
+
+/// Random frame map over a deliberately small address space, so two
+/// independently drawn maps share some keys, miss others (asymmetric key
+/// sets) and disagree on word counts (length mismatches) — every branch of
+/// the diff.
+fn random_frames(seed: u64, frames: u64, max_words: u64) -> BTreeMap<FrameAddr, Vec<u64>> {
+    let mut rng = SplitMix64::new(seed);
+    let mut map = BTreeMap::new();
+    for _ in 0..frames {
+        let addr = if rng.next_below(2) == 0 {
+            FrameAddr::Site {
+                x: rng.next_below(4) as u16,
+                y: rng.next_below(4) as u16,
+            }
+        } else {
+            FrameAddr::Edge {
+                id: rng.next_below(12) as u32,
+                bus: rng.next_below(2) == 1,
+            }
+        };
+        let len = 1 + rng.next_below(max_words) as usize;
+        map.insert(addr, (0..len).map(|_| rng.next_u64()).collect());
+    }
+    map
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// The packed merge sweep is exactly the map-based diff, on arbitrary
+    /// frame maps — asymmetric keys and mismatched frame lengths included.
+    #[test]
+    fn prop_packed_diff_agrees_with_map_diff(
+        seed_a in 0u64..1 << 48,
+        seed_b in 0u64..1 << 48,
+        frames_a in 0u64..24,
+        frames_b in 0u64..24,
+        max_words in 1u64..6,
+    ) {
+        let a = Bitstream::from_frames(random_frames(seed_a, frames_a, max_words));
+        let b = Bitstream::from_frames(random_frames(seed_b, frames_b, max_words));
+        prop_assert_eq!(a.diff_bits_packed(&b), a.diff_bits_map(&b));
+        prop_assert_eq!(b.diff_bits_packed(&a), a.diff_bits_packed(&b), "symmetry");
+        prop_assert_eq!(a.diff_bits_packed(&a), 0);
+        prop_assert_eq!(b.diff_bits_packed(&b), 0);
+    }
+
+    /// Packing a frame map and reading frames back through the packed index
+    /// round-trips every frame (and only those frames).
+    #[test]
+    fn prop_packing_round_trips(
+        seed in 0u64..1 << 48,
+        frames in 0u64..24,
+        max_words in 1u64..6,
+    ) {
+        let map = random_frames(seed, frames, max_words);
+        let bs = Bitstream::from_frames(map.clone());
+        for (addr, words) in &map {
+            prop_assert_eq!(bs.packed_frame(*addr), Some(words.as_slice()));
+        }
+        let absent = FrameAddr::Site { x: u16::MAX, y: u16::MAX };
+        prop_assert_eq!(bs.packed_frame(absent), None);
+        prop_assert_eq!(bs.frame_count(), map.len());
+    }
 }
 
 proptest! {

@@ -27,7 +27,7 @@ use dsra_sim::Simulator;
 
 use crate::da::{add_controls, da_lane, encode_sample, ControlPins, DaParams};
 use crate::factor::{solve_sandwich, solve_scaled_sandwich, Sandwich, ScaledSandwich};
-use crate::harness::DctImpl;
+use crate::harness::{BlockIo, DctImpl};
 use crate::mixed_rom::{build_butterfly_stage, STAGE_WIDTH};
 use crate::reference;
 
@@ -268,6 +268,7 @@ pub struct Cordic1 {
     sched: Schedule,
     /// Which odd output index (0..4 ⇒ X1,X3,X5,X7) each Y-lane produces.
     cycles: u64,
+    io: BlockIo,
 }
 
 impl Cordic1 {
@@ -382,7 +383,7 @@ impl Cordic1 {
                 nl.connect((acc, "y"), (y, "in"))?;
             }
         }
-        nl.check()?;
+        let io = BlockIo::new(&nl)?;
         let max_row_norm = fact
             .x_blocks
             .iter()
@@ -396,6 +397,7 @@ impl Cordic1 {
             params,
             sched,
             cycles,
+            io,
         })
     }
 }
@@ -414,9 +416,9 @@ impl DctImpl for Cordic1 {
     }
 
     fn transform(&self, x: &[i64; 8]) -> Result<[f64; 8]> {
-        let mut sim = Simulator::new(&self.netlist)?;
+        let mut sim = self.io.sim(&self.netlist);
         for (i, &v) in x.iter().enumerate() {
-            sim.set(&format!("x{i}"), encode_sample(v, self.params.input_bits))?;
+            sim.drive(self.io.xs[i], encode_sample(v, self.params.input_bits));
         }
         sim.set("ctl_accen2", 0)?;
         sim.set("ctl_sub2", 0)?;
@@ -434,12 +436,13 @@ impl DctImpl for Cordic1 {
 
         let mut out = [0.0; 8];
         for u in [0usize, 2, 4, 6] {
-            let raw = sim.get(&format!("y{u}"))?;
-            out[u] = self.params.decode_acc(raw, self.sched.b1);
+            out[u] = self
+                .params
+                .decode_acc(sim.read(self.io.ys[u]), self.sched.b1);
         }
         let exp = self.sched.phase2_exp(&self.params);
         for u in [1usize, 3, 5, 7] {
-            let raw = sim.get(&format!("y{u}"))?;
+            let raw = sim.read(self.io.ys[u]);
             out[u] = to_signed(raw, self.params.acc_width) as f64 * 2f64.powi(exp);
         }
         Ok(out)
@@ -466,6 +469,12 @@ pub struct Cordic2 {
     sched: Schedule,
     scales: [f64; 4],
     cycles: u64,
+    plan: dsra_sim::ExecPlan,
+    xs: [dsra_sim::InputPort; 8],
+    /// Even parallel outputs `y0/y2/y4/y6`, indexed by `u / 2`.
+    y_even: [dsra_sim::OutputPort; 4],
+    /// Odd serial streams `so1/so3/so5/so7`, indexed by `(u - 1) / 2`.
+    so: [dsra_sim::OutputPort; 4],
 }
 
 impl Cordic2 {
@@ -597,7 +606,20 @@ impl Cordic2 {
             let y = nl.output(format!("so{}", 2 * r + 1), 1)?;
             nl.connect(src, (y, "in"))?;
         }
-        nl.check()?;
+        let plan = dsra_sim::ExecPlan::compile(&nl)?;
+        let mut xs = Vec::with_capacity(8);
+        for i in 0..8 {
+            xs.push(dsra_sim::InputPort::resolve(&nl, &format!("x{i}"))?);
+        }
+        let mut y_even = Vec::with_capacity(4);
+        let mut so = Vec::with_capacity(4);
+        for k in 0..4 {
+            y_even.push(dsra_sim::OutputPort::resolve(&nl, &format!("y{}", 2 * k))?);
+            so.push(dsra_sim::OutputPort::resolve(
+                &nl,
+                &format!("so{}", 2 * k + 1),
+            )?);
+        }
         let max_row_norm = fact
             .x_blocks
             .iter()
@@ -614,6 +636,10 @@ impl Cordic2 {
             sched,
             scales: fact.scales,
             cycles,
+            plan,
+            xs: xs.try_into().expect("8 inputs"),
+            y_even: y_even.try_into().expect("4 even outputs"),
+            so: so.try_into().expect("4 serial outputs"),
         })
     }
 
@@ -638,9 +664,9 @@ impl DctImpl for Cordic2 {
     }
 
     fn transform(&self, x: &[i64; 8]) -> Result<[f64; 8]> {
-        let mut sim = Simulator::new(&self.netlist)?;
+        let mut sim = Simulator::with_plan(&self.netlist, &self.plan);
         for (i, &v) in x.iter().enumerate() {
-            sim.set(&format!("x{i}"), encode_sample(v, self.params.input_bits))?;
+            sim.drive(self.xs[i], encode_sample(v, self.params.input_bits));
         }
         sim.set("ctl_accen2", 0)?;
         sim.set("ctl_sub2", 0)?;
@@ -651,8 +677,7 @@ impl DctImpl for Cordic2 {
         for t in 0..self.sched.b2 {
             sim.step();
             for (s, stream) in streams.iter_mut().enumerate() {
-                let bit = sim.get(&format!("so{}", 2 * s + 1))?;
-                *stream |= bit << t;
+                *stream |= sim.read(self.so[s]) << t;
             }
         }
         sim.set("ctl_sh", 0)?;
@@ -660,14 +685,14 @@ impl DctImpl for Cordic2 {
 
         let mut out = [0.0; 8];
         // Parallel scaled outputs.
-        let x0_raw = sim.get("y0")?;
-        let x4_raw = sim.get("y4")?;
+        let x0_raw = sim.read(self.y_even[0]);
+        let x4_raw = sim.read(self.y_even[2]);
         let c4 = (std::f64::consts::PI / 4.0).cos();
         out[0] = to_signed(x0_raw, STAGE_WIDTH) as f64 * alpha0();
         out[4] = to_signed(x4_raw, STAGE_WIDTH) as f64 * alpha() * c4;
         // Even rotator outputs.
         for u in [2usize, 6] {
-            let raw = sim.get(&format!("y{u}"))?;
+            let raw = sim.read(self.y_even[u / 2]);
             out[u] = self.params.decode_acc(raw, self.sched.b1);
         }
         // Odd serial streams, with the quantiser-side scale factors.

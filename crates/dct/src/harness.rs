@@ -3,17 +3,54 @@
 use dsra_core::error::Result;
 use dsra_core::netlist::Netlist;
 use dsra_core::report::ResourceReport;
-use dsra_sim::Simulator;
+use dsra_sim::{ExecPlan, InputPort, OutputPort, Simulator};
 
 use crate::da::DaParams;
 use crate::reference;
+
+/// Per-mapping simulation assets compiled once at construction: the flat
+/// execution plan plus resolved `x0..x7` / `y0..y7` pin handles. `transform`
+/// builds one cheap simulator per block over the shared plan instead of
+/// re-walking the netlist graph every time.
+#[derive(Debug)]
+pub(crate) struct BlockIo {
+    plan: ExecPlan,
+    pub(crate) xs: [InputPort; 8],
+    pub(crate) ys: [OutputPort; 8],
+}
+
+impl BlockIo {
+    /// Compiles the plan and resolves the standard block pins.
+    pub(crate) fn new(netlist: &Netlist) -> Result<Self> {
+        let plan = ExecPlan::compile(netlist)?;
+        let mut xs = Vec::with_capacity(8);
+        let mut ys = Vec::with_capacity(8);
+        for i in 0..8 {
+            xs.push(InputPort::resolve(netlist, &format!("x{i}"))?);
+            ys.push(OutputPort::resolve(netlist, &format!("y{i}"))?);
+        }
+        Ok(BlockIo {
+            plan,
+            xs: xs.try_into().expect("8 inputs"),
+            ys: ys.try_into().expect("8 outputs"),
+        })
+    }
+
+    /// A fresh simulator over the shared plan.
+    pub(crate) fn sim<'n>(&'n self, netlist: &'n Netlist) -> Simulator<'n> {
+        Simulator::with_plan(netlist, &self.plan)
+    }
+}
 
 /// A DCT implementation mapped onto the distributed-arithmetic array.
 ///
 /// All six mappings of §3 implement this trait: they expose their structural
 /// netlist (for placement/routing/area accounting) and a `transform` driver
 /// that plays the SoC controller, steering the control pins cycle by cycle.
-pub trait DctImpl {
+///
+/// `Send` so runtimes can keep per-array engine caches and hand them to
+/// worker threads (every mapping is plain owned data).
+pub trait DctImpl: Send {
     /// Display name (column header of Table 1).
     fn name(&self) -> &'static str;
 

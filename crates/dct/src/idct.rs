@@ -13,7 +13,7 @@ use dsra_core::error::Result;
 use dsra_core::netlist::{Netlist, NodeId};
 
 use crate::da::{add_controls, da_lane, encode_sample, serializer, DaParams};
-use crate::harness::{run_single_phase, DctImpl};
+use crate::harness::{run_single_phase, BlockIo, DctImpl};
 use crate::reference;
 
 /// Bit-serial DA inverse DCT (structure of Fig. 4, transposed coefficients).
@@ -22,6 +22,7 @@ pub struct BasicIdct {
     netlist: Netlist,
     params: DaParams,
     cycles: u64,
+    io: BlockIo,
 }
 
 impl BasicIdct {
@@ -61,11 +62,12 @@ impl BasicIdct {
             let y = nl.output(format!("y{i}"), params.acc_width)?;
             nl.connect((acc, "y"), (y, "in"))?;
         }
-        nl.check()?;
+        let io = BlockIo::new(&nl)?;
         Ok(BasicIdct {
             netlist: nl,
             params,
             cycles: u64::from(params.input_bits) + 2,
+            io,
         })
     }
 
@@ -74,15 +76,16 @@ impl BasicIdct {
     /// # Errors
     /// Propagates driver errors.
     pub fn inverse(&self, coeffs: &[i64; 8]) -> Result<[f64; 8]> {
-        let mut sim = dsra_sim::Simulator::new(&self.netlist)?;
+        let mut sim = self.io.sim(&self.netlist);
         for (u, &v) in coeffs.iter().enumerate() {
-            sim.set(&format!("x{u}"), encode_sample(v, self.params.input_bits))?;
+            sim.drive(self.io.xs[u], encode_sample(v, self.params.input_bits));
         }
         run_single_phase(&mut sim, self.params.input_bits)?;
         let mut out = [0.0; 8];
         for (i, o) in out.iter_mut().enumerate() {
-            let raw = sim.get(&format!("y{i}"))?;
-            *o = self.params.decode_acc(raw, self.params.input_bits);
+            *o = self
+                .params
+                .decode_acc(sim.read(self.io.ys[i]), self.params.input_bits);
         }
         Ok(out)
     }

@@ -12,7 +12,7 @@ use dsra_core::error::Result;
 use dsra_core::netlist::{Netlist, NodeId};
 
 use crate::da::{add_controls, da_lane, encode_sample, serializer, DaParams};
-use crate::harness::{run_single_phase, DctImpl};
+use crate::harness::{run_single_phase, BlockIo, DctImpl};
 use crate::reference;
 
 /// Internal butterfly datapath width (sign-extended from the input width).
@@ -25,6 +25,7 @@ pub struct MixedRom {
     params: DaParams,
     stream_bits: u8,
     cycles: u64,
+    io: BlockIo,
 }
 
 /// Builds the shared front half of the Mixed-ROM/SCC structures: inputs,
@@ -145,7 +146,7 @@ impl MixedRom {
             let y = nl.output(format!("y{}", 2 * k + 1), params.acc_width)?;
             nl.connect((acc, "y"), (y, "in"))?;
         }
-        nl.check()?;
+        let io = BlockIo::new(&nl)?;
         // Butterfly sums occupy one extra bit: stream two guard cycles.
         let stream_bits = params.input_bits + 2;
         Ok(MixedRom {
@@ -153,19 +154,21 @@ impl MixedRom {
             params,
             stream_bits,
             cycles: u64::from(stream_bits) + 2,
+            io,
         })
     }
 
     pub(crate) fn transform_named(&self, x: &[i64; 8]) -> Result<[f64; 8]> {
-        let mut sim = dsra_sim::Simulator::new(&self.netlist)?;
+        let mut sim = self.io.sim(&self.netlist);
         for (i, &v) in x.iter().enumerate() {
-            sim.set(&format!("x{i}"), encode_sample(v, self.params.input_bits))?;
+            sim.drive(self.io.xs[i], encode_sample(v, self.params.input_bits));
         }
         run_single_phase(&mut sim, self.stream_bits)?;
         let mut out = [0.0; 8];
         for (u, o) in out.iter_mut().enumerate() {
-            let raw = sim.get(&format!("y{u}"))?;
-            *o = self.params.decode_acc(raw, self.stream_bits);
+            *o = self
+                .params
+                .decode_acc(sim.read(self.io.ys[u]), self.stream_bits);
         }
         Ok(out)
     }

@@ -26,7 +26,7 @@ use dsra_core::error::Result;
 use dsra_core::netlist::{Netlist, NodeId};
 
 use crate::da::{add_controls, da_lane, encode_sample, serializer, DaParams};
-use crate::harness::{run_single_phase, DctImpl};
+use crate::harness::{run_single_phase, BlockIo, DctImpl};
 use crate::mixed_rom::MixedRom;
 use crate::reference;
 
@@ -118,6 +118,7 @@ pub struct SccFull {
     cycles: u64,
     /// `slot_of_input[i]` = serialiser slot of input `x_i`.
     slot_of_input: [usize; 8],
+    io: BlockIo,
 }
 
 impl SccFull {
@@ -171,12 +172,13 @@ impl SccFull {
             let y = nl.output(format!("y{u}"), params.acc_width)?;
             nl.connect((acc, "y"), (y, "in"))?;
         }
-        nl.check()?;
+        let io = BlockIo::new(&nl)?;
         Ok(SccFull {
             netlist: nl,
             params,
             cycles: u64::from(params.input_bits) + 2,
             slot_of_input,
+            io,
         })
     }
 
@@ -210,15 +212,16 @@ impl DctImpl for SccFull {
     }
 
     fn transform(&self, x: &[i64; 8]) -> Result<[f64; 8]> {
-        let mut sim = dsra_sim::Simulator::new(&self.netlist)?;
+        let mut sim = self.io.sim(&self.netlist);
         for (i, &v) in x.iter().enumerate() {
-            sim.set(&format!("x{i}"), encode_sample(v, self.params.input_bits))?;
+            sim.drive(self.io.xs[i], encode_sample(v, self.params.input_bits));
         }
         run_single_phase(&mut sim, self.params.input_bits)?;
         let mut out = [0.0; 8];
         for (u, o) in out.iter_mut().enumerate() {
-            let raw = sim.get(&format!("y{u}"))?;
-            *o = self.params.decode_acc(raw, self.params.input_bits);
+            *o = self
+                .params
+                .decode_acc(sim.read(self.io.ys[u]), self.params.input_bits);
         }
         Ok(out)
     }

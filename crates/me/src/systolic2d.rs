@@ -21,7 +21,7 @@
 use dsra_core::cluster::{AbsDiffMode, AddOp, ClusterCfg, CompMode};
 use dsra_core::error::Result;
 use dsra_core::netlist::{Netlist, NodeId};
-use dsra_sim::Simulator;
+use dsra_sim::{ExecPlan, InputPort, OutputPort, Simulator};
 
 use crate::harness::{pack_mv, unpack_mv, MeEngine, MeSearchResult};
 use crate::reference::{candidate_valid, Match, Plane, SearchParams};
@@ -43,11 +43,30 @@ pub enum AccumStructure {
     Tree,
 }
 
+/// Resolved pin handles for the 2-D systolic driver — one name lookup per
+/// pin at construction instead of a formatted lookup per pixel per cycle.
+#[derive(Debug)]
+struct S2dPins {
+    cur: Vec<InputPort>,
+    refs: Vec<InputPort>,
+    men: [InputPort; MODULES],
+    mclr: InputPort,
+    sel0: InputPort,
+    sel1: InputPort,
+    cmp_en: InputPort,
+    cmp_clr: InputPort,
+    cmp_idx: InputPort,
+    best_sad: OutputPort,
+    best_idx: OutputPort,
+}
+
 /// The 2-D systolic array engine.
 #[derive(Debug)]
 pub struct Systolic2d {
     netlist: Netlist,
     n: usize,
+    plan: ExecPlan,
+    pins: S2dPins,
 }
 
 impl Systolic2d {
@@ -245,8 +264,32 @@ impl Systolic2d {
         let best_idx = nl.output("best_idx", 16)?;
         nl.connect((comp, "best_idx"), (best_idx, "in"))?;
 
-        nl.check()?;
-        Ok(Systolic2d { netlist: nl, n })
+        let plan = ExecPlan::compile(&nl)?;
+        let pins = S2dPins {
+            cur: (0..n)
+                .map(|j| InputPort::resolve(&nl, &format!("cur{j}")))
+                .collect::<Result<_>>()?,
+            refs: (0..n)
+                .map(|j| InputPort::resolve(&nl, &format!("ref{j}")))
+                .collect::<Result<_>>()?,
+            men: std::array::from_fn(|m| {
+                InputPort::resolve(&nl, &format!("men{m}")).expect("men pin exists")
+            }),
+            mclr: InputPort::resolve(&nl, "mclr")?,
+            sel0: InputPort::resolve(&nl, "sel0")?,
+            sel1: InputPort::resolve(&nl, "sel1")?,
+            cmp_en: InputPort::resolve(&nl, "cmp_en")?,
+            cmp_clr: InputPort::resolve(&nl, "cmp_clr")?,
+            cmp_idx: InputPort::resolve(&nl, "cmp_idx")?,
+            best_sad: OutputPort::resolve(&nl, "best_sad")?,
+            best_idx: OutputPort::resolve(&nl, "best_idx")?,
+        };
+        Ok(Systolic2d {
+            netlist: nl,
+            n,
+            plan,
+            pins,
+        })
     }
 
     /// Block edge this array was built for.
@@ -285,16 +328,17 @@ impl MeEngine for Systolic2d {
         );
         let n = self.n;
         let p = params.range;
-        let mut sim = Simulator::new(&self.netlist)?;
+        let pins = &self.pins;
+        let mut sim = Simulator::with_plan(&self.netlist, &self.plan);
         let mut ref_fetches = 0u64;
         let mut ref_fetches_naive = 0u64;
         let mut cur_fetches = 0u64;
         let mut candidates = 0u64;
 
         // Reset the comparator.
-        sim.set("cmp_clr", 1)?;
+        sim.drive(pins.cmp_clr, 1);
         sim.step();
-        sim.set("cmp_clr", 0)?;
+        sim.drive(pins.cmp_clr, 0);
 
         for dx in -p..=p {
             let mut dy_base = -p;
@@ -311,12 +355,12 @@ impl MeEngine for Systolic2d {
                 ref_fetches_naive += (batch.len() * n * n) as u64;
 
                 // Clear the module accumulators.
-                sim.set("mclr", 1)?;
+                sim.drive(pins.mclr, 1);
                 for m in 0..MODULES {
-                    sim.set(&format!("men{m}"), 0)?;
+                    sim.drive(pins.men[m], 0);
                 }
                 sim.step();
-                sim.set("mclr", 0)?;
+                sim.drive(pins.mclr, 0);
 
                 // Stream n + MODULES - 1 rows (stagger tail).
                 let dy0 = i64::from(batch[0].1) - batch[0].0 as i64; // dy of module 0 slot
@@ -328,7 +372,7 @@ impl MeEngine for Systolic2d {
                         } else {
                             0
                         };
-                        sim.set(&format!("cur{j}"), v)?;
+                        sim.drive(pins.cur[j], v);
                     }
                     if t < n {
                         cur_fetches += n as u64;
@@ -339,39 +383,39 @@ impl MeEngine for Systolic2d {
                     if row_needed && ry >= 0 && (ry as usize) < reference.height() {
                         for j in 0..n {
                             let x = (bx as i64 + i64::from(dx)) as usize + j;
-                            sim.set(&format!("ref{j}"), u64::from(reference.at(x, ry as usize)))?;
+                            sim.drive(pins.refs[j], u64::from(reference.at(x, ry as usize)));
                         }
                         ref_fetches += n as u64;
                     } else {
                         for j in 0..n {
-                            sim.set(&format!("ref{j}"), 0)?;
+                            sim.drive(pins.refs[j], 0);
                         }
                     }
                     // Module m accumulates during its n-cycle window.
                     for m in 0..MODULES {
                         let active = batch.iter().any(|&(bm, _)| bm == m && t >= m && t < m + n);
-                        sim.set(&format!("men{m}"), u64::from(active))?;
+                        sim.drive(pins.men[m], u64::from(active));
                     }
                     sim.step();
                 }
                 for m in 0..MODULES {
-                    sim.set(&format!("men{m}"), 0)?;
+                    sim.drive(pins.men[m], 0);
                 }
                 // Drain: compare each module SAD against the running best.
                 for &(m, dy) in &batch {
-                    sim.set("sel0", (m & 1) as u64)?;
-                    sim.set("sel1", ((m >> 1) & 1) as u64)?;
-                    sim.set("cmp_en", 1)?;
-                    sim.set("cmp_idx", pack_mv(dx, dy, p))?;
+                    sim.drive(pins.sel0, (m & 1) as u64);
+                    sim.drive(pins.sel1, ((m >> 1) & 1) as u64);
+                    sim.drive(pins.cmp_en, 1);
+                    sim.drive(pins.cmp_idx, pack_mv(dx, dy, p));
                     sim.step();
                 }
-                sim.set("cmp_en", 0)?;
+                sim.drive(pins.cmp_en, 0);
             }
         }
         // Let the registered comparator outputs settle.
         sim.step();
-        let best_sad = sim.get("best_sad")?;
-        let best_idx = sim.get("best_idx")?;
+        let best_sad = sim.read(pins.best_sad);
+        let best_idx = sim.read(pins.best_idx);
         Ok(MeSearchResult {
             best: Match {
                 mv: unpack_mv(best_idx, p),

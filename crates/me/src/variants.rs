@@ -15,7 +15,7 @@
 use dsra_core::cluster::{AbsDiffMode, AddOp, ClusterCfg, CompMode};
 use dsra_core::error::Result;
 use dsra_core::netlist::{Netlist, NodeId};
-use dsra_sim::Simulator;
+use dsra_sim::{ExecPlan, InputPort, Simulator};
 
 use crate::harness::{pack_mv, unpack_mv, MeEngine, MeSearchResult};
 use crate::reference::{candidate_valid, Match, Plane, SearchParams};
@@ -50,6 +50,9 @@ fn comparator_stage(nl: &mut Netlist, x_src: (NodeId, &str)) -> Result<()> {
 pub struct Systolic1d {
     netlist: Netlist,
     n: usize,
+    plan: ExecPlan,
+    cur_pins: Vec<InputPort>,
+    ref_pins: Vec<InputPort>,
 }
 
 impl Systolic1d {
@@ -103,8 +106,20 @@ impl Systolic1d {
         nl.connect((men, "out"), (acc, "en"))?;
         nl.connect((mclr, "out"), (acc, "clr"))?;
         comparator_stage(&mut nl, (acc, "y"))?;
-        nl.check()?;
-        Ok(Systolic1d { netlist: nl, n })
+        let plan = ExecPlan::compile(&nl)?;
+        let cur_pins = (0..n)
+            .map(|j| InputPort::resolve(&nl, &format!("cur{j}")))
+            .collect::<Result<_>>()?;
+        let ref_pins = (0..n)
+            .map(|j| InputPort::resolve(&nl, &format!("ref{j}")))
+            .collect::<Result<_>>()?;
+        Ok(Systolic1d {
+            netlist: nl,
+            n,
+            plan,
+            cur_pins,
+            ref_pins,
+        })
     }
 }
 
@@ -128,7 +143,7 @@ impl MeEngine for Systolic1d {
         assert_eq!(params.block, self.n);
         let n = self.n;
         let p = params.range;
-        let mut sim = Simulator::new(&self.netlist)?;
+        let mut sim = Simulator::with_plan(&self.netlist, &self.plan);
         sim.set("cmp_clr", 1)?;
         sim.step();
         sim.set("cmp_clr", 0)?;
@@ -149,7 +164,7 @@ impl MeEngine for Systolic1d {
                     continue;
                 }
                 stats.best.candidates += 1;
-                run_candidate_rows(&mut sim, cur, reference, bx, by, dx, dy, n, &mut stats)?;
+                self.run_candidate_rows(&mut sim, cur, reference, bx, by, dx, dy, &mut stats)?;
                 sim.set("cmp_en", 1)?;
                 sim.set("cmp_idx", pack_mv(dx, dy, p))?;
                 sim.step();
@@ -162,38 +177,41 @@ impl MeEngine for Systolic1d {
     }
 }
 
-/// Streams the `n` rows of one candidate through a 1-D PE row.
-#[allow(clippy::too_many_arguments)]
-fn run_candidate_rows(
-    sim: &mut Simulator<'_>,
-    cur: &Plane,
-    reference: &Plane,
-    bx: usize,
-    by: usize,
-    dx: i32,
-    dy: i32,
-    n: usize,
-    stats: &mut MeSearchResult,
-) -> Result<()> {
-    sim.set("mclr", 1)?;
-    sim.set("men", 0)?;
-    sim.step();
-    sim.set("mclr", 0)?;
-    sim.set("men", 1)?;
-    for t in 0..n {
-        for j in 0..n {
-            sim.set(&format!("cur{j}"), u64::from(cur.at(bx + j, by + t)))?;
-            let rx = (bx as i64 + i64::from(dx)) as usize + j;
-            let ry = (by as i64 + i64::from(dy)) as usize + t;
-            sim.set(&format!("ref{j}"), u64::from(reference.at(rx, ry)))?;
-        }
-        stats.cur_fetches += n as u64;
-        stats.ref_fetches += n as u64;
-        stats.ref_fetches_naive += n as u64;
+impl Systolic1d {
+    /// Streams the `n` rows of one candidate through the 1-D PE row.
+    #[allow(clippy::too_many_arguments)]
+    fn run_candidate_rows(
+        &self,
+        sim: &mut Simulator<'_>,
+        cur: &Plane,
+        reference: &Plane,
+        bx: usize,
+        by: usize,
+        dx: i32,
+        dy: i32,
+        stats: &mut MeSearchResult,
+    ) -> Result<()> {
+        let n = self.n;
+        sim.set("mclr", 1)?;
+        sim.set("men", 0)?;
         sim.step();
+        sim.set("mclr", 0)?;
+        sim.set("men", 1)?;
+        for t in 0..n {
+            for j in 0..n {
+                sim.drive(self.cur_pins[j], u64::from(cur.at(bx + j, by + t)));
+                let rx = (bx as i64 + i64::from(dx)) as usize + j;
+                let ry = (by as i64 + i64::from(dy)) as usize + t;
+                sim.drive(self.ref_pins[j], u64::from(reference.at(rx, ry)));
+            }
+            stats.cur_fetches += n as u64;
+            stats.ref_fetches += n as u64;
+            stats.ref_fetches_naive += n as u64;
+            sim.step();
+        }
+        sim.set("men", 0)?;
+        Ok(())
     }
-    sim.set("men", 0)?;
-    Ok(())
 }
 
 fn finish(sim: &mut Simulator<'_>, range: i32, stats: &mut MeSearchResult) -> Result<()> {
@@ -210,6 +228,7 @@ fn finish(sim: &mut Simulator<'_>, range: i32, stats: &mut MeSearchResult) -> Re
 pub struct Sequential {
     netlist: Netlist,
     n: usize,
+    plan: ExecPlan,
 }
 
 impl Sequential {
@@ -246,8 +265,12 @@ impl Sequential {
         nl.connect((men, "out"), (acc, "en"))?;
         nl.connect((mclr, "out"), (acc, "clr"))?;
         comparator_stage(&mut nl, (acc, "y"))?;
-        nl.check()?;
-        Ok(Sequential { netlist: nl, n })
+        let plan = ExecPlan::compile(&nl)?;
+        Ok(Sequential {
+            netlist: nl,
+            n,
+            plan,
+        })
     }
 
     /// Evaluates one candidate pixel-serially and feeds the comparator.
@@ -312,7 +335,7 @@ impl MeEngine for Sequential {
     ) -> Result<MeSearchResult> {
         assert_eq!(params.block, self.n);
         let p = params.range;
-        let mut sim = Simulator::new(&self.netlist)?;
+        let mut sim = Simulator::with_plan(&self.netlist, &self.plan);
         sim.set("cmp_clr", 1)?;
         sim.step();
         sim.set("cmp_clr", 0)?;
@@ -372,7 +395,7 @@ pub fn run_schedule(
     let p = params.range;
     let n = params.block;
     assert_eq!(n, engine.n);
-    let mut sim = Simulator::new(&engine.netlist)?;
+    let mut sim = Simulator::with_plan(&engine.netlist, &engine.plan);
     sim.set("cmp_clr", 1)?;
     sim.step();
     sim.set("cmp_clr", 0)?;

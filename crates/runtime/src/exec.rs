@@ -37,28 +37,43 @@ pub(crate) struct JobExec {
 
 use dsra_core::rng::fnv1a_fold as mix;
 
+/// One array's execution engines, owned by the runtime and **reused across
+/// serve calls**: cycle-accurate DCT implementations keyed by mapping name
+/// and systolic ME engines keyed by block edge. Before this cache each
+/// serve rebuilt every engine — a netlist construction plus an execution-
+/// plan compile per kernel per chunk, which E12's chunked discharge loop
+/// paid hundreds of times over.
+#[derive(Default)]
+pub(crate) struct WorkerEngines {
+    dct_impls: HashMap<&'static str, Box<dyn DctImpl>>,
+    me_engines: HashMap<u8, Systolic2d>,
+}
+
 /// Executes one array's plan in order. `assignments` must all target the
 /// same array.
 pub(crate) fn run_worker(
     soc: SocConfig,
     params: DaParams,
     assignments: &[Assignment],
+    engines: &mut WorkerEngines,
 ) -> Result<Vec<JobExec>> {
     let mut mgr = ReconfigManager::new(soc);
     // Register each distinct kernel once (the plan references the same Arc
-    // many times); the memoised hex string doubles as the registry key.
+    // many times); the hex string — built once per kernel — doubles as the
+    // registry key.
     let mut registered: HashMap<Fingerprint, String> = HashMap::new();
     for a in assignments {
-        registered.entry(a.kernel.fingerprint).or_insert_with(|| {
-            mgr.register(
-                a.kernel.fingerprint.to_string(),
-                a.kernel.artifact.bitstream.clone(),
-            );
-            a.kernel.fingerprint.to_string()
-        });
+        if let std::collections::hash_map::Entry::Vacant(e) = registered.entry(a.kernel.fingerprint)
+        {
+            let hex = a.kernel.fingerprint.to_string();
+            mgr.register(hex.clone(), a.kernel.artifact.bitstream.clone());
+            e.insert(hex);
+        }
     }
-    let mut dct_impls: HashMap<&'static str, Box<dyn DctImpl>> = HashMap::new();
-    let mut me_engines: HashMap<u8, Systolic2d> = HashMap::new();
+    let WorkerEngines {
+        dct_impls,
+        me_engines,
+    } = engines;
     let mut out = Vec::with_capacity(assignments.len());
     for a in assignments {
         let reconfig = mgr.switch_to(&registered[&a.kernel.fingerprint])?;

@@ -78,9 +78,21 @@ pub use report::{
     ArrayReport, BatterySample, BatteryTrajectory, EnergyReport, JobOutcome, RuntimeReport,
 };
 pub use scheduler::{
-    ArrayState, DefaultPolicy, DiffAwareScheduler, EnergyAwarePolicy, NaivePolicy, PlannedSlot,
-    PowerSnapshot, SchedulePolicy,
+    ArrayState, DefaultPolicy, DiffAwareScheduler, DiffMatrix, EnergyAwarePolicy, NaivePolicy,
+    PlannedSlot, PowerSnapshot, SchedulePolicy,
 };
+
+/// Wall-clock phase timings of the last [`SocRuntime::serve`] call —
+/// diagnostics for the perf trajectory (`soc_serve --json` records them).
+/// Never part of the deterministic report or its digest.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct PhaseTimings {
+    /// Milliseconds spent planning (kernel selection + diff-aware
+    /// placement) on the serve thread.
+    pub planning_ms: f64,
+    /// Milliseconds spent executing the per-array plans on worker threads.
+    pub exec_ms: f64,
+}
 
 /// Power-domain configuration of a [`SocRuntime`]: the battery the pool
 /// serves from, the DVFS point it runs at, and the constants the energy
@@ -178,6 +190,13 @@ pub struct SocRuntime {
     /// ME systolic seeds and their fabrics, one per block edge a job has
     /// asked for (built lazily — the job's `block` field is the identity).
     me_seeds: HashMap<u8, (KernelSeed, Fabric)>,
+    /// Memoised kernel-pair reconfiguration costs, threaded through every
+    /// serve's scheduler so warm probes are table lookups.
+    diff_memo: DiffMatrix,
+    /// Per-array execution engines, reused across serve calls.
+    engines: Vec<exec::WorkerEngines>,
+    /// Wall-clock phase timings of the last serve.
+    last_timings: PhaseTimings,
 }
 
 impl SocRuntime {
@@ -227,6 +246,9 @@ impl SocRuntime {
             );
         }
         let battery = Battery::new(config.power.battery_capacity_j);
+        let engines = (0..config.da_arrays + config.me_arrays)
+            .map(|_| exec::WorkerEngines::default())
+            .collect();
         Ok(SocRuntime {
             config,
             policy,
@@ -236,6 +258,9 @@ impl SocRuntime {
             profiles,
             dct_seeds,
             me_seeds: HashMap::new(),
+            diff_memo: DiffMatrix::new(),
+            engines,
+            last_timings: PhaseTimings::default(),
         })
     }
 
@@ -264,6 +289,17 @@ impl SocRuntime {
         self.policy.name()
     }
 
+    /// Wall-clock phase timings of the last serve (zeroes before the first
+    /// call). Diagnostics only — reports and digests never depend on them.
+    pub fn phase_timings(&self) -> PhaseTimings {
+        self.last_timings
+    }
+
+    /// Distinct kernel pairs whose reconfiguration diff is memoised.
+    pub fn diff_memo_len(&self) -> usize {
+        self.diff_memo.len()
+    }
+
     /// Serves a job queue across the pool and reports what happened.
     ///
     /// Jobs are planned in `(arrival_cycle, id)` order on the current
@@ -289,11 +325,16 @@ impl SocRuntime {
             dvfs: self.config.power.dvfs,
         };
 
-        // Phase 1 — deterministic planning.
-        let mut sched = DiffAwareScheduler::new(
+        // Phase 1 — deterministic planning. The scheduler borrows the
+        // runtime's lifetime diff memo so warm kernel-pair probes are table
+        // lookups (timings are diagnostics only and never enter the
+        // report).
+        let plan_start = std::time::Instant::now();
+        let mut sched = DiffAwareScheduler::with_memo(
             self.config.da_arrays,
             self.config.me_arrays,
             self.config.soc,
+            std::mem::take(&mut self.diff_memo),
         );
         let arrays = self.config.da_arrays + self.config.me_arrays;
         let mut plans: Vec<Vec<Assignment>> = vec![Vec::new(); arrays];
@@ -323,19 +364,31 @@ impl SocRuntime {
             });
         }
 
-        // Phase 2 — parallel execution, one worker thread per array.
+        self.diff_memo = sched.into_memo();
+        let planning_ms = plan_start.elapsed().as_secs_f64() * 1e3;
+
+        // Phase 2 — parallel execution, one worker thread per array, each
+        // reusing its runtime-owned engines across serve calls.
+        let exec_start = std::time::Instant::now();
         let soc = self.config.soc;
         let params = self.config.da_params;
         let results: Vec<Result<Vec<exec::JobExec>>> = std::thread::scope(|s| {
             let handles: Vec<_> = plans
                 .iter()
-                .map(|plan| s.spawn(move || exec::run_worker(soc, params, plan)))
+                .zip(self.engines.iter_mut())
+                .map(|(plan, engines)| {
+                    s.spawn(move || exec::run_worker(soc, params, plan, engines))
+                })
                 .collect();
             handles
                 .into_iter()
                 .map(|h| h.join().expect("array worker panicked"))
                 .collect()
         });
+        self.last_timings = PhaseTimings {
+            planning_ms,
+            exec_ms: exec_start.elapsed().as_secs_f64() * 1e3,
+        };
 
         // Phase 3 — deterministic merge, energy integration, battery
         // drain.
@@ -708,6 +761,43 @@ mod tests {
         let mut t = report.clone();
         t.energy.gated_cycles += 1;
         assert_ne!(t.digest(), digest, "gated cycles must be pinned");
+    }
+
+    #[test]
+    fn warm_memo_and_engines_do_not_change_results() {
+        // One runtime serving the same mix twice: the second serve runs
+        // with warm worker engines and a warm diff memo, and must produce
+        // byte-identical results (the memo is an optimisation, never a
+        // behaviour change). A fresh runtime agrees too.
+        let jobs = small_mix(30, 21);
+        let mut warm = small_runtime();
+        let first = warm.serve(&jobs).unwrap();
+        warm.recharge_full();
+        let second = warm.serve(&jobs).unwrap();
+        // Everything outcome-bearing is identical; only the cache counters
+        // differ (the first serve paid the one ME compile miss).
+        assert_eq!(first.digest(), second.digest());
+        assert_eq!(first.outcomes, second.outcomes);
+        assert_eq!(first.energy, second.energy);
+        assert_eq!(second.cache.misses, 0, "second serve must be all hits");
+        assert_eq!(
+            small_runtime().serve(&jobs).unwrap().digest(),
+            first.digest()
+        );
+        // The mix rotates kernels, so the memo actually learned pairs.
+        assert!(warm.diff_memo_len() > 0, "diff memo never engaged");
+    }
+
+    #[test]
+    fn phase_timings_are_diagnostics_only() {
+        let mut rt = small_runtime();
+        assert_eq!(rt.phase_timings(), PhaseTimings::default());
+        let report = rt.serve(&small_mix(8, 5)).unwrap();
+        // Wall-clock numbers exist after a serve but never enter the
+        // deterministic document.
+        let t = rt.phase_timings();
+        assert!(t.planning_ms >= 0.0 && t.exec_ms > 0.0);
+        assert!(!report.to_json("E11").contains("phases"));
     }
 
     #[test]

@@ -259,6 +259,19 @@ impl RuntimeReport {
 
     /// Machine-readable JSON summary (the `BENCH_runtime.json` payload).
     pub fn to_json(&self, experiment: &str) -> String {
+        self.render_json(experiment, None)
+    }
+
+    /// Like [`RuntimeReport::to_json`] with the serve's wall-clock phase
+    /// timings appended as a `phases` object (`planning_ms` / `exec_ms`) —
+    /// what `soc_serve --json` writes so `BENCH_runtime.json` tracks the
+    /// perf trajectory. Timings are diagnostics: the rest of the document
+    /// (and the digest) stays byte-identical per seed.
+    pub fn to_json_with_phases(&self, experiment: &str, phases: crate::PhaseTimings) -> String {
+        self.render_json(experiment, Some(phases))
+    }
+
+    fn render_json(&self, experiment: &str, phases: Option<crate::PhaseTimings>) -> String {
         let mut s = String::new();
         s.push_str("{\n");
         s.push_str(&format!("  \"experiment\": \"{experiment}\",\n"));
@@ -293,6 +306,12 @@ impl RuntimeReport {
             "  \"outcome_digest\": \"{:#018x}\",\n",
             self.digest()
         ));
+        if let Some(p) = phases {
+            s.push_str(&format!(
+                "  \"phases\": {{\"planning_ms\": {:.3}, \"exec_ms\": {:.3}}},\n",
+                p.planning_ms, p.exec_ms
+            ));
+        }
         let e = &self.energy;
         s.push_str(&format!(
             "  \"energy\": {{\"point\": \"{}\", \"total_j\": {:.6}, \"dynamic_j\": {:.6}, \

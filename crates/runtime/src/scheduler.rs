@@ -13,14 +13,70 @@
 //! state; worker threads only execute the resulting per-array plans, so
 //! thread scheduling can never change any decision.
 
+use std::collections::HashMap;
 use std::sync::Arc;
 
+use dsra_core::netlist::Fingerprint;
 use dsra_platform::{select, Condition, ImplProfile, SocConfig};
 use dsra_power::OperatingPoint;
 use dsra_video::ServiceClass;
 
 use crate::cache::CompiledKernel;
 use crate::kernel::ArrayKind;
+
+/// Memoised partial-reconfiguration costs, keyed by unordered kernel
+/// fingerprint pair.
+///
+/// The scheduler probes `diff_bits(loaded, target)` once per candidate
+/// array per job; the kernel population of a run is tiny (a handful of
+/// distinct fingerprints), so after warm-up every probe is a table lookup
+/// instead of a frame-map sweep. Two invariants make the memo sound, both
+/// pinned by tests: `diff_bits` is symmetric (`bitstream_props`), and
+/// within one runtime a netlist fingerprint resolves to exactly one
+/// compiled artifact (the cache compiles each kernel for one deterministic
+/// fabric).
+///
+/// The runtime owns one matrix for its whole lifetime and threads it
+/// through every serve, so E12's chunked discharge loop reuses diffs
+/// across chunks.
+#[derive(Debug, Default)]
+pub struct DiffMatrix {
+    entries: HashMap<(Fingerprint, Fingerprint), u64>,
+}
+
+impl DiffMatrix {
+    /// An empty memo.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Distinct kernel pairs memoised so far.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// `true` until the first miss is memoised.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Reconfiguration bits between two compiled kernels — zero for equal
+    /// fingerprints, otherwise the (memoised) bitstream diff.
+    pub fn bits(&mut self, from: &CompiledKernel, to: &CompiledKernel) -> u64 {
+        if from.fingerprint == to.fingerprint {
+            return 0;
+        }
+        let key = if from.fingerprint <= to.fingerprint {
+            (from.fingerprint, to.fingerprint)
+        } else {
+            (to.fingerprint, from.fingerprint)
+        };
+        *self
+            .entries
+            .entry(key)
+            .or_insert_with(|| from.artifact.bitstream.diff_bits(&to.artifact.bitstream))
+    }
+}
 
 /// Power state the runtime exposes to scheduling decisions: the battery
 /// reading at serve start, the configured low-battery threshold and the
@@ -271,6 +327,7 @@ pub struct PlannedSlot {
 pub struct DiffAwareScheduler {
     arrays: Vec<ArrayState>,
     soc: SocConfig,
+    diffs: DiffMatrix,
 }
 
 impl DiffAwareScheduler {
@@ -279,6 +336,13 @@ impl DiffAwareScheduler {
     /// width and partial-reconfiguration support — the plan must price
     /// exactly what the per-array `ReconfigManager` will later charge).
     pub fn new(da: usize, me: usize, soc: SocConfig) -> Self {
+        Self::with_memo(da, me, soc, DiffMatrix::new())
+    }
+
+    /// Like [`DiffAwareScheduler::new`] with a pre-warmed diff memo (the
+    /// runtime threads one matrix through every serve; reclaim it with
+    /// [`DiffAwareScheduler::into_memo`]).
+    pub fn with_memo(da: usize, me: usize, soc: SocConfig, diffs: DiffMatrix) -> Self {
         let mut arrays = Vec::with_capacity(da + me);
         for _ in 0..da {
             let id = arrays.len();
@@ -288,7 +352,7 @@ impl DiffAwareScheduler {
             let id = arrays.len();
             arrays.push(ArrayState::new(id, ArrayKind::Me));
         }
-        DiffAwareScheduler { arrays, soc }
+        DiffAwareScheduler { arrays, soc, diffs }
     }
 
     /// Current array states (scheduling order).
@@ -296,24 +360,18 @@ impl DiffAwareScheduler {
         &self.arrays
     }
 
-    /// Reconfiguration bits to load `kernel` on `array` right now —
-    /// mirrors `ReconfigManager::switch_to`: free when resident, a frame
-    /// diff under partial reconfiguration, a full rewrite otherwise.
-    fn reconfig_bits(&self, array: &ArrayState, kernel: &CompiledKernel) -> u64 {
-        match &array.loaded {
-            None => kernel.total_bits(),
-            Some(resident) if resident.fingerprint == kernel.fingerprint => 0,
-            Some(_) if !self.soc.partial_reconfig => kernel.total_bits(),
-            Some(resident) => resident
-                .artifact
-                .bitstream
-                .diff_bits(&kernel.artifact.bitstream),
-        }
+    /// Hands the diff memo back (with everything this scheduler learned).
+    pub fn into_memo(self) -> DiffMatrix {
+        self.diffs
     }
 
     /// Assigns one job arriving at `arrival_cycle` that needs `kernel` for
     /// an estimated `est_exec_cycles` of work, updating the planned pool
     /// state. Returns the placement.
+    ///
+    /// Reconfiguration pricing mirrors `ReconfigManager::switch_to`: free
+    /// when resident, a (memoised) frame diff under partial
+    /// reconfiguration, a full rewrite otherwise.
     ///
     /// # Panics
     /// Panics if the pool has no array of the kernel's kind.
@@ -325,30 +383,33 @@ impl DiffAwareScheduler {
         policy: &dyn SchedulePolicy,
         power: &PowerSnapshot,
     ) -> PlannedSlot {
-        let chosen = self
-            .arrays
-            .iter()
-            .filter(|a| a.kind == kernel.array_kind)
-            .map(|a| {
-                let bits = self.reconfig_bits(a, kernel);
-                let cycles = bits.div_ceil(u64::from(self.soc.cfg_bus_bits_per_cycle));
-                let wait = a.free_at.saturating_sub(arrival_cycle);
-                (
-                    policy.assignment_cost(cycles, wait, a, power),
-                    a.id,
-                    bits,
-                    cycles,
-                )
-            })
-            .min_by_key(|&(cost, id, _, _)| (cost, id))
-            .unwrap_or_else(|| {
-                panic!(
-                    "pool has no {} array for kernel `{}`",
-                    kernel.array_kind.tag(),
-                    kernel.name
-                )
-            });
-        let (_, id, reconfig_bits, reconfig_cycles) = chosen;
+        let mut chosen: Option<(u64, usize, u64, u64)> = None;
+        for i in 0..self.arrays.len() {
+            if self.arrays[i].kind != kernel.array_kind {
+                continue;
+            }
+            let bits = match &self.arrays[i].loaded {
+                None => kernel.total_bits(),
+                Some(resident) if resident.fingerprint == kernel.fingerprint => 0,
+                Some(_) if !self.soc.partial_reconfig => kernel.total_bits(),
+                Some(resident) => self.diffs.bits(resident, kernel),
+            };
+            let cycles = bits.div_ceil(u64::from(self.soc.cfg_bus_bits_per_cycle));
+            let a = &self.arrays[i];
+            let wait = a.free_at.saturating_sub(arrival_cycle);
+            let cost = policy.assignment_cost(cycles, wait, a, power);
+            // First minimum wins: ties break towards the lower array id.
+            if chosen.is_none_or(|(best_cost, best_id, _, _)| (cost, a.id) < (best_cost, best_id)) {
+                chosen = Some((cost, a.id, bits, cycles));
+            }
+        }
+        let Some((_, id, reconfig_bits, reconfig_cycles)) = chosen else {
+            panic!(
+                "pool has no {} array for kernel `{}`",
+                kernel.array_kind.tag(),
+                kernel.name
+            )
+        };
         let state = &mut self.arrays[id];
         state.loaded = Some(Arc::clone(kernel));
         let start = state.free_at.max(arrival_cycle);
@@ -471,6 +532,40 @@ mod tests {
         let k = kernel(AbsDiffMode::AbsDiff); // an ME kernel
         let p = sched.assign(&k, 0, 0, &DefaultPolicy, &snap());
         assert_eq!(sched.arrays()[p.array].kind, ArrayKind::Me);
+    }
+
+    #[test]
+    fn diff_matrix_memoises_symmetric_pairs() {
+        let ka = kernel(AbsDiffMode::AbsDiff);
+        let kb = kernel(AbsDiffMode::Sub);
+        let mut m = DiffMatrix::new();
+        // Equal fingerprints are free and never stored.
+        assert_eq!(m.bits(&ka, &ka), 0);
+        assert!(m.is_empty());
+        // A real pair is computed once, agrees with the bitstream diff in
+        // both directions, and occupies one unordered entry.
+        let expected = ka.artifact.bitstream.diff_bits(&kb.artifact.bitstream);
+        assert!(expected > 0);
+        assert_eq!(m.bits(&ka, &kb), expected);
+        assert_eq!(m.bits(&kb, &ka), expected);
+        assert_eq!(m.len(), 1);
+    }
+
+    #[test]
+    fn scheduler_memo_survives_round_trips() {
+        // The runtime threads one memo through every serve: handing it to a
+        // scheduler and reclaiming it must keep what was learned.
+        let ka = kernel(AbsDiffMode::AbsDiff);
+        let kb = kernel(AbsDiffMode::Sub);
+        let mut sched = DiffAwareScheduler::new(0, 1, SocConfig::default());
+        sched.assign(&ka, 0, 0, &DefaultPolicy, &snap());
+        sched.assign(&kb, 1 << 20, 0, &DefaultPolicy, &snap());
+        let memo = sched.into_memo();
+        assert_eq!(memo.len(), 1, "one kernel pair was diffed");
+        let mut again = DiffAwareScheduler::with_memo(0, 1, SocConfig::default(), memo);
+        again.assign(&ka, 0, 0, &DefaultPolicy, &snap());
+        again.assign(&kb, 1 << 20, 0, &DefaultPolicy, &snap());
+        assert_eq!(again.into_memo().len(), 1, "warm pair must not recompute");
     }
 
     #[test]

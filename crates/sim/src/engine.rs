@@ -3,8 +3,22 @@
 //! Two-phase execution per clock: all combinational logic settles in
 //! levelized order, then every sequential cluster ticks. Values travel as raw
 //! two's-complement words ([`dsra_core::fixed`]).
-
-use std::collections::HashMap;
+//!
+//! ## The flat execution plan
+//!
+//! The netlist graph is walked **once**, at [`ExecPlan::compile`] /
+//! [`Simulator::new`] time, and lowered into a flat plan: every node becomes
+//! one enum-dispatched op with its input ports resolved to net
+//! indices (or baked-in defaults), its output ports resolved to the nets
+//! they drive, and its memory contents pre-masked. The per-cycle loops then
+//! touch only dense `Vec`s — no port-name lookups, no adjacency chasing and
+//! **zero heap allocations per simulated cycle** (the old engine allocated a
+//! fresh `Vec` per node per cycle in `gather`/`eval_node`).
+//!
+//! Drivers that rebuild a `Simulator` per block or per search (the DCT
+//! `transform` harnesses, the ME engines) compile the plan once at
+//! construction and share it via [`Simulator::with_plan`], so the graph walk
+//! is paid per *kernel*, not per invocation.
 
 use dsra_core::cluster::{AbsDiffMode, AddOp, AddShiftCfg, ClusterCfg, CompMode};
 use dsra_core::error::{CoreError, Result};
@@ -12,6 +26,10 @@ use dsra_core::fixed::{from_signed, mask, to_signed};
 use dsra_core::netlist::{Netlist, NodeId, NodeKind, PortDir, PortRef};
 
 use crate::activity::Activity;
+
+/// Sentinel for "no net" in the compiled plan (unconnected optional port or
+/// undriven output).
+const NO_NET: u32 = u32::MAX;
 
 /// Sequential state of one node.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -46,6 +64,527 @@ enum NodeState {
     },
 }
 
+/// One resolved input port: either a net to read or a baked-in default.
+#[derive(Debug, Clone, Copy)]
+struct InSlot {
+    net: u32,
+    default: u64,
+}
+
+impl InSlot {
+    #[inline]
+    fn read(self, nets: &[u64]) -> u64 {
+        if self.net == NO_NET {
+            self.default
+        } else {
+            nets[self.net as usize]
+        }
+    }
+}
+
+/// A node lowered to a dispatchable operation with resolved ports. The
+/// variant split mirrors [`NodeKind::comb_output`]: `*Out` variants publish
+/// Moore state in phase A, the rest settle combinationally in phase B.
+#[derive(Debug, Clone, Copy)]
+enum EvalOp {
+    /// Output node: pure sink, nothing to evaluate.
+    Sink,
+    /// Top-level input: publishes the externally driven word.
+    Input { ext: u32, width: u8, out: u32 },
+    /// Constant driver (value pre-masked at compile time).
+    Const { value: u64, out: u32 },
+    /// Concatenation: parts live in the plan's CSR pool.
+    Concat { start: u32, len: u32, out: u32 },
+    Slice {
+        a: InSlot,
+        offset: u8,
+        width: u8,
+        out: u32,
+    },
+    SignExtend {
+        a: InSlot,
+        in_width: u8,
+        width: u8,
+        out: u32,
+    },
+    /// Unregistered RegMux.
+    Mux {
+        a: InSlot,
+        b: InSlot,
+        sel: InSlot,
+        out: u32,
+    },
+    /// Registered RegMux: publishes the register.
+    RegOut { width: u8, out: u32 },
+    AbsDiff {
+        a: InSlot,
+        b: InSlot,
+        width: u8,
+        mode: AbsDiffMode,
+        out: u32,
+    },
+    /// Combinational add/sub (AddAcc pass-through and parallel AddShift).
+    AddSub {
+        a: InSlot,
+        b: InSlot,
+        width: u8,
+        sub: bool,
+        out: u32,
+    },
+    /// Accumulating AddAcc: publishes the accumulator.
+    AccOut { width: u8, out: u32 },
+    /// Two-value min/max comparator.
+    CmpMinMax {
+        a: InSlot,
+        b: InSlot,
+        max: bool,
+        out_y: u32,
+        out_which: u32,
+    },
+    /// Streaming comparator: publishes best/best_idx state.
+    CmpStreamOut { out_best: u32, out_idx: u32 },
+    /// Bit-serial adder/subtracter sum bit (carry is state).
+    SerialAdd {
+        a: InSlot,
+        b: InSlot,
+        sub: bool,
+        out: u32,
+    },
+    /// Parallel-to-serial register: publishes the current bit.
+    SerialRegOut { width: u8, out: u32 },
+    /// Shift-accumulator: publishes the accumulator and its serial bit.
+    ShiftAccOut {
+        acc_width: u8,
+        out_y: u32,
+        out_qs: u32,
+    },
+    /// Asynchronous-read memory; contents pre-masked in the plan's pool.
+    Memory {
+        addr: InSlot,
+        mem: u32,
+        words: u16,
+        out: u32,
+    },
+}
+
+/// Clock-edge update of one sequential node, with resolved control ports.
+#[derive(Debug, Clone, Copy)]
+enum TickOp {
+    Reg {
+        a: InSlot,
+        b: InSlot,
+        sel: InSlot,
+        en: InSlot,
+    },
+    Acc {
+        a: InSlot,
+        b: InSlot,
+        en: InSlot,
+        clr: InSlot,
+        width: u8,
+        sub: bool,
+    },
+    Comp {
+        x: InSlot,
+        idx: InSlot,
+        en: InSlot,
+        clr: InSlot,
+        min: bool,
+    },
+    Carry {
+        a: InSlot,
+        b: InSlot,
+        clr: InSlot,
+        sub: bool,
+    },
+    SerialReg {
+        d: InSlot,
+        load: InSlot,
+        en: InSlot,
+    },
+    ShiftAcc {
+        d: InSlot,
+        en: InSlot,
+        clr: InSlot,
+        sub: InSlot,
+        sh: InSlot,
+        acc_width: u8,
+        data_width: u8,
+    },
+}
+
+/// The flat, allocation-free execution plan a checked netlist compiles to.
+///
+/// Compiling is `O(nodes + ports + nets)` and immutable thereafter, so one
+/// plan can back any number of [`Simulator`]s over the same netlist (see
+/// [`Simulator::with_plan`]) — kernels that simulate many blocks pay the
+/// graph walk once.
+#[derive(Debug)]
+pub struct ExecPlan {
+    nodes: usize,
+    nets: usize,
+    /// Per-node lowered op (indexed by node id).
+    ops: Vec<EvalOp>,
+    /// Phase A: source nodes (inputs, constants, Moore outputs of
+    /// sequential clusters), ascending node id — identical order to the
+    /// graph walk it replaces.
+    phase_a: Vec<u32>,
+    /// Phase B: combinational nodes in levelized order.
+    phase_b: Vec<u32>,
+    /// Sequential nodes with their clock-edge ops, ascending node id.
+    ticks: Vec<(u32, TickOp)>,
+    /// CSR pool of concat parts: (slot, part width, shift).
+    concat_parts: Vec<(InSlot, u8, u32)>,
+    /// Pre-masked memory contents.
+    mems: Vec<Vec<u64>>,
+    /// Power-on state per node.
+    initial_states: Vec<NodeState>,
+}
+
+impl ExecPlan {
+    /// Compiles a netlist into its flat execution plan, validating it
+    /// (`check()`) along the way.
+    ///
+    /// # Errors
+    /// Propagates netlist validation failures (unconnected mandatory
+    /// inputs, combinational loops).
+    pub fn compile(netlist: &Netlist) -> Result<Self> {
+        let order = netlist.check()?;
+        let mut plan = ExecPlan {
+            nodes: netlist.nodes().len(),
+            nets: netlist.nets().len(),
+            ops: Vec::with_capacity(netlist.nodes().len()),
+            phase_a: Vec::new(),
+            phase_b: Vec::new(),
+            ticks: Vec::new(),
+            concat_parts: Vec::new(),
+            mems: Vec::new(),
+            initial_states: netlist
+                .nodes()
+                .iter()
+                .map(|n| initial_state(&n.kind))
+                .collect(),
+        };
+        for (idx, node) in netlist.nodes().iter().enumerate() {
+            let id = NodeId(idx as u32);
+            let op = plan.lower(netlist, id);
+            if !matches!(op, EvalOp::Sink) && !node.kind.comb_output() {
+                plan.phase_a.push(idx as u32);
+            }
+            if node.kind.sequential() {
+                let tick = lower_tick(netlist, id);
+                plan.ticks.push((idx as u32, tick));
+            }
+            plan.ops.push(op);
+        }
+        for id in order {
+            if netlist.node(id).kind.comb_output() {
+                plan.phase_b.push(id.0);
+            }
+        }
+        Ok(plan)
+    }
+
+    /// Lowers one node, resolving every port it reads or drives.
+    fn lower(&mut self, netlist: &Netlist, id: NodeId) -> EvalOp {
+        let node = netlist.node(id);
+        let slot = |name: &str| in_slot(netlist, id, name);
+        let out = |name: &str| out_net(netlist, id, name);
+        match &node.kind {
+            NodeKind::Input { width } => EvalOp::Input {
+                ext: id.0,
+                width: *width,
+                out: out("out"),
+            },
+            NodeKind::Output { .. } => EvalOp::Sink,
+            NodeKind::Const { value, width } => EvalOp::Const {
+                value: mask(*value, *width),
+                out: out("out"),
+            },
+            NodeKind::Concat { parts } => {
+                let start = self.concat_parts.len() as u32;
+                let mut shift = 0u32;
+                for (i, w) in parts.iter().enumerate() {
+                    self.concat_parts.push((slot(&format!("in{i}")), *w, shift));
+                    shift += u32::from(*w);
+                }
+                EvalOp::Concat {
+                    start,
+                    len: parts.len() as u32,
+                    out: out("out"),
+                }
+            }
+            NodeKind::Slice { offset, width, .. } => EvalOp::Slice {
+                a: slot("in"),
+                offset: *offset,
+                width: *width,
+                out: out("out"),
+            },
+            NodeKind::SignExtend { in_width, width } => EvalOp::SignExtend {
+                a: slot("in"),
+                in_width: *in_width,
+                width: *width,
+                out: out("out"),
+            },
+            NodeKind::Cluster(cfg) => match cfg {
+                ClusterCfg::RegMux {
+                    width, registered, ..
+                } => {
+                    if *registered {
+                        EvalOp::RegOut {
+                            width: *width,
+                            out: out("y"),
+                        }
+                    } else {
+                        EvalOp::Mux {
+                            a: slot("a"),
+                            b: slot("b"),
+                            sel: slot("sel"),
+                            out: out("y"),
+                        }
+                    }
+                }
+                ClusterCfg::AbsDiff { width, mode } => EvalOp::AbsDiff {
+                    a: slot("a"),
+                    b: slot("b"),
+                    width: *width,
+                    mode: *mode,
+                    out: out("y"),
+                },
+                ClusterCfg::AddAcc {
+                    width,
+                    op,
+                    accumulate,
+                } => {
+                    if *accumulate {
+                        EvalOp::AccOut {
+                            width: *width,
+                            out: out("y"),
+                        }
+                    } else {
+                        EvalOp::AddSub {
+                            a: slot("a"),
+                            b: slot("b"),
+                            width: *width,
+                            sub: matches!(op, AddOp::Sub),
+                            out: out("y"),
+                        }
+                    }
+                }
+                ClusterCfg::Comparator { mode, .. } => match mode {
+                    CompMode::Min | CompMode::Max => EvalOp::CmpMinMax {
+                        a: slot("a"),
+                        b: slot("b"),
+                        max: matches!(mode, CompMode::Max),
+                        out_y: out("y"),
+                        out_which: out("which"),
+                    },
+                    CompMode::StreamMin | CompMode::StreamMax => EvalOp::CmpStreamOut {
+                        out_best: out("best"),
+                        out_idx: out("best_idx"),
+                    },
+                },
+                ClusterCfg::AddShift(as_cfg) => match as_cfg {
+                    AddShiftCfg::Add { width, serial } | AddShiftCfg::Sub { width, serial } => {
+                        let sub = matches!(as_cfg, AddShiftCfg::Sub { .. });
+                        if *serial {
+                            EvalOp::SerialAdd {
+                                a: slot("a"),
+                                b: slot("b"),
+                                sub,
+                                out: out("y"),
+                            }
+                        } else {
+                            EvalOp::AddSub {
+                                a: slot("a"),
+                                b: slot("b"),
+                                width: *width,
+                                sub,
+                                out: out("y"),
+                            }
+                        }
+                    }
+                    AddShiftCfg::SerialReg { width } => EvalOp::SerialRegOut {
+                        width: *width,
+                        out: out("q"),
+                    },
+                    AddShiftCfg::ShiftAcc { acc_width, .. } => EvalOp::ShiftAccOut {
+                        acc_width: *acc_width,
+                        out_y: out("y"),
+                        out_qs: out("qs"),
+                    },
+                },
+                ClusterCfg::Memory {
+                    words,
+                    width,
+                    contents,
+                } => {
+                    let mem = self.mems.len() as u32;
+                    self.mems
+                        .push(contents.iter().map(|&w| mask(w, *width)).collect());
+                    EvalOp::Memory {
+                        addr: slot("addr"),
+                        mem,
+                        words: *words,
+                        out: out("dout"),
+                    }
+                }
+            },
+        }
+    }
+}
+
+/// Resolves an input port to the net it reads (or its baked default).
+fn in_slot(netlist: &Netlist, id: NodeId, name: &str) -> InSlot {
+    let node = netlist.node(id);
+    let pi = node.port_index(name).expect("port exists");
+    let pref = PortRef { node: id, port: pi };
+    debug_assert_eq!(node.ports[pi as usize].dir, PortDir::In);
+    match netlist.net_of(pref) {
+        Some(net) => InSlot {
+            net: net.0,
+            default: 0,
+        },
+        None => InSlot {
+            net: NO_NET,
+            default: node.ports[pi as usize].default.unwrap_or(0),
+        },
+    }
+}
+
+/// Resolves an output port to the net it drives — only when it is that
+/// net's driver, exactly as the old `write_outputs` guarded.
+fn out_net(netlist: &Netlist, id: NodeId, name: &str) -> u32 {
+    let node = netlist.node(id);
+    let pi = node.port_index(name).expect("port exists");
+    let pref = PortRef { node: id, port: pi };
+    match netlist.net_of(pref) {
+        Some(net) if netlist.net(net).driver == pref => net.0,
+        _ => NO_NET,
+    }
+}
+
+fn lower_tick(netlist: &Netlist, id: NodeId) -> TickOp {
+    let slot = |name: &str| in_slot(netlist, id, name);
+    let NodeKind::Cluster(cfg) = &netlist.node(id).kind else {
+        unreachable!("only clusters are sequential");
+    };
+    match cfg {
+        ClusterCfg::RegMux { .. } => TickOp::Reg {
+            a: slot("a"),
+            b: slot("b"),
+            sel: slot("sel"),
+            en: slot("en"),
+        },
+        ClusterCfg::AddAcc { width, op, .. } => TickOp::Acc {
+            a: slot("a"),
+            b: slot("b"),
+            en: slot("en"),
+            clr: slot("clr"),
+            width: *width,
+            sub: matches!(op, AddOp::Sub),
+        },
+        ClusterCfg::Comparator { mode, .. } => TickOp::Comp {
+            x: slot("x"),
+            idx: slot("idx"),
+            en: slot("en"),
+            clr: slot("clr"),
+            min: matches!(mode, CompMode::StreamMin),
+        },
+        ClusterCfg::AddShift(as_cfg) => match as_cfg {
+            AddShiftCfg::Add { .. } | AddShiftCfg::Sub { .. } => TickOp::Carry {
+                a: slot("a"),
+                b: slot("b"),
+                clr: slot("clr"),
+                sub: matches!(as_cfg, AddShiftCfg::Sub { .. }),
+            },
+            AddShiftCfg::SerialReg { .. } => TickOp::SerialReg {
+                d: slot("d"),
+                load: slot("load"),
+                en: slot("en"),
+            },
+            AddShiftCfg::ShiftAcc {
+                acc_width,
+                data_width,
+            } => TickOp::ShiftAcc {
+                d: slot("d"),
+                en: slot("en"),
+                clr: slot("clr"),
+                sub: slot("sub"),
+                sh: slot("sh"),
+                acc_width: *acc_width,
+                data_width: *data_width,
+            },
+        },
+        _ => unreachable!("state/config mismatch"),
+    }
+}
+
+/// The plan a simulator executes: its own, or one shared by the caller.
+#[derive(Debug)]
+enum PlanSource<'n> {
+    Owned(Box<ExecPlan>),
+    Shared(&'n ExecPlan),
+}
+
+/// A resolved top-level input, for allocation-free driving on hot paths
+/// (resolve once with [`Simulator::input_port`], then [`Simulator::drive`]
+/// per cycle — no name lookup, no formatting).
+///
+/// Handles depend only on the netlist's structure, so one resolved handle is
+/// valid for every simulator built over that netlist (drivers resolve at
+/// construction time, then reuse across blocks/searches).
+#[derive(Debug, Clone, Copy)]
+pub struct InputPort {
+    ext: u32,
+    width: u8,
+}
+
+impl InputPort {
+    /// Resolves a top-level input by name.
+    ///
+    /// # Errors
+    /// [`CoreError::UnknownNode`] if no input has this name.
+    pub fn resolve(netlist: &Netlist, input: &str) -> Result<InputPort> {
+        match netlist.node_by_name(input) {
+            Some(id) => match netlist.node(id).kind {
+                NodeKind::Input { width } => Ok(InputPort { ext: id.0, width }),
+                _ => Err(CoreError::UnknownNode(input.to_owned())),
+            },
+            None => Err(CoreError::UnknownNode(input.to_owned())),
+        }
+    }
+}
+
+/// A resolved top-level output, for allocation-free reading
+/// ([`Simulator::output_port`] once, [`Simulator::read`] per use). Like
+/// [`InputPort`], valid for every simulator over the same netlist.
+#[derive(Debug, Clone, Copy)]
+pub struct OutputPort {
+    net: u32,
+    width: u8,
+}
+
+impl OutputPort {
+    /// Resolves a top-level output by name.
+    ///
+    /// # Errors
+    /// [`CoreError::UnknownNode`] if no output has this name.
+    pub fn resolve(netlist: &Netlist, output: &str) -> Result<OutputPort> {
+        match netlist.node_by_name(output) {
+            Some(id) => match netlist.node(id).kind {
+                NodeKind::Output { width } => {
+                    let pref = PortRef { node: id, port: 0 };
+                    let net = netlist.net_of(pref).map_or(NO_NET, |n| n.0);
+                    Ok(OutputPort { net, width })
+                }
+                _ => Err(CoreError::UnknownNode(output.to_owned())),
+            },
+            None => Err(CoreError::UnknownNode(output.to_owned())),
+        }
+    }
+}
+
 /// Cycle-accurate simulator for a checked netlist.
 ///
 /// ```
@@ -76,15 +615,13 @@ enum NodeState {
 #[derive(Debug)]
 pub struct Simulator<'n> {
     netlist: &'n Netlist,
-    order: Vec<NodeId>,
+    plan: PlanSource<'n>,
     /// Current value per net.
     net_values: Vec<u64>,
     /// Previous-cycle value per net (for toggle counting).
     prev_values: Vec<u64>,
     states: Vec<NodeState>,
     external: Vec<u64>,
-    input_ids: HashMap<String, NodeId>,
-    output_ids: HashMap<String, NodeId>,
     activity: Activity,
     cycle: u64,
     waveform: Option<crate::trace::Waveform>,
@@ -103,42 +640,103 @@ pub struct StuckFault {
 }
 
 impl<'n> Simulator<'n> {
-    /// Builds a simulator, validating the netlist (`check()`).
+    /// Builds a simulator, validating the netlist (`check()`) and compiling
+    /// its private execution plan.
     ///
     /// # Errors
     /// Propagates netlist validation failures (unconnected mandatory inputs,
     /// combinational loops).
     pub fn new(netlist: &'n Netlist) -> Result<Self> {
-        let order = netlist.check()?;
-        let states = netlist
-            .nodes()
-            .iter()
-            .map(|n| initial_state(&n.kind))
-            .collect();
-        let input_ids = netlist
-            .input_nodes()
-            .into_iter()
-            .map(|id| (netlist.node(id).name.clone(), id))
-            .collect();
-        let output_ids = netlist
-            .output_nodes()
-            .into_iter()
-            .map(|id| (netlist.node(id).name.clone(), id))
-            .collect();
-        Ok(Simulator {
+        let plan = ExecPlan::compile(netlist)?;
+        Ok(Self::build(netlist, PlanSource::Owned(Box::new(plan))))
+    }
+
+    /// Builds a simulator over a plan compiled earlier with
+    /// [`ExecPlan::compile`] from the **same** netlist — the graph walk is
+    /// skipped, so constructing per-block/per-search simulators is cheap.
+    ///
+    /// # Panics
+    /// Panics if the plan's node/net counts do not match the netlist (a
+    /// plan compiled from a different netlist).
+    pub fn with_plan(netlist: &'n Netlist, plan: &'n ExecPlan) -> Self {
+        assert!(
+            plan.nodes == netlist.nodes().len() && plan.nets == netlist.nets().len(),
+            "execution plan was compiled from a different netlist"
+        );
+        Self::build(netlist, PlanSource::Shared(plan))
+    }
+
+    fn build(netlist: &'n Netlist, plan: PlanSource<'n>) -> Self {
+        let states = match &plan {
+            PlanSource::Owned(p) => p.initial_states.clone(),
+            PlanSource::Shared(p) => p.initial_states.clone(),
+        };
+        Simulator {
             netlist,
-            order,
+            plan,
             net_values: vec![0; netlist.nets().len()],
             prev_values: vec![0; netlist.nets().len()],
             states,
             external: vec![0; netlist.nodes().len()],
-            input_ids,
-            output_ids,
             activity: Activity::new(netlist.nets().len(), netlist.nodes().len()),
             cycle: 0,
             waveform: None,
             faults: Vec::new(),
-        })
+        }
+    }
+
+    #[inline]
+    fn plan(&self) -> &ExecPlan {
+        match &self.plan {
+            PlanSource::Owned(p) => p,
+            PlanSource::Shared(p) => p,
+        }
+    }
+
+    /// Resolves a top-level input by name for repeated allocation-free
+    /// driving via [`Simulator::drive`].
+    ///
+    /// # Errors
+    /// [`CoreError::UnknownNode`] if no input has this name.
+    pub fn input_port(&self, input: &str) -> Result<InputPort> {
+        InputPort::resolve(self.netlist, input)
+    }
+
+    /// Resolves a top-level output by name for repeated allocation-free
+    /// reading via [`Simulator::read`].
+    ///
+    /// # Errors
+    /// [`CoreError::UnknownNode`] if no output has this name.
+    pub fn output_port(&self, output: &str) -> Result<OutputPort> {
+        OutputPort::resolve(self.netlist, output)
+    }
+
+    /// Drives a resolved input port (raw bus word, masked to its width).
+    #[inline]
+    pub fn drive(&mut self, port: InputPort, raw: u64) {
+        self.external[port.ext as usize] = mask(raw, port.width);
+    }
+
+    /// Drives a resolved input port with a signed value.
+    #[inline]
+    pub fn drive_signed(&mut self, port: InputPort, value: i64) {
+        self.external[port.ext as usize] = from_signed(value, port.width);
+    }
+
+    /// Reads a resolved output port after the last `step`.
+    #[inline]
+    pub fn read(&self, port: OutputPort) -> u64 {
+        if port.net == NO_NET {
+            0
+        } else {
+            self.net_values[port.net as usize]
+        }
+    }
+
+    /// Reads a resolved output port as a signed value.
+    #[inline]
+    pub fn read_signed(&self, port: OutputPort) -> i64 {
+        to_signed(self.read(port), port.width)
     }
 
     /// Drives a top-level input (raw bus word, masked to the input width).
@@ -146,15 +744,8 @@ impl<'n> Simulator<'n> {
     /// # Errors
     /// [`CoreError::UnknownNode`] if no input has this name.
     pub fn set(&mut self, input: &str, raw: u64) -> Result<()> {
-        let id = *self
-            .input_ids
-            .get(input)
-            .ok_or_else(|| CoreError::UnknownNode(input.to_owned()))?;
-        let width = match self.netlist.node(id).kind {
-            NodeKind::Input { width } => width,
-            _ => unreachable!("input_ids only holds inputs"),
-        };
-        self.external[id.0 as usize] = mask(raw, width);
+        let port = self.input_port(input)?;
+        self.drive(port, raw);
         Ok(())
     }
 
@@ -163,15 +754,8 @@ impl<'n> Simulator<'n> {
     /// # Errors
     /// Same as [`Simulator::set`].
     pub fn set_signed(&mut self, input: &str, value: i64) -> Result<()> {
-        let id = *self
-            .input_ids
-            .get(input)
-            .ok_or_else(|| CoreError::UnknownNode(input.to_owned()))?;
-        let width = match self.netlist.node(id).kind {
-            NodeKind::Input { width } => width,
-            _ => unreachable!(),
-        };
-        self.external[id.0 as usize] = from_signed(value, width);
+        let port = self.input_port(input)?;
+        self.drive_signed(port, value);
         Ok(())
     }
 
@@ -180,11 +764,7 @@ impl<'n> Simulator<'n> {
     /// # Errors
     /// [`CoreError::UnknownNode`] if no output has this name.
     pub fn get(&self, output: &str) -> Result<u64> {
-        let id = *self
-            .output_ids
-            .get(output)
-            .ok_or_else(|| CoreError::UnknownNode(output.to_owned()))?;
-        Ok(self.output_value(id))
+        Ok(self.read(self.output_port(output)?))
     }
 
     /// Reads a top-level output as a signed value.
@@ -192,22 +772,7 @@ impl<'n> Simulator<'n> {
     /// # Errors
     /// Same as [`Simulator::get`].
     pub fn get_signed(&self, output: &str) -> Result<i64> {
-        let id = *self
-            .output_ids
-            .get(output)
-            .ok_or_else(|| CoreError::UnknownNode(output.to_owned()))?;
-        let width = match self.netlist.node(id).kind {
-            NodeKind::Output { width } => width,
-            _ => unreachable!(),
-        };
-        Ok(to_signed(self.output_value(id), width))
-    }
-
-    fn output_value(&self, id: NodeId) -> u64 {
-        let pref = PortRef { node: id, port: 0 };
-        self.netlist
-            .net_of(pref)
-            .map_or(0, |n| self.net_values[n.0 as usize])
+        Ok(self.read_signed(self.output_port(output)?))
     }
 
     /// Executes one clock cycle: combinational settle, activity recording,
@@ -239,6 +804,8 @@ impl<'n> Simulator<'n> {
 
     /// Injects a stuck-at fault on one bit of a net. The fault applies from
     /// the next evaluation onward; several faults may be active at once.
+    /// While no faults are injected (the common case) the per-output fault
+    /// scan is skipped entirely.
     pub fn inject_fault(&mut self, fault: StuckFault) {
         self.faults.push(fault);
     }
@@ -270,6 +837,28 @@ impl<'n> Simulator<'n> {
         self.netlist
     }
 
+    /// Writes one settled output value, applying stuck-at faults only when
+    /// any are injected.
+    #[inline]
+    fn write(&mut self, out: u32, value: u64) {
+        if out == NO_NET {
+            return;
+        }
+        let mut v = value;
+        if !self.faults.is_empty() {
+            for f in &self.faults {
+                if f.net.0 == out {
+                    if f.stuck_high {
+                        v |= 1u64 << f.bit;
+                    } else {
+                        v &= !(1u64 << f.bit);
+                    }
+                }
+            }
+        }
+        self.net_values[out as usize] = v;
+    }
+
     /// Combinational propagation without advancing the clock (useful in
     /// tests to observe settled values).
     ///
@@ -278,286 +867,245 @@ impl<'n> Simulator<'n> {
     /// state). Phase B then evaluates combinational nodes in levelized
     /// order, so a single pass settles the whole design.
     pub fn settle(&mut self) {
-        for idx in 0..self.netlist.nodes().len() {
-            let id = NodeId(idx as u32);
-            if !self.netlist.node(id).kind.comb_output() {
-                let outputs = self.eval_node(id);
-                self.write_outputs(id, &outputs);
-            }
+        for i in 0..self.plan().phase_a.len() {
+            let n = self.plan().phase_a[i];
+            self.eval(n as usize);
         }
-        for idx in 0..self.order.len() {
-            let id = self.order[idx];
-            if self.netlist.node(id).kind.comb_output() {
-                let outputs = self.eval_node(id);
-                self.write_outputs(id, &outputs);
-            }
+        for i in 0..self.plan().phase_b.len() {
+            let n = self.plan().phase_b[i];
+            self.eval(n as usize);
         }
     }
 
-    fn input_value(&self, id: NodeId, port: u16) -> u64 {
-        let pref = PortRef { node: id, port };
-        match self.netlist.net_of(pref) {
-            Some(net) => self.net_values[net.0 as usize],
-            None => self.netlist.node(id).ports[port as usize]
-                .default
-                .unwrap_or(0),
-        }
-    }
-
-    /// Gathers all input-port values of a node (by port order).
-    fn gather(&self, id: NodeId) -> Vec<u64> {
-        let node = self.netlist.node(id);
-        node.ports
-            .iter()
-            .enumerate()
-            .map(|(pi, p)| {
-                if p.dir == PortDir::In {
-                    self.input_value(id, pi as u16)
+    /// Evaluates one node's outputs for the current cycle and writes them.
+    #[inline]
+    fn eval(&mut self, idx: usize) {
+        let op = self.plan().ops[idx];
+        match op {
+            EvalOp::Sink => {}
+            EvalOp::Input { ext, width, out } => {
+                let v = mask(self.external[ext as usize], width);
+                self.write(out, v);
+            }
+            EvalOp::Const { value, out } => self.write(out, value),
+            EvalOp::Concat { start, len, out } => {
+                let mut v = 0u64;
+                {
+                    let plan = self.plan();
+                    for &(slot, w, sh) in &plan.concat_parts[start as usize..(start + len) as usize]
+                    {
+                        v |= mask(slot.read(&self.net_values), w) << sh;
+                    }
+                }
+                self.write(out, v);
+            }
+            EvalOp::Slice {
+                a,
+                offset,
+                width,
+                out,
+            } => {
+                let v = mask(a.read(&self.net_values) >> offset, width);
+                self.write(out, v);
+            }
+            EvalOp::SignExtend {
+                a,
+                in_width,
+                width,
+                out,
+            } => {
+                let v = from_signed(to_signed(a.read(&self.net_values), in_width), width);
+                self.write(out, v);
+            }
+            EvalOp::Mux { a, b, sel, out } => {
+                let v = if sel.read(&self.net_values) & 1 == 1 {
+                    b.read(&self.net_values)
                 } else {
-                    0
-                }
-            })
-            .collect()
-    }
-
-    fn write_outputs(&mut self, id: NodeId, outputs: &[(u16, u64)]) {
-        for &(port, value) in outputs {
-            let pref = PortRef { node: id, port };
-            if let Some(net) = self.netlist.net_of(pref) {
-                // Only nets driven by this port.
-                if self.netlist.net(net).driver == pref {
-                    let mut v = value;
-                    for f in &self.faults {
-                        if f.net == net {
-                            if f.stuck_high {
-                                v |= 1u64 << f.bit;
-                            } else {
-                                v &= !(1u64 << f.bit);
-                            }
-                        }
-                    }
-                    self.net_values[net.0 as usize] = v;
-                }
+                    a.read(&self.net_values)
+                };
+                self.write(out, v);
             }
-        }
-    }
-
-    /// Computes a node's output port values for the current cycle.
-    fn eval_node(&mut self, id: NodeId) -> Vec<(u16, u64)> {
-        let node = self.netlist.node(id);
-        let ins = self.gather(id);
-        let port = |name: &str| node.port_index(name).expect("port exists") as usize;
-        let state = &self.states[id.0 as usize];
-        match &node.kind {
-            NodeKind::Input { width } => {
-                vec![(0, mask(self.external[id.0 as usize], *width))]
+            EvalOp::RegOut { width, out } => {
+                let NodeState::Reg { q } = self.states[idx] else {
+                    unreachable!()
+                };
+                self.write(out, mask(q, width));
             }
-            NodeKind::Output { .. } => vec![],
-            NodeKind::Const { value, width } => vec![(0, mask(*value, *width))],
-            NodeKind::Concat { parts } => {
-                let mut out = 0u64;
-                let mut shift = 0u32;
-                for (i, w) in parts.iter().enumerate() {
-                    out |= mask(ins[i], *w) << shift;
-                    shift += u32::from(*w);
-                }
-                vec![(parts.len() as u16, out)]
+            EvalOp::AbsDiff {
+                a,
+                b,
+                width,
+                mode,
+                out,
+            } => {
+                let a = a.read(&self.net_values);
+                let b = b.read(&self.net_values);
+                let v = match mode {
+                    AbsDiffMode::Add => mask(a.wrapping_add(b), width),
+                    AbsDiffMode::Sub => mask(a.wrapping_sub(b), width),
+                    // Pixels are unsigned: |a - b| = max - min.
+                    AbsDiffMode::AbsDiff => mask(a.max(b) - a.min(b), width),
+                };
+                self.write(out, v);
             }
-            NodeKind::Slice { offset, width, .. } => {
-                vec![(1, mask(ins[0] >> offset, *width))]
+            EvalOp::AddSub {
+                a,
+                b,
+                width,
+                sub,
+                out,
+            } => {
+                let a = a.read(&self.net_values);
+                let b = b.read(&self.net_values);
+                let v = if sub {
+                    mask(a.wrapping_sub(b), width)
+                } else {
+                    mask(a.wrapping_add(b), width)
+                };
+                self.write(out, v);
             }
-            NodeKind::SignExtend { in_width, width } => {
-                vec![(1, from_signed(to_signed(ins[0], *in_width), *width))]
+            EvalOp::AccOut { width, out } => {
+                let NodeState::Acc { acc } = self.states[idx] else {
+                    unreachable!()
+                };
+                self.write(out, mask(acc, width));
             }
-            NodeKind::Cluster(cfg) => match cfg {
-                ClusterCfg::RegMux {
-                    width, registered, ..
-                } => {
-                    if *registered {
-                        match state {
-                            NodeState::Reg { q } => vec![(port("y") as u16, mask(*q, *width))],
-                            _ => unreachable!(),
-                        }
-                    } else {
-                        let a = ins[port("a")];
-                        let b = ins[port("b")];
-                        let sel = ins[port("sel")] & 1;
-                        vec![(port("y") as u16, if sel == 1 { b } else { a })]
-                    }
-                }
-                ClusterCfg::AbsDiff { width, mode } => {
-                    let a = ins[port("a")];
-                    let b = ins[port("b")];
-                    let y = match mode {
-                        AbsDiffMode::Add => mask(a.wrapping_add(b), *width),
-                        AbsDiffMode::Sub => mask(a.wrapping_sub(b), *width),
-                        // Pixels are unsigned: |a - b| = max - min.
-                        AbsDiffMode::AbsDiff => mask(a.max(b) - a.min(b), *width),
-                    };
-                    vec![(port("y") as u16, y)]
-                }
-                ClusterCfg::AddAcc {
-                    width,
-                    op,
-                    accumulate,
-                } => {
-                    if *accumulate {
-                        match state {
-                            NodeState::Acc { acc } => {
-                                vec![(port("y") as u16, mask(*acc, *width))]
-                            }
-                            _ => unreachable!(),
-                        }
-                    } else {
-                        let a = ins[port("a")];
-                        let b = ins[port("b")];
-                        let y = match op {
-                            AddOp::Add => mask(a.wrapping_add(b), *width),
-                            AddOp::Sub => mask(a.wrapping_sub(b), *width),
-                        };
-                        vec![(port("y") as u16, y)]
-                    }
-                }
-                ClusterCfg::Comparator { mode, .. } => match mode {
-                    CompMode::Min | CompMode::Max => {
-                        let a = ins[port("a")];
-                        let b = ins[port("b")];
-                        // SAD metrics are unsigned.
-                        let (y, which) = match mode {
-                            CompMode::Min => (a.min(b), u64::from(a > b)),
-                            _ => (a.max(b), u64::from(a < b)),
-                        };
-                        vec![(port("y") as u16, y), (port("which") as u16, which)]
-                    }
-                    CompMode::StreamMin | CompMode::StreamMax => match state {
-                        NodeState::Comp { best, best_idx, .. } => vec![
-                            (port("best") as u16, *best),
-                            (port("best_idx") as u16, *best_idx),
-                        ],
-                        _ => unreachable!(),
-                    },
-                },
-                ClusterCfg::AddShift(as_cfg) => match as_cfg {
-                    AddShiftCfg::Add { width, serial } | AddShiftCfg::Sub { width, serial } => {
-                        let is_sub = matches!(as_cfg, AddShiftCfg::Sub { .. });
-                        if *serial {
-                            let a = ins[port("a")] & 1;
-                            let b0 = ins[port("b")] & 1;
-                            let b = if is_sub { b0 ^ 1 } else { b0 };
-                            let c = match state {
-                                NodeState::Carry { c } => u64::from(*c),
-                                _ => unreachable!(),
-                            };
-                            vec![(port("y") as u16, a ^ b ^ c)]
-                        } else {
-                            let a = ins[port("a")];
-                            let b = ins[port("b")];
-                            let y = if is_sub {
-                                mask(a.wrapping_sub(b), *width)
-                            } else {
-                                mask(a.wrapping_add(b), *width)
-                            };
-                            vec![(port("y") as u16, y)]
-                        }
-                    }
-                    AddShiftCfg::SerialReg { width } => match state {
-                        NodeState::SerialReg { reg, pos } => {
-                            let bit_idx = (*pos).min(width - 1);
-                            vec![(port("q") as u16, (reg >> bit_idx) & 1)]
-                        }
-                        _ => unreachable!(),
-                    },
-                    AddShiftCfg::ShiftAcc { acc_width, .. } => match state {
-                        NodeState::ShiftAcc { acc } => vec![
-                            (port("y") as u16, mask(*acc, *acc_width)),
-                            (port("qs") as u16, acc & 1),
-                        ],
-                        _ => unreachable!(),
-                    },
-                },
-                ClusterCfg::Memory {
-                    words,
-                    width,
-                    contents,
-                } => {
-                    let addr = (ins[port("addr")] as usize) % usize::from(*words);
-                    vec![(port("dout") as u16, mask(contents[addr], *width))]
-                }
-            },
+            EvalOp::CmpMinMax {
+                a,
+                b,
+                max,
+                out_y,
+                out_which,
+            } => {
+                let a = a.read(&self.net_values);
+                let b = b.read(&self.net_values);
+                // SAD metrics are unsigned.
+                let (y, which) = if max {
+                    (a.max(b), u64::from(a < b))
+                } else {
+                    (a.min(b), u64::from(a > b))
+                };
+                self.write(out_y, y);
+                self.write(out_which, which);
+            }
+            EvalOp::CmpStreamOut { out_best, out_idx } => {
+                let NodeState::Comp { best, best_idx, .. } = self.states[idx] else {
+                    unreachable!()
+                };
+                self.write(out_best, best);
+                self.write(out_idx, best_idx);
+            }
+            EvalOp::SerialAdd { a, b, sub, out } => {
+                let a = a.read(&self.net_values) & 1;
+                let b0 = b.read(&self.net_values) & 1;
+                let b = if sub { b0 ^ 1 } else { b0 };
+                let NodeState::Carry { c } = self.states[idx] else {
+                    unreachable!()
+                };
+                self.write(out, a ^ b ^ u64::from(c));
+            }
+            EvalOp::SerialRegOut { width, out } => {
+                let NodeState::SerialReg { reg, pos } = self.states[idx] else {
+                    unreachable!()
+                };
+                let bit_idx = pos.min(width - 1);
+                self.write(out, (reg >> bit_idx) & 1);
+            }
+            EvalOp::ShiftAccOut {
+                acc_width,
+                out_y,
+                out_qs,
+            } => {
+                let NodeState::ShiftAcc { acc } = self.states[idx] else {
+                    unreachable!()
+                };
+                self.write(out_y, mask(acc, acc_width));
+                self.write(out_qs, acc & 1);
+            }
+            EvalOp::Memory {
+                addr,
+                mem,
+                words,
+                out,
+            } => {
+                let a = (addr.read(&self.net_values) as usize) % usize::from(words);
+                let v = self.plan().mems[mem as usize][a];
+                self.write(out, v);
+            }
         }
     }
 
     /// Clock edge: update every sequential node from the settled net values.
     fn tick(&mut self) {
-        for idx in 0..self.netlist.nodes().len() {
-            let id = NodeId(idx as u32);
-            let node = self.netlist.node(id);
-            if !node.kind.sequential() {
-                continue;
-            }
-            let ins = self.gather(id);
-            let port = |name: &str| node.port_index(name).expect("port exists") as usize;
-            let NodeKind::Cluster(cfg) = &node.kind else {
-                continue;
-            };
-            let new_state = match (cfg, &self.states[idx]) {
-                (ClusterCfg::RegMux { .. }, NodeState::Reg { q }) => {
-                    let en = ins[port("en")] & 1;
-                    if en == 1 {
-                        let sel = ins[port("sel")] & 1;
-                        let d = if sel == 1 {
-                            ins[port("b")]
+        for i in 0..self.plan().ticks.len() {
+            let (idx, op) = self.plan().ticks[i];
+            let idx = idx as usize;
+            let nets = &self.net_values;
+            let new_state = match (op, &self.states[idx]) {
+                (TickOp::Reg { a, b, sel, en }, NodeState::Reg { q }) => {
+                    if en.read(nets) & 1 == 1 {
+                        let d = if sel.read(nets) & 1 == 1 {
+                            b.read(nets)
                         } else {
-                            ins[port("a")]
+                            a.read(nets)
                         };
                         NodeState::Reg { q: d }
                     } else {
                         NodeState::Reg { q: *q }
                     }
                 }
-                (ClusterCfg::AddAcc { width, op, .. }, NodeState::Acc { acc }) => {
-                    let clr = ins[port("clr")] & 1;
-                    let en = ins[port("en")] & 1;
-                    if clr == 1 {
+                (
+                    TickOp::Acc {
+                        a,
+                        b,
+                        en,
+                        clr,
+                        width,
+                        sub,
+                    },
+                    NodeState::Acc { acc },
+                ) => {
+                    if clr.read(nets) & 1 == 1 {
                         NodeState::Acc { acc: 0 }
-                    } else if en == 1 {
-                        let a = ins[port("a")];
-                        let b = ins[port("b")];
-                        let term = match op {
-                            AddOp::Add => a.wrapping_add(b),
-                            AddOp::Sub => a.wrapping_sub(b),
+                    } else if en.read(nets) & 1 == 1 {
+                        let a = a.read(nets);
+                        let b = b.read(nets);
+                        let term = if sub {
+                            a.wrapping_sub(b)
+                        } else {
+                            a.wrapping_add(b)
                         };
                         NodeState::Acc {
-                            acc: mask(acc.wrapping_add(term), *width),
+                            acc: mask(acc.wrapping_add(term), width),
                         }
                     } else {
                         NodeState::Acc { acc: *acc }
                     }
                 }
                 (
-                    ClusterCfg::Comparator { mode, .. },
+                    TickOp::Comp {
+                        x,
+                        idx: idx_slot,
+                        en,
+                        clr,
+                        min,
+                    },
                     NodeState::Comp {
                         best,
                         best_idx,
                         valid,
                     },
                 ) => {
-                    let clr = ins[port("clr")] & 1;
-                    let en = ins[port("en")] & 1;
-                    if clr == 1 {
+                    if clr.read(nets) & 1 == 1 {
                         NodeState::Comp {
                             best: 0,
                             best_idx: 0,
                             valid: false,
                         }
-                    } else if en == 1 {
-                        let x = ins[port("x")];
-                        let idx_in = ins[port("idx")];
-                        let better = !valid
-                            || match mode {
-                                CompMode::StreamMin => x < *best,
-                                _ => x > *best,
-                            };
+                    } else if en.read(nets) & 1 == 1 {
+                        let x = x.read(nets);
+                        let idx_in = idx_slot.read(nets);
+                        let better = !valid || if min { x < *best } else { x > *best };
                         if better {
                             NodeState::Comp {
                                 best: x,
@@ -579,76 +1127,72 @@ impl<'n> Simulator<'n> {
                         }
                     }
                 }
-                (ClusterCfg::AddShift(as_cfg), state) => match (as_cfg, state) {
-                    (AddShiftCfg::Add { .. } | AddShiftCfg::Sub { .. }, NodeState::Carry { c }) => {
-                        let is_sub = matches!(as_cfg, AddShiftCfg::Sub { .. });
-                        let clr = ins[port("clr")] & 1;
-                        if clr == 1 {
-                            NodeState::Carry {
-                                c: u8::from(is_sub),
-                            }
-                        } else {
-                            let a = ins[port("a")] & 1;
-                            let b0 = ins[port("b")] & 1;
-                            let b = if is_sub { b0 ^ 1 } else { b0 };
-                            let cin = u64::from(*c);
-                            let cout = (a & b) | (a & cin) | (b & cin);
-                            NodeState::Carry { c: cout as u8 }
+                (TickOp::Carry { a, b, clr, sub }, NodeState::Carry { c }) => {
+                    if clr.read(nets) & 1 == 1 {
+                        NodeState::Carry { c: u8::from(sub) }
+                    } else {
+                        let a = a.read(nets) & 1;
+                        let b0 = b.read(nets) & 1;
+                        let b = if sub { b0 ^ 1 } else { b0 };
+                        let cin = u64::from(*c);
+                        let cout = (a & b) | (a & cin) | (b & cin);
+                        NodeState::Carry { c: cout as u8 }
+                    }
+                }
+                (TickOp::SerialReg { d, load, en }, NodeState::SerialReg { reg, pos }) => {
+                    if load.read(nets) & 1 == 1 {
+                        NodeState::SerialReg {
+                            reg: d.read(nets),
+                            pos: 0,
+                        }
+                    } else if en.read(nets) & 1 == 1 {
+                        NodeState::SerialReg {
+                            reg: *reg,
+                            pos: pos.saturating_add(1),
+                        }
+                    } else {
+                        NodeState::SerialReg {
+                            reg: *reg,
+                            pos: *pos,
                         }
                     }
-                    (AddShiftCfg::SerialReg { .. }, NodeState::SerialReg { reg, pos }) => {
-                        let load = ins[port("load")] & 1;
-                        let en = ins[port("en")] & 1;
-                        if load == 1 {
-                            NodeState::SerialReg {
-                                reg: ins[port("d")],
-                                pos: 0,
-                            }
-                        } else if en == 1 {
-                            NodeState::SerialReg {
-                                reg: *reg,
-                                pos: pos.saturating_add(1),
-                            }
+                }
+                (
+                    TickOp::ShiftAcc {
+                        d,
+                        en,
+                        clr,
+                        sub,
+                        sh,
+                        acc_width,
+                        data_width,
+                    },
+                    NodeState::ShiftAcc { acc },
+                ) => {
+                    if clr.read(nets) & 1 == 1 {
+                        NodeState::ShiftAcc { acc: 0 }
+                    } else if en.read(nets) & 1 == 1 {
+                        let align = u32::from(acc_width - data_width);
+                        let sa = to_signed(*acc, acc_width);
+                        let sd = to_signed(d.read(nets), data_width);
+                        let term = sd << align;
+                        let sum = if sub.read(nets) & 1 == 1 {
+                            sa - term
                         } else {
-                            NodeState::SerialReg {
-                                reg: *reg,
-                                pos: *pos,
-                            }
+                            sa + term
+                        };
+                        NodeState::ShiftAcc {
+                            acc: from_signed(sum >> 1, acc_width),
                         }
-                    }
-                    (
-                        AddShiftCfg::ShiftAcc {
-                            acc_width,
-                            data_width,
-                        },
-                        NodeState::ShiftAcc { acc },
-                    ) => {
-                        let clr = ins[port("clr")] & 1;
-                        let en = ins[port("en")] & 1;
-                        let sh = ins[port("sh")] & 1;
-                        if clr == 1 {
-                            NodeState::ShiftAcc { acc: 0 }
-                        } else if en == 1 {
-                            let align = u32::from(acc_width - data_width);
-                            let sub = ins[port("sub")] & 1;
-                            let sa = to_signed(*acc, *acc_width);
-                            let sd = to_signed(ins[port("d")], *data_width);
-                            let term = sd << align;
-                            let sum = if sub == 1 { sa - term } else { sa + term };
-                            NodeState::ShiftAcc {
-                                acc: from_signed(sum >> 1, *acc_width),
-                            }
-                        } else if sh == 1 {
-                            let sa = to_signed(*acc, *acc_width);
-                            NodeState::ShiftAcc {
-                                acc: from_signed(sa >> 1, *acc_width),
-                            }
-                        } else {
-                            NodeState::ShiftAcc { acc: *acc }
+                    } else if sh.read(nets) & 1 == 1 {
+                        let sa = to_signed(*acc, acc_width);
+                        NodeState::ShiftAcc {
+                            acc: from_signed(sa >> 1, acc_width),
                         }
+                    } else {
+                        NodeState::ShiftAcc { acc: *acc }
                     }
-                    _ => unreachable!("state/config mismatch"),
-                },
+                }
                 _ => unreachable!("state/config mismatch"),
             };
             if new_state != self.states[idx] {

@@ -11,6 +11,13 @@
 //! * per-net toggle counting for activity-based power estimation
 //!   (`dsra-tech`).
 //!
+//! The hot path is allocation-free: a checked netlist compiles once into a
+//! flat [`ExecPlan`] (resolved port slots, enum-dispatched ops, pre-masked
+//! ROMs) and every simulated cycle runs over dense arrays. Drivers that
+//! build many simulators over one netlist share the plan via
+//! [`Simulator::with_plan`] and drive pins through resolved handles
+//! ([`Simulator::input_port`] / [`Simulator::drive`]).
+//!
 //! See [`Simulator`] for a usage example.
 
 #![warn(missing_docs)]
@@ -20,5 +27,5 @@ pub mod engine;
 pub mod trace;
 
 pub use activity::Activity;
-pub use engine::{Simulator, StuckFault};
+pub use engine::{ExecPlan, InputPort, OutputPort, Simulator, StuckFault};
 pub use trace::Waveform;

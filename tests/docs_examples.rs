@@ -52,6 +52,26 @@ fn experiment_index_references_resolve() {
         "DESIGN.md must document the dsra-power subsystem (§7)"
     );
     assert!(
+        design.contains("## 8. Performance engineering"),
+        "DESIGN.md must document the hot-path engineering (§8)"
+    );
+    for anchor in ["ExecPlan", "diff_bits_map", "DiffMatrix", "planning_ms"] {
+        assert!(
+            design.contains(anchor),
+            "DESIGN.md §8 must cover `{anchor}`"
+        );
+    }
+    assert!(
+        readme.contains("## Performance"),
+        "README must keep the performance table"
+    );
+    assert!(
+        readme.contains("--bench hotpath"),
+        "README must point at the hot-path bench CI runs"
+    );
+    let hotpath = root.join("crates/bench/benches/hotpath.rs");
+    assert!(hotpath.is_file(), "hot-path bench must exist");
+    assert!(
         readme.contains("`dsra-runtime`"),
         "README crate map must list dsra-runtime"
     );
