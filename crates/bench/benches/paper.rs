@@ -178,6 +178,42 @@ fn bench_soc_serve(c: &mut Criterion) {
     g.finish();
 }
 
+/// E13: the open-loop streaming frontend dispatching a small overloaded
+/// trace — admission, EDF shedding, elastic gating and the virtual-time
+/// event loop, end to end (kernels compile once, outside the loop).
+fn bench_stream_serve(c: &mut Criterion) {
+    use dsra_runtime::{DctMapping, RuntimeConfig, SocRuntime};
+    use dsra_service::{serve_trace, standard_tenants, ServiceConfig, TraceConfig};
+    let mut g = c.benchmark_group("stream_serve");
+    g.sample_size(10).measurement_time(Duration::from_secs(5));
+    let mut runtime = SocRuntime::new(RuntimeConfig {
+        da_arrays: 2,
+        me_arrays: 1,
+        mappings: vec![
+            DctMapping::BasicDa,
+            DctMapping::MixedRom,
+            DctMapping::SccFull,
+        ],
+        ..Default::default()
+    })
+    .unwrap();
+    let trace = TraceConfig {
+        tenants: standard_tenants(3, 40),
+        duration_us: 2_000,
+        ..Default::default()
+    };
+    let service = ServiceConfig::default();
+    g.bench_function("edf_shed_3_tenants_2ms", |b| {
+        b.iter(|| {
+            runtime.recharge_full();
+            let report = serve_trace(&mut runtime, &trace, &service).unwrap();
+            assert!(report.served > 0);
+            report.makespan_us
+        })
+    });
+    g.finish();
+}
+
 criterion_group! {
     name = benches;
     config = Criterion::default();
@@ -189,6 +225,7 @@ criterion_group! {
         bench_fpga_compare,
         bench_reconfig,
         bench_dct2d,
-        bench_soc_serve
+        bench_soc_serve,
+        bench_stream_serve
 }
 criterion_main!(benches);

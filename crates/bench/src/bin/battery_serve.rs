@@ -16,33 +16,13 @@
 //! same definition `tests/battery_serve.rs` gates in tier-1.
 
 use dsra_bench::{
-    banner, discharge_battery, json_flag, write_json_summary, DischargeOutcome, JsonValue,
+    banner, discharge_battery, json_flag, parse_f64, parse_u64, write_json_summary,
+    DischargeOutcome, JsonValue,
 };
 use dsra_runtime::{
     DefaultPolicy, EnergyAwarePolicy, NaivePolicy, PowerConfig, RuntimeConfig, SchedulePolicy,
 };
 use dsra_video::JobMixConfig;
-
-fn arg_value(name: &str) -> Option<String> {
-    let args: Vec<String> = std::env::args().collect();
-    args.iter()
-        .position(|a| a == name)
-        .and_then(|i| args.get(i + 1).cloned())
-}
-
-fn parse_u64(name: &str, default: u64) -> u64 {
-    arg_value(name)
-        .map(|v| {
-            let v = v.trim();
-            let parsed = if let Some(hex) = v.strip_prefix("0x") {
-                u64::from_str_radix(hex, 16)
-            } else {
-                v.parse()
-            };
-            parsed.unwrap_or_else(|_| panic!("bad value for {name}: {v}"))
-        })
-        .unwrap_or(default)
-}
 
 fn parse_u32(name: &str, default: u32) -> u32 {
     u32::try_from(parse_u64(name, u64::from(default)))
@@ -52,16 +32,6 @@ fn parse_u32(name: &str, default: u32) -> u32 {
 fn parse_u8(name: &str, default: u8) -> u8 {
     u8::try_from(parse_u64(name, u64::from(default)))
         .unwrap_or_else(|_| panic!("value for {name} exceeds u8"))
-}
-
-fn parse_f64(name: &str, default: f64) -> f64 {
-    arg_value(name)
-        .map(|v| {
-            v.trim()
-                .parse()
-                .unwrap_or_else(|_| panic!("bad value for {name}: {v}"))
-        })
-        .unwrap_or(default)
 }
 
 fn main() {

@@ -13,30 +13,9 @@
 //! scheduler plans deterministically and the worker threads only execute
 //! plans — which is exactly what the `outcome digest` line pins.
 
-use dsra_bench::{banner, json_flag};
+use dsra_bench::{banner, json_flag, parse_u64};
 use dsra_runtime::{RuntimeConfig, SocRuntime};
 use dsra_video::{generate_job_mix, JobMixConfig};
-
-fn arg_value(name: &str) -> Option<String> {
-    let args: Vec<String> = std::env::args().collect();
-    args.iter()
-        .position(|a| a == name)
-        .and_then(|i| args.get(i + 1).cloned())
-}
-
-fn parse_u64(name: &str, default: u64) -> u64 {
-    arg_value(name)
-        .map(|v| {
-            let v = v.trim();
-            let parsed = if let Some(hex) = v.strip_prefix("0x") {
-                u64::from_str_radix(hex, 16)
-            } else {
-                v.parse()
-            };
-            parsed.unwrap_or_else(|_| panic!("bad value for {name}: {v}"))
-        })
-        .unwrap_or(default)
-}
 
 fn main() {
     let jobs = parse_u64("--jobs", 1000) as u32;

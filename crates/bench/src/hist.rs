@@ -1,0 +1,171 @@
+//! A small fixed-bucket histogram with nearest-rank percentiles — no
+//! dependencies, integer-exact, deterministic.
+//!
+//! Built for latency distributions: E13 (`stream_serve`) folds served
+//! request latencies through it for the p50/p90/p99 lines in
+//! `BENCH_stream.json`, and `tests/stream_serve.rs` gates the
+//! EDF-vs-FIFO comparison on the same definition. Values land in
+//! `value / bucket_width` (the last bucket catches everything beyond the
+//! range); percentiles report a bucket's inclusive upper bound, clamped
+//! to the exact maximum recorded, so `bucket_width == 1` reproduces exact
+//! nearest-rank percentiles.
+
+/// Fixed-bucket histogram over `u64` values.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Histogram {
+    bucket_width: u64,
+    counts: Vec<u64>,
+    total: u64,
+    max: u64,
+}
+
+impl Histogram {
+    /// `buckets` buckets of `bucket_width` each; values at or beyond
+    /// `bucket_width * buckets` land in the last (overflow) bucket.
+    ///
+    /// # Panics
+    /// Panics on a zero width or zero bucket count.
+    pub fn new(bucket_width: u64, buckets: usize) -> Self {
+        assert!(bucket_width > 0, "bucket width must be positive");
+        assert!(buckets > 0, "need at least one bucket");
+        Histogram {
+            bucket_width,
+            counts: vec![0; buckets],
+            total: 0,
+            max: 0,
+        }
+    }
+
+    /// Records one value.
+    pub fn record(&mut self, value: u64) {
+        let i = (value / self.bucket_width).min(self.counts.len() as u64 - 1) as usize;
+        self.counts[i] += 1;
+        self.total += 1;
+        self.max = self.max.max(value);
+    }
+
+    /// Records every value of an iterator.
+    pub fn record_all<I: IntoIterator<Item = u64>>(&mut self, values: I) {
+        for v in values {
+            self.record(v);
+        }
+    }
+
+    /// Values recorded.
+    pub fn count(&self) -> u64 {
+        self.total
+    }
+
+    /// Exact maximum recorded (0 when empty).
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Per-bucket counts (the last bucket is the overflow bucket).
+    pub fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// Nearest-rank percentile (`p` in `[0, 100]`): the inclusive upper
+    /// bound of the bucket holding the `ceil(p/100 · n)`-th smallest
+    /// value, clamped to the exact maximum. 0 when empty.
+    pub fn percentile(&self, p: f64) -> u64 {
+        if self.total == 0 {
+            return 0;
+        }
+        let rank = ((p / 100.0) * self.total as f64).ceil().max(1.0) as u64;
+        let mut seen = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                if i + 1 == self.counts.len() {
+                    // The overflow bucket has no meaningful upper bound;
+                    // the exact maximum is the only honest answer.
+                    return self.max;
+                }
+                let upper = (i as u64 + 1) * self.bucket_width - 1;
+                return upper.min(self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Median.
+    pub fn p50(&self) -> u64 {
+        self.percentile(50.0)
+    }
+
+    /// 90th percentile.
+    pub fn p90(&self) -> u64 {
+        self.percentile(90.0)
+    }
+
+    /// 99th percentile.
+    pub fn p99(&self) -> u64 {
+        self.percentile(99.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unit_width_reproduces_exact_nearest_rank() {
+        let mut h = Histogram::new(1, 128);
+        h.record_all([10, 20, 30, 40, 50, 60, 70, 80, 90, 100]);
+        assert_eq!(h.count(), 10);
+        assert_eq!(h.p50(), 50);
+        assert_eq!(h.p90(), 90);
+        assert_eq!(h.p99(), 100);
+        assert_eq!(h.percentile(100.0), 100);
+        assert_eq!(h.percentile(0.0), 10, "rank clamps to the first value");
+        assert_eq!(h.max(), 100);
+    }
+
+    #[test]
+    fn wide_buckets_bound_from_above_and_clamp_to_the_max() {
+        let mut h = Histogram::new(25, 40);
+        h.record_all([3, 7, 110]);
+        // p50 falls in bucket [0, 25): upper bound 24.
+        assert_eq!(h.p50(), 24);
+        // The top value is reported exactly, not as its bucket bound.
+        assert_eq!(h.p99(), 110);
+        // Percentiles never move when the same data is recorded again
+        // (scale invariance of ranks).
+        let mut twice = Histogram::new(25, 40);
+        twice.record_all([3, 7, 110, 3, 7, 110]);
+        assert_eq!(twice.p50(), h.p50());
+        assert_eq!(twice.p99(), h.p99());
+    }
+
+    #[test]
+    fn overflow_lands_in_the_last_bucket() {
+        let mut h = Histogram::new(10, 4);
+        h.record(1_000_000);
+        h.record(5);
+        assert_eq!(h.counts(), &[1, 0, 0, 1]);
+        assert_eq!(h.p99(), 1_000_000, "overflow reports the exact max");
+    }
+
+    #[test]
+    fn empty_histogram_reads_zero() {
+        let h = Histogram::new(10, 4);
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.p50(), 0);
+        assert_eq!(h.p99(), 0);
+        assert_eq!(h.max(), 0);
+    }
+
+    #[test]
+    fn percentiles_are_monotone_in_p() {
+        let mut h = Histogram::new(7, 64);
+        h.record_all((0..500).map(|i| (i * 37) % 401));
+        let mut last = 0;
+        for p in [1.0, 10.0, 25.0, 50.0, 75.0, 90.0, 99.0, 100.0] {
+            let v = h.percentile(p);
+            assert!(v >= last, "percentile({p}) = {v} < {last}");
+            last = v;
+        }
+    }
+}

@@ -20,14 +20,18 @@
 #![warn(missing_docs)]
 
 pub mod discharge;
+pub mod hist;
 pub mod json;
+pub mod stream;
 
 use dsra_core::netlist::Netlist;
 use dsra_me::Plane;
 use dsra_sim::{Activity, Simulator};
 
 pub use discharge::{discharge_battery, DischargeOutcome};
+pub use hist::Histogram;
 pub use json::{parse_json, Json};
+pub use stream::{latency_histogram, stream_metrics};
 
 /// Deterministic hash-noise planes with a known shift (no displacement
 /// aliasing) — the standard ME workload.
@@ -146,6 +150,49 @@ pub fn json_summary<K: AsRef<str>>(experiment: &str, metrics: &[(K, JsonValue)])
 /// `true` when the binary was invoked with `--json`.
 pub fn json_flag() -> bool {
     std::env::args().any(|a| a == "--json")
+}
+
+/// The value following `name` on the command line, if present — the one
+/// flag parser every experiment binary shares.
+pub fn arg_value(name: &str) -> Option<String> {
+    let args: Vec<String> = std::env::args().collect();
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1).cloned())
+}
+
+/// Parses `--name <u64>` (decimal or `0x…` hex), falling back to
+/// `default` when the flag is absent.
+///
+/// # Panics
+/// Panics on an unparseable value — experiment binaries fail loudly on
+/// bad arguments rather than silently measuring something else.
+pub fn parse_u64(name: &str, default: u64) -> u64 {
+    arg_value(name)
+        .map(|v| {
+            let v = v.trim();
+            let parsed = if let Some(hex) = v.strip_prefix("0x") {
+                u64::from_str_radix(hex, 16)
+            } else {
+                v.parse()
+            };
+            parsed.unwrap_or_else(|_| panic!("bad value for {name}: {v}"))
+        })
+        .unwrap_or(default)
+}
+
+/// Parses `--name <f64>`, falling back to `default` when absent.
+///
+/// # Panics
+/// Panics on an unparseable value (see [`parse_u64`]).
+pub fn parse_f64(name: &str, default: f64) -> f64 {
+    arg_value(name)
+        .map(|v| {
+            v.trim()
+                .parse()
+                .unwrap_or_else(|_| panic!("bad value for {name}: {v}"))
+        })
+        .unwrap_or(default)
 }
 
 /// Writes a [`json_summary`] to `BENCH_<tag>.json` in the working directory

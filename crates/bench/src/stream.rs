@@ -1,0 +1,76 @@
+//! E13 metric assembly: one definition of the `BENCH_stream.json`
+//! payload, shared by the `stream_serve` binary, the JSON-contract test
+//! and the tier-1 integration gate (`tests/stream_serve.rs`) — so the
+//! artifact, its schema test and the acceptance gate cannot drift apart.
+
+use dsra_service::ServiceReport;
+
+use crate::hist::Histogram;
+use crate::JsonValue;
+
+/// Bucket width of the serve-latency histogram (virtual µs).
+pub const LATENCY_BUCKET_US: u64 = 25;
+/// Bucket count (values beyond ~51 ms land in the overflow bucket).
+pub const LATENCY_BUCKETS: usize = 2048;
+
+/// Folds a session's served latencies into the standard E13 histogram.
+pub fn latency_histogram(report: &ServiceReport) -> Histogram {
+    let mut h = Histogram::new(LATENCY_BUCKET_US, LATENCY_BUCKETS);
+    h.record_all(report.sorted_latencies_us());
+    h
+}
+
+/// The per-policy metric block of `BENCH_stream.json`, keys prefixed
+/// with the policy tag (`fifo_…` / `edf_shed_…`).
+pub fn stream_metrics(report: &ServiceReport) -> Vec<(String, JsonValue)> {
+    let tag = report.policy.replace('-', "_");
+    let h = latency_histogram(report);
+    vec![
+        (
+            format!("{tag}_requests"),
+            JsonValue::Int(report.requests as u64),
+        ),
+        (
+            format!("{tag}_served"),
+            JsonValue::Int(report.served as u64),
+        ),
+        (format!("{tag}_shed"), JsonValue::Int(report.shed as u64)),
+        (
+            format!("{tag}_violations"),
+            JsonValue::Int(report.violations as u64),
+        ),
+        (format!("{tag}_p50_latency_us"), JsonValue::Int(h.p50())),
+        (format!("{tag}_p90_latency_us"), JsonValue::Int(h.p90())),
+        (format!("{tag}_p99_latency_us"), JsonValue::Int(h.p99())),
+        (format!("{tag}_max_latency_us"), JsonValue::Int(h.max())),
+        (
+            format!("{tag}_violation_pct"),
+            JsonValue::Num(report.violation_pct()),
+        ),
+        (format!("{tag}_shed_pct"), JsonValue::Num(report.shed_pct())),
+        (
+            format!("{tag}_goodput_pct"),
+            JsonValue::Num(report.goodput_pct()),
+        ),
+        (
+            format!("{tag}_energy_j"),
+            JsonValue::Num(report.pool.total_j()),
+        ),
+        (
+            format!("{tag}_joules_per_served"),
+            JsonValue::Num(report.joules_per_served()),
+        ),
+        (
+            format!("{tag}_gate_events"),
+            JsonValue::Int(report.gate_events() as u64),
+        ),
+        (
+            format!("{tag}_wakes"),
+            JsonValue::Int(report.wakes() as u64),
+        ),
+        (
+            format!("{tag}_digest"),
+            JsonValue::Str(format!("{:#018x}", report.digest())),
+        ),
+    ]
+}

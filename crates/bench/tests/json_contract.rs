@@ -3,8 +3,9 @@
 //! carrying the required keys. Before this test the trajectory files were
 //! write-only — nothing in the workspace could read one back.
 
-use dsra_bench::{json_summary, parse_json, Json, JsonValue};
+use dsra_bench::{json_summary, parse_json, stream_metrics, Json, JsonValue};
 use dsra_runtime::{DctMapping, PhaseTimings, RuntimeConfig, SocRuntime};
+use dsra_service::{serve_trace, standard_tenants, AdmitPolicy, ServiceConfig, TraceConfig};
 use dsra_video::{generate_job_mix, JobMixConfig, JobMixWeights};
 
 /// The flat `json_summary` shape every per-experiment writer uses:
@@ -81,6 +82,19 @@ fn runtime_report_json_carries_required_keys() {
         );
     }
     assert!(v.get("outcome_digest").and_then(Json::as_str).is_some());
+    // Serve-latency percentiles (ISSUE 5 satellite): arrival → completion,
+    // queueing included, pinned as part of the BENCH_runtime.json schema.
+    let latency = v.get("latency").expect("latency object");
+    for key in ["p50_cycles", "p99_cycles"] {
+        assert!(
+            latency.get(key).and_then(Json::as_f64).is_some(),
+            "missing latency key {key}"
+        );
+    }
+    assert!(
+        latency.get("p50_cycles").unwrap().as_f64() <= latency.get("p99_cycles").unwrap().as_f64(),
+        "p50 must not exceed p99"
+    );
     let cache = v.get("cache").expect("cache object");
     for key in ["lookups", "hits", "misses", "hit_rate"] {
         assert!(cache.get(key).and_then(Json::as_f64).is_some());
@@ -166,5 +180,93 @@ fn runtime_report_json_carries_required_keys() {
             );
         }
         assert!(a.get("kind").and_then(Json::as_str).is_some());
+    }
+}
+
+/// The `BENCH_stream.json` payload (E13): `stream_metrics` must emit a
+/// parseable per-policy block with every pinned key, for both admission
+/// policies, from one shared definition (`dsra_bench::stream`).
+#[test]
+fn stream_metrics_carry_the_bench_stream_contract() {
+    let trace = TraceConfig {
+        tenants: standard_tenants(2, 300),
+        duration_us: 4_000,
+        ..Default::default()
+    };
+    let mut all: Vec<(String, JsonValue)> = vec![
+        ("tenants".into(), JsonValue::Int(2)),
+        ("duration_us".into(), JsonValue::Int(4_000)),
+        ("rate_per_ms".into(), JsonValue::Int(7)),
+        ("da_arrays".into(), JsonValue::Int(1)),
+        ("me_arrays".into(), JsonValue::Int(1)),
+    ];
+    for policy in [AdmitPolicy::FifoUnbounded, AdmitPolicy::EdfShed] {
+        let mut rt = SocRuntime::new(RuntimeConfig {
+            da_arrays: 1,
+            me_arrays: 1,
+            mappings: vec![DctMapping::BasicDa, DctMapping::MixedRom],
+            ..Default::default()
+        })
+        .expect("runtime");
+        let report = serve_trace(
+            &mut rt,
+            &trace,
+            &ServiceConfig {
+                policy,
+                ..Default::default()
+            },
+        )
+        .expect("session");
+        all.extend(stream_metrics(&report));
+    }
+    let doc = json_summary("E13", &all);
+    let v = parse_json(&doc).unwrap_or_else(|e| panic!("unparseable stream summary: {e}\n{doc}"));
+    assert_eq!(v.get("experiment").and_then(Json::as_str), Some("E13"));
+    let metrics = v.get("metrics").expect("metrics object");
+    for key in [
+        "tenants",
+        "duration_us",
+        "rate_per_ms",
+        "da_arrays",
+        "me_arrays",
+    ] {
+        assert!(
+            metrics.get(key).and_then(Json::as_f64).is_some(),
+            "missing run key {key}"
+        );
+    }
+    for tag in ["fifo", "edf_shed"] {
+        for key in [
+            "requests",
+            "served",
+            "shed",
+            "violations",
+            "p50_latency_us",
+            "p90_latency_us",
+            "p99_latency_us",
+            "max_latency_us",
+            "violation_pct",
+            "shed_pct",
+            "goodput_pct",
+            "energy_j",
+            "joules_per_served",
+            "gate_events",
+            "wakes",
+        ] {
+            assert!(
+                metrics
+                    .get(&format!("{tag}_{key}"))
+                    .and_then(Json::as_f64)
+                    .is_some(),
+                "missing numeric key {tag}_{key}"
+            );
+        }
+        assert!(
+            metrics
+                .get(&format!("{tag}_digest"))
+                .and_then(Json::as_str)
+                .is_some(),
+            "missing {tag}_digest"
+        );
     }
 }

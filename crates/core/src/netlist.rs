@@ -30,9 +30,19 @@ use crate::report::ResourceReport;
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct Fingerprint(pub u128);
 
+impl Fingerprint {
+    /// The canonical 32-digit lower-case hex spelling of the address — the
+    /// single formatting everything renders fingerprints with (kernel
+    /// registration keys, cache diagnostics, reports). `Display` delegates
+    /// here, so `to_string()` and `to_hex()` agree byte for byte.
+    pub fn to_hex(&self) -> String {
+        format!("{:032x}", self.0)
+    }
+}
+
 impl fmt::Display for Fingerprint {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{:032x}", self.0)
+        f.write_str(&self.to_hex())
     }
 }
 
@@ -1124,6 +1134,18 @@ mod tests {
             base.fingerprint(),
             build(AbsDiffMode::AbsDiff, 12).fingerprint()
         );
+    }
+
+    #[test]
+    fn fingerprint_hex_is_canonical_and_shared_with_display() {
+        let fp = Fingerprint(0x00AB_u128);
+        let hex = fp.to_hex();
+        // Fixed-width, lower-case, zero-padded — and Display is the same
+        // bytes, so every consumer formats fingerprints identically.
+        assert_eq!(hex.len(), 32);
+        assert_eq!(hex, "000000000000000000000000000000ab");
+        assert_eq!(hex, fp.to_string());
+        assert_eq!(Fingerprint(u128::MAX).to_hex(), "f".repeat(32));
     }
 
     #[test]

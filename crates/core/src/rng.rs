@@ -10,6 +10,18 @@ pub fn fnv1a_fold(hash: u64, word: u64) -> u64 {
     (hash ^ word).wrapping_mul(0x0000_0100_0000_01B3)
 }
 
+/// Spreads `(seed, index)` into an independent derived seed — the
+/// SplitMix64 finaliser over `seed + index · γ`. The one recipe every
+/// stream-splitting consumer shares: `JobMixConfig::chunk` derives its
+/// chunk seeds with it and the E13 trace generator derives per-tenant
+/// seeds, so the mixing constants live here exactly once.
+pub fn split_seed(seed: u64, index: u64) -> u64 {
+    let mut z = seed.wrapping_add(index.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
 /// SplitMix64 pseudo-random generator.
 ///
 /// Deterministic for a given seed; passes BigCrush-level statistics for the

@@ -65,15 +65,11 @@ pub(crate) fn run_worker(
     for a in assignments {
         if let std::collections::hash_map::Entry::Vacant(e) = registered.entry(a.kernel.fingerprint)
         {
-            let hex = a.kernel.fingerprint.to_string();
+            let hex = a.kernel.fingerprint.to_hex();
             mgr.register(hex.clone(), a.kernel.artifact.bitstream.clone());
             e.insert(hex);
         }
     }
-    let WorkerEngines {
-        dct_impls,
-        me_engines,
-    } = engines;
     let mut out = Vec::with_capacity(assignments.len());
     for a in assignments {
         let reconfig = mgr.switch_to(&registered[&a.kernel.fingerprint])?;
@@ -81,114 +77,7 @@ pub(crate) fn run_worker(
             reconfig.bits_written, a.slot.reconfig_bits,
             "executed switch cost must match the scheduler's plan"
         );
-        let (exec_cycles, checksum) = match a.job.payload {
-            JobPayload::DctBlocks { blocks, amplitude } => {
-                let mapping = DctMapping::from_name(&a.kernel.name).ok_or_else(|| {
-                    CoreError::Mismatch(format!("unknown DCT kernel `{}`", a.kernel.name))
-                })?;
-                let imp = match dct_impls.entry(mapping.name()) {
-                    std::collections::hash_map::Entry::Occupied(e) => e.into_mut(),
-                    std::collections::hash_map::Entry::Vacant(e) => {
-                        e.insert(mapping.build(params)?)
-                    }
-                };
-                let mut rng = SplitMix64::new(a.job.seed);
-                let mut cycles = 0u64;
-                let mut sum = 0xA5A5_A5A5u64;
-                for _ in 0..blocks {
-                    let x: [i64; 8] = std::array::from_fn(|_| {
-                        rng.next_below(2 * amplitude as u64 + 1) as i64 - amplitude
-                    });
-                    let y = imp.transform(&x)?;
-                    cycles += imp.cycles_per_block();
-                    for v in y {
-                        // Quantise to kill any last-bit noise before digesting.
-                        sum = mix(sum, (v * 256.0).round() as i64 as u64);
-                    }
-                }
-                (cycles, sum)
-            }
-            JobPayload::MeSearch {
-                size,
-                shift,
-                block,
-                range,
-            } => {
-                let eng = match me_engines.entry(block) {
-                    std::collections::hash_map::Entry::Occupied(e) => e.into_mut(),
-                    std::collections::hash_map::Entry::Vacant(e) => {
-                        e.insert(Systolic2d::new(usize::from(block))?)
-                    }
-                };
-                let (w, h) = (usize::from(size.0), usize::from(size.1));
-                let (b, rg) = (usize::from(block), usize::from(range));
-                // Search a centred block; the full window (block ± range)
-                // must fit inside the plane or the systolic feed would read
-                // out of bounds.
-                let (bx, by) = (w.saturating_sub(b) / 2, h.saturating_sub(b) / 2);
-                if bx < rg || by < rg || bx + b + rg > w || by + b + rg > h {
-                    return Err(CoreError::Mismatch(format!(
-                        "job {}: {w}x{h} plane too small for block {b} ± {rg} search",
-                        a.job.id
-                    )));
-                }
-                let (cur, refp) = me_search_planes(size, shift, a.job.seed);
-                let sp = SearchParams {
-                    block: b,
-                    range: i32::from(range),
-                };
-                let r = eng.search(&cur, &refp, bx, by, &sp)?;
-                let mut sum = 0x5A5A_5A5Au64;
-                sum = mix(sum, r.best.mv.0 as u64);
-                sum = mix(sum, r.best.mv.1 as u64);
-                sum = mix(sum, r.best.sad);
-                sum = mix(sum, r.best.candidates);
-                (r.cycles, sum)
-            }
-            JobPayload::EncodeGop {
-                size,
-                frames,
-                noise,
-            } => {
-                let mapping = DctMapping::from_name(&a.kernel.name).ok_or_else(|| {
-                    CoreError::Mismatch(format!("unknown DCT kernel `{}`", a.kernel.name))
-                })?;
-                let imp = match dct_impls.entry(mapping.name()) {
-                    std::collections::hash_map::Entry::Occupied(e) => e.into_mut(),
-                    std::collections::hash_map::Entry::Vacant(e) => {
-                        e.insert(mapping.build(params)?)
-                    }
-                };
-                let seq = SyntheticSequence::generate(SequenceConfig {
-                    width: usize::from(size.0),
-                    height: usize::from(size.1),
-                    frames: usize::from(frames),
-                    noise,
-                    objects: 1,
-                    seed: a.job.seed,
-                    ..Default::default()
-                });
-                let cfg = EncodeConfig {
-                    search: SearchParams {
-                        block: 16,
-                        range: 2,
-                    },
-                    ..Default::default()
-                };
-                let mut cycles = 0u64;
-                let mut sum = 0xC0DEu64;
-                for f in 1..seq.frames().len() {
-                    let (_, stats) =
-                        encode_frame(seq.frame(f), seq.frame(f - 1), imp.as_ref(), &cfg)?;
-                    cycles += stats.dct_cycles;
-                    sum = mix(sum, stats.total_sad);
-                    sum = mix(sum, stats.estimated_bits);
-                    sum = mix(sum, stats.nonzero_levels as u64);
-                    sum = mix(sum, (stats.psnr_db * 1000.0).round() as i64 as u64);
-                }
-                (cycles, sum)
-            }
-        };
+        let (exec_cycles, checksum) = execute_payload(params, &a.job, &a.kernel.name, engines)?;
         out.push(JobExec {
             job_id: a.job.id,
             reconfig,
@@ -197,4 +86,124 @@ pub(crate) fn run_worker(
         });
     }
     Ok(out)
+}
+
+/// Executes one job's payload cycle-accurately on an array's engines and
+/// returns `(exec_cycles, checksum)`. Shared by the batch worker loop
+/// above and the incremental streaming path (`SocRuntime::stream_serve_job`),
+/// so both serve modes compute byte-identical outcomes from one
+/// definition.
+pub(crate) fn execute_payload(
+    params: DaParams,
+    job: &dsra_video::JobSpec,
+    kernel_name: &str,
+    engines: &mut WorkerEngines,
+) -> Result<(u64, u64)> {
+    let WorkerEngines {
+        dct_impls,
+        me_engines,
+    } = engines;
+    fn dct_impl<'a>(
+        dct_impls: &'a mut HashMap<&'static str, Box<dyn DctImpl>>,
+        params: DaParams,
+        name: &str,
+    ) -> Result<&'a mut Box<dyn DctImpl>> {
+        let mapping = DctMapping::from_name(name)
+            .ok_or_else(|| CoreError::Mismatch(format!("unknown DCT kernel `{name}`")))?;
+        Ok(match dct_impls.entry(mapping.name()) {
+            std::collections::hash_map::Entry::Occupied(e) => e.into_mut(),
+            std::collections::hash_map::Entry::Vacant(e) => e.insert(mapping.build(params)?),
+        })
+    }
+    Ok(match job.payload {
+        JobPayload::DctBlocks { blocks, amplitude } => {
+            let imp = dct_impl(dct_impls, params, kernel_name)?;
+            let mut rng = SplitMix64::new(job.seed);
+            let mut cycles = 0u64;
+            let mut sum = 0xA5A5_A5A5u64;
+            for _ in 0..blocks {
+                let x: [i64; 8] = std::array::from_fn(|_| {
+                    rng.next_below(2 * amplitude as u64 + 1) as i64 - amplitude
+                });
+                let y = imp.transform(&x)?;
+                cycles += imp.cycles_per_block();
+                for v in y {
+                    // Quantise to kill any last-bit noise before digesting.
+                    sum = mix(sum, (v * 256.0).round() as i64 as u64);
+                }
+            }
+            (cycles, sum)
+        }
+        JobPayload::MeSearch {
+            size,
+            shift,
+            block,
+            range,
+        } => {
+            let eng = match me_engines.entry(block) {
+                std::collections::hash_map::Entry::Occupied(e) => e.into_mut(),
+                std::collections::hash_map::Entry::Vacant(e) => {
+                    e.insert(Systolic2d::new(usize::from(block))?)
+                }
+            };
+            let (w, h) = (usize::from(size.0), usize::from(size.1));
+            let (b, rg) = (usize::from(block), usize::from(range));
+            // Search a centred block; the full window (block ± range)
+            // must fit inside the plane or the systolic feed would read
+            // out of bounds.
+            let (bx, by) = (w.saturating_sub(b) / 2, h.saturating_sub(b) / 2);
+            if bx < rg || by < rg || bx + b + rg > w || by + b + rg > h {
+                return Err(CoreError::Mismatch(format!(
+                    "job {}: {w}x{h} plane too small for block {b} ± {rg} search",
+                    job.id
+                )));
+            }
+            let (cur, refp) = me_search_planes(size, shift, job.seed);
+            let sp = SearchParams {
+                block: b,
+                range: i32::from(range),
+            };
+            let r = eng.search(&cur, &refp, bx, by, &sp)?;
+            let mut sum = 0x5A5A_5A5Au64;
+            sum = mix(sum, r.best.mv.0 as u64);
+            sum = mix(sum, r.best.mv.1 as u64);
+            sum = mix(sum, r.best.sad);
+            sum = mix(sum, r.best.candidates);
+            (r.cycles, sum)
+        }
+        JobPayload::EncodeGop {
+            size,
+            frames,
+            noise,
+        } => {
+            let imp = dct_impl(dct_impls, params, kernel_name)?;
+            let seq = SyntheticSequence::generate(SequenceConfig {
+                width: usize::from(size.0),
+                height: usize::from(size.1),
+                frames: usize::from(frames),
+                noise,
+                objects: 1,
+                seed: job.seed,
+                ..Default::default()
+            });
+            let cfg = EncodeConfig {
+                search: SearchParams {
+                    block: 16,
+                    range: 2,
+                },
+                ..Default::default()
+            };
+            let mut cycles = 0u64;
+            let mut sum = 0xC0DEu64;
+            for f in 1..seq.frames().len() {
+                let (_, stats) = encode_frame(seq.frame(f), seq.frame(f - 1), imp.as_ref(), &cfg)?;
+                cycles += stats.dct_cycles;
+                sum = mix(sum, stats.total_sad);
+                sum = mix(sum, stats.estimated_bits);
+                sum = mix(sum, stats.nonzero_levels as u64);
+                sum = mix(sum, (stats.psnr_db * 1000.0).round() as i64 as u64);
+            }
+            (cycles, sum)
+        }
+    })
 }

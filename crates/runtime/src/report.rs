@@ -61,6 +61,9 @@ pub struct JobOutcome {
     pub reconfig_bits: u64,
     /// Payload sim-cycles.
     pub exec_cycles: u64,
+    /// Cycle the job arrived at (copied from its spec, so serve latency —
+    /// `end_cycle - arrival_cycle` — is computable from the outcome alone).
+    pub arrival_cycle: u64,
     /// Start cycle (after arrival and queueing).
     pub start_cycle: u64,
     /// Completion cycle.
@@ -193,6 +196,18 @@ impl RuntimeReport {
         h
     }
 
+    /// Per-job serve latencies (arrival → completion, sim-cycles), sorted
+    /// ascending — queueing delay included, which is what an SLO sees.
+    pub fn sorted_latencies(&self) -> Vec<u64> {
+        let mut l: Vec<u64> = self
+            .outcomes
+            .iter()
+            .map(|o| o.end_cycle - o.arrival_cycle)
+            .collect();
+        l.sort_unstable();
+        l
+    }
+
     /// Human-readable summary (stable across runs for the same seed).
     pub fn render(&self) -> String {
         let mut s = String::new();
@@ -305,6 +320,22 @@ impl RuntimeReport {
         s.push_str(&format!(
             "  \"outcome_digest\": \"{:#018x}\",\n",
             self.digest()
+        ));
+        // Serve-latency percentiles (nearest-rank over arrival → completion
+        // cycles) — the queueing-aware view the SLO layer (DESIGN.md §9)
+        // reads off this file.
+        let lat = self.sorted_latencies();
+        let pct = |p: f64| -> u64 {
+            if lat.is_empty() {
+                return 0;
+            }
+            let rank = ((p / 100.0) * lat.len() as f64).ceil() as usize;
+            lat[rank.clamp(1, lat.len()) - 1]
+        };
+        s.push_str(&format!(
+            "  \"latency\": {{\"p50_cycles\": {}, \"p99_cycles\": {}}},\n",
+            pct(50.0),
+            pct(99.0)
         ));
         if let Some(p) = phases {
             s.push_str(&format!(

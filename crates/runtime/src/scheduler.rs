@@ -383,9 +383,35 @@ impl DiffAwareScheduler {
         policy: &dyn SchedulePolicy,
         power: &PowerSnapshot,
     ) -> PlannedSlot {
+        self.assign_filtered(
+            kernel,
+            arrival_cycle,
+            est_exec_cycles,
+            policy,
+            power,
+            |_| true,
+        )
+    }
+
+    /// Like [`DiffAwareScheduler::assign`], restricted to the arrays
+    /// `available` admits — the hook the streaming layer (E13) uses to
+    /// keep power-gated arrays out of placement until its elastic-pool
+    /// controller wakes them.
+    ///
+    /// # Panics
+    /// Panics if no available array of the kernel's kind exists.
+    pub fn assign_filtered(
+        &mut self,
+        kernel: &Arc<CompiledKernel>,
+        arrival_cycle: u64,
+        est_exec_cycles: u64,
+        policy: &dyn SchedulePolicy,
+        power: &PowerSnapshot,
+        available: impl Fn(usize) -> bool,
+    ) -> PlannedSlot {
         let mut chosen: Option<(u64, usize, u64, u64)> = None;
         for i in 0..self.arrays.len() {
-            if self.arrays[i].kind != kernel.array_kind {
+            if self.arrays[i].kind != kernel.array_kind || !available(i) {
                 continue;
             }
             let bits = match &self.arrays[i].loaded {
@@ -420,6 +446,30 @@ impl DiffAwareScheduler {
             reconfig_bits,
             reconfig_cycles,
         }
+    }
+
+    /// Corrects an array's busy-until clock to the *measured* completion
+    /// cycle. [`DiffAwareScheduler::assign`] advances `free_at` by the
+    /// caller's estimate; the streaming layer executes each job right
+    /// after placing it and settles the clock with the cycle-accurate
+    /// figure so the next placement sees the true backlog.
+    ///
+    /// # Panics
+    /// Panics if `array` is out of range.
+    pub fn settle(&mut self, array: usize, free_at: u64) {
+        self.arrays[array].free_at = free_at;
+    }
+
+    /// Drops an array's resident configuration, as a full power-off does:
+    /// the next kernel placed there is priced as a cold, full bitstream
+    /// write. This is how the elastic pool models non-retentive power
+    /// gating (DESIGN.md §9) — the wake penalty is exactly the rewrite
+    /// the scheduler now charges.
+    ///
+    /// # Panics
+    /// Panics if `array` is out of range.
+    pub fn evict(&mut self, array: usize) {
+        self.arrays[array].loaded = None;
     }
 }
 
@@ -566,6 +616,42 @@ mod tests {
         again.assign(&ka, 0, 0, &DefaultPolicy, &snap());
         again.assign(&kb, 1 << 20, 0, &DefaultPolicy, &snap());
         assert_eq!(again.into_memo().len(), 1, "warm pair must not recompute");
+    }
+
+    #[test]
+    fn filtered_assignment_skips_unavailable_arrays_and_eviction_goes_cold() {
+        let mut sched = DiffAwareScheduler::new(0, 2, SocConfig::default());
+        let k = kernel(AbsDiffMode::AbsDiff);
+        // Array 0 is masked out (gated): the cold start lands on array 1
+        // even though 0 would win the tie.
+        let p = sched.assign_filtered(&k, 0, 10, &DefaultPolicy, &snap(), |i| i != 0);
+        assert_eq!(p.array, 1);
+        assert_eq!(p.reconfig_bits, k.total_bits());
+        // Resident on 1, a later arrival is free there…
+        let p = sched.assign(&k, 1 << 20, 10, &DefaultPolicy, &snap());
+        assert_eq!((p.array, p.reconfig_bits), (1, 0));
+        // …until eviction models the power-off: residency is gone, both
+        // arrays are equally cold (the tie reverts to array 0) and the
+        // kernel pays the full write again.
+        sched.evict(1);
+        let p = sched.assign(&k, 2 << 20, 10, &DefaultPolicy, &snap());
+        assert_eq!(p.array, 0);
+        assert_eq!(p.reconfig_bits, k.total_bits());
+    }
+
+    #[test]
+    fn settle_overrides_the_estimated_clock() {
+        let mut sched = DiffAwareScheduler::new(0, 1, SocConfig::default());
+        let k = kernel(AbsDiffMode::AbsDiff);
+        sched.assign(&k, 0, 1_000_000, &DefaultPolicy, &snap());
+        let estimated = sched.arrays()[0].free_at;
+        assert!(estimated >= 1_000_000);
+        // The measured job ran much shorter than estimated; the settled
+        // clock is what the next placement sees.
+        sched.settle(0, 500);
+        assert_eq!(sched.arrays()[0].free_at, 500);
+        let p = sched.assign(&k, 400, 10, &DefaultPolicy, &snap());
+        assert_eq!(p.array, 0);
     }
 
     #[test]

@@ -1,0 +1,328 @@
+//! The deterministic virtual-time dispatcher: admits arrivals, sheds or
+//! dispatches queued requests through the runtime's streaming hooks, and
+//! scales the array pool elastically.
+//!
+//! The loop advances a virtual µs clock from event to event (next
+//! arrival, next array becoming free, next gate-eligibility instant) and
+//! is a pure function of `(trace, runtime config, service config)` — no
+//! wall-clock, no thread timing, so E13 is byte-identical across runs.
+//!
+//! Elastic pool scaling is *non*-retentive power gating: an array idle
+//! longer than [`PoolConfig::gate_idle_us`] with no queued work of its
+//! kind is powered off through [`SocRuntime::stream_gate`] (it stops
+//! leaking but loses its configuration); backlog at or above
+//! [`PoolConfig::wake_backlog`] wakes gated arrays of that kind, whose
+//! first job then pays the full configuration rewrite — the wake penalty
+//! the scheduler prices exactly like any cold bitstream write.
+
+use dsra_core::error::{CoreError, Result};
+use dsra_runtime::{ArrayKind, SocRuntime, StreamArrayStatus};
+use dsra_video::{JobPayload, JobSpec};
+
+use crate::admit::{AdmissionQueue, AdmitPolicy};
+use crate::report::{RequestOutcome, ServiceReport, TenantReport};
+use crate::trace::{generate_trace, Request, TenantSpec, TraceConfig};
+
+/// Elastic array-pool parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PoolConfig {
+    /// `false` keeps every array powered for the whole session (the
+    /// fixed-pool baseline).
+    pub elastic: bool,
+    /// Idle µs after which an array with no queued work of its kind is
+    /// power-gated.
+    pub gate_idle_us: u64,
+    /// Queue depth (per array kind) at which gated arrays of that kind
+    /// are woken.
+    pub wake_backlog: usize,
+}
+
+impl Default for PoolConfig {
+    fn default() -> Self {
+        PoolConfig {
+            elastic: true,
+            gate_idle_us: 2_000,
+            wake_backlog: 6,
+        }
+    }
+}
+
+/// How one streaming session is run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServiceConfig {
+    /// Admission / shedding policy.
+    pub policy: AdmitPolicy,
+    /// Elastic pool parameters.
+    pub pool: PoolConfig,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        ServiceConfig {
+            policy: AdmitPolicy::EdfShed,
+            pool: PoolConfig::default(),
+        }
+    }
+}
+
+fn payload_tag(payload: &JobPayload) -> &'static str {
+    match payload {
+        JobPayload::DctBlocks { .. } => "dct",
+        JobPayload::MeSearch { .. } => "me",
+        JobPayload::EncodeGop { .. } => "encode",
+    }
+}
+
+/// Generates the trace described by `trace_config` and serves it — the
+/// E13 entry point.
+///
+/// # Errors
+/// See [`serve_requests`].
+pub fn serve_trace(
+    runtime: &mut SocRuntime,
+    trace_config: &TraceConfig,
+    service: &ServiceConfig,
+) -> Result<ServiceReport> {
+    let trace = generate_trace(trace_config);
+    serve_requests(
+        runtime,
+        &trace_config.tenants,
+        trace_config.duration_us,
+        &trace,
+        service,
+    )
+}
+
+/// Serves an explicit request stream (must be arrival-ordered with dense
+/// ids, as [`generate_trace`] produces) against the runtime's array pool.
+///
+/// The runtime is used in streaming mode: a fresh session is opened, every
+/// request is dispatched (or shed) at its virtual instant, and the session
+/// is closed at `max(makespan, duration_us)` so tail idle energy through
+/// the end of the trace window is accounted.
+///
+/// # Errors
+/// Fails on a malformed trace (unsorted / non-dense ids), a payload with
+/// no compatible array in the pool, or any compile/execution failure.
+pub fn serve_requests(
+    runtime: &mut SocRuntime,
+    tenants: &[TenantSpec],
+    duration_us: u64,
+    trace: &[Request],
+    service: &ServiceConfig,
+) -> Result<ServiceReport> {
+    for (i, r) in trace.iter().enumerate() {
+        if r.id != i as u32 || (i > 0 && trace[i - 1].arrival_us > r.arrival_us) {
+            return Err(CoreError::Mismatch(format!(
+                "trace must be arrival-ordered with dense ids (request {i})"
+            )));
+        }
+        let pool = match r.needs() {
+            ArrayKind::Da => runtime.config().da_arrays,
+            ArrayKind::Me => runtime.config().me_arrays,
+        };
+        if pool == 0 {
+            return Err(CoreError::Mismatch(format!(
+                "request {} needs a {} array but the pool has none",
+                r.id,
+                r.needs().tag()
+            )));
+        }
+    }
+    // Virtual µs ↔ sim-cycles: one µs is one clock-MHz worth of cycles
+    // (exact at the default 100 MHz; rounded otherwise).
+    let cyc = (runtime.config().soc.clock_mhz.round() as u64).max(1);
+    let us_of = |cycle: u64| cycle.div_ceil(cyc);
+
+    let mut queue = AdmissionQueue::new(service.policy);
+    let mut outcomes: Vec<Option<RequestOutcome>> = vec![None; trace.len()];
+    let mut next = 0usize;
+    let mut now_us = trace.first().map_or(duration_us, |r| r.arrival_us);
+    let mut makespan_us = 0u64;
+    runtime.stream_begin();
+
+    loop {
+        // 1 — admission: everything that has arrived by `now` enters the
+        // queue (open loop: admission never says no; the EDF policy says
+        // no at dispatch time by shedding).
+        while next < trace.len() && trace[next].arrival_us <= now_us {
+            queue.push(trace[next]);
+            next += 1;
+        }
+
+        // 2 — shedding: queued requests whose budget is already blown.
+        for r in queue.shed_blown(now_us) {
+            outcomes[r.id as usize] = Some(RequestOutcome {
+                id: r.id,
+                tenant: r.tenant,
+                kind: payload_tag(&r.payload),
+                arrival_us: r.arrival_us,
+                deadline_us: r.deadline_us,
+                shed: true,
+                array: usize::MAX,
+                start_us: now_us,
+                end_us: now_us,
+                latency_us: 0,
+                violated: false,
+                reconfig_bits: 0,
+                checksum: 0,
+                energy_j: 0.0,
+            });
+        }
+
+        // 3 — elastic pool control: gate long-idle arrays with no queued
+        // work of their kind; wake gated arrays once backlog crosses the
+        // threshold (and always keep at least one array of a kind with
+        // queued work awake). One status snapshot per iteration, updated
+        // locally as gates/wakes land — the loop runs once per virtual
+        // event, and under overload the backlog makes every scan count.
+        let mut status: Vec<StreamArrayStatus> = runtime.stream_array_status();
+        if service.pool.elastic {
+            for a in status.iter_mut() {
+                if !a.gated
+                    && us_of(a.free_at) + service.pool.gate_idle_us <= now_us
+                    && queue.depth(a.kind) == 0
+                    && runtime.stream_gate(a.id, now_us * cyc)
+                {
+                    a.gated = true;
+                    a.free_at = now_us * cyc;
+                }
+            }
+            for kind in [ArrayKind::Da, ArrayKind::Me] {
+                if queue.depth(kind) >= service.pool.wake_backlog {
+                    for a in status.iter_mut() {
+                        if a.kind == kind && a.gated && runtime.stream_wake(a.id, now_us * cyc) {
+                            a.gated = false;
+                            a.free_at = a.free_at.max(now_us * cyc);
+                        }
+                    }
+                }
+            }
+        }
+        for kind in [ArrayKind::Da, ArrayKind::Me] {
+            if queue.depth(kind) > 0
+                && status.iter().any(|a| a.kind == kind)
+                && status.iter().all(|a| a.kind != kind || a.gated)
+            {
+                let first = status
+                    .iter_mut()
+                    .find(|a| a.kind == kind)
+                    .expect("checked above");
+                if runtime.stream_wake(first.id, now_us * cyc) {
+                    first.gated = false;
+                    first.free_at = first.free_at.max(now_us * cyc);
+                }
+            }
+        }
+
+        // 4 — dispatch: the policy-most-urgent request whose pool has a
+        // free, powered array right now.
+        let free = |kind: ArrayKind| {
+            status
+                .iter()
+                .any(|a| a.kind == kind && !a.gated && us_of(a.free_at) <= now_us)
+        };
+        if let Some(r) = queue.pop_available(free) {
+            let job = JobSpec {
+                id: r.id,
+                arrival_cycle: r.arrival_us * cyc,
+                class: r.class,
+                payload: r.payload,
+                seed: r.seed,
+            };
+            let served = runtime.stream_serve_job(&job)?;
+            let end_us = us_of(served.end_cycle);
+            makespan_us = makespan_us.max(end_us);
+            outcomes[r.id as usize] = Some(RequestOutcome {
+                id: r.id,
+                tenant: r.tenant,
+                kind: payload_tag(&r.payload),
+                arrival_us: r.arrival_us,
+                deadline_us: r.deadline_us,
+                shed: false,
+                array: served.array,
+                start_us: us_of(served.start_cycle),
+                end_us,
+                latency_us: end_us - r.arrival_us,
+                violated: end_us > r.deadline_us,
+                reconfig_bits: served.reconfig_bits,
+                checksum: served.checksum,
+                energy_j: served.energy_j,
+            });
+            continue; // same instant — maybe another pool is free too
+        }
+
+        // 5 — advance virtual time to the next event, or finish.
+        if queue.is_empty() && next >= trace.len() {
+            break;
+        }
+        let mut next_event: Option<u64> = trace.get(next).map(|r| r.arrival_us);
+        let mut consider = |t: u64| {
+            if t > now_us {
+                next_event = Some(next_event.map_or(t, |e| e.min(t)));
+            }
+        };
+        for a in &status {
+            if !a.gated {
+                consider(us_of(a.free_at));
+                if service.pool.elastic {
+                    consider(us_of(a.free_at) + service.pool.gate_idle_us);
+                }
+            }
+        }
+        now_us = next_event
+            .ok_or_else(|| CoreError::Mismatch("dispatcher stalled with work queued".into()))?;
+    }
+
+    // Close the session at the later of the last completion and the trace
+    // window, so tail idle leakage (or gating) through the window is paid.
+    let end_us = makespan_us.max(duration_us);
+    let summary = runtime
+        .stream_end(end_us * cyc)
+        .expect("session opened above");
+
+    let outcomes: Vec<RequestOutcome> = outcomes
+        .into_iter()
+        .map(|o| o.expect("every request is served or shed"))
+        .collect();
+    let tenants = tenants
+        .iter()
+        .map(|spec| {
+            let mine: Vec<&RequestOutcome> =
+                outcomes.iter().filter(|o| o.tenant == spec.id).collect();
+            let submitted = mine.len();
+            let served = mine.iter().filter(|o| !o.shed).count();
+            let shed = submitted - served;
+            let violations = mine.iter().filter(|o| o.violated).count();
+            TenantReport {
+                spec: *spec,
+                submitted,
+                served,
+                shed,
+                violations,
+                goodput_pct: if submitted == 0 {
+                    100.0
+                } else {
+                    (served - violations) as f64 * 100.0 / submitted as f64
+                },
+                shed_within_tolerance: shed * 100
+                    <= usize::from(spec.slo.shed_tolerance_pct) * submitted,
+                max_latency_us: mine.iter().map(|o| o.latency_us).max().unwrap_or(0),
+                energy_j: mine.iter().map(|o| o.energy_j).sum(),
+            }
+        })
+        .collect();
+    let served = outcomes.iter().filter(|o| !o.shed).count();
+    Ok(ServiceReport {
+        policy: service.policy.name(),
+        duration_us,
+        makespan_us,
+        requests: outcomes.len(),
+        served,
+        shed: outcomes.len() - served,
+        violations: outcomes.iter().filter(|o| o.violated).count(),
+        pool: summary,
+        tenants,
+        outcomes,
+    })
+}

@@ -82,7 +82,7 @@ pub struct JobSpec {
 }
 
 /// Relative weights of the three payload kinds in a generated mix.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct JobMixWeights {
     /// Weight of [`JobPayload::DctBlocks`] jobs.
     pub dct: u32,
@@ -137,16 +137,61 @@ impl JobMixConfig {
         if index == 0 {
             return self;
         }
-        // SplitMix64 finaliser over (seed, index): well-spread, stable.
-        let mut z = self
-            .seed
-            .wrapping_add(index.wrapping_mul(0x9E37_79B9_7F4A_7C15));
-        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
         JobMixConfig {
-            seed: z ^ (z >> 31),
+            seed: dsra_core::rng::split_seed(self.seed, index),
             ..self
         }
+    }
+}
+
+/// Draws one weighted payload — the single payload synthesiser
+/// `generate_job_mix` and `dsra-service`'s trace generator share, so
+/// every workload producer in the workspace emits the same job shapes.
+///
+/// Every [`JobPayload::MeSearch`] drawn here satisfies the full-window
+/// invariant `size >= block + 2 * range` on both axes (the property
+/// `crates/video/tests/jobs_props.rs` pins), so the runtime's
+/// undersized-plane rejection can never fire on generated traffic.
+///
+/// # Panics
+/// Panics if every weight is zero.
+pub fn sample_payload(rng: &mut SplitMix64, weights: JobMixWeights) -> JobPayload {
+    let total_weight = u64::from(weights.dct) + u64::from(weights.me) + u64::from(weights.encode);
+    assert!(
+        total_weight > 0,
+        "job mix needs at least one non-zero weight"
+    );
+    let pick = rng.next_below(total_weight);
+    if pick < u64::from(weights.dct) {
+        JobPayload::DctBlocks {
+            blocks: 1 + rng.next_below(4) as u16,
+            amplitude: 600 + rng.next_below(1200) as i64,
+        }
+    } else if pick < u64::from(weights.dct) + u64::from(weights.me) {
+        JobPayload::MeSearch {
+            size: (48, 48),
+            shift: (rng.next_below(5) as i8 - 2, rng.next_below(5) as i8 - 2),
+            block: 8,
+            range: 2 + rng.next_below(2) as u8,
+        }
+    } else {
+        JobPayload::EncodeGop {
+            size: (32, 32),
+            frames: 2 + rng.next_below(2) as u8,
+            noise: rng.next_below(3) as u8,
+        }
+    }
+}
+
+/// Draws one bursty inter-arrival gap around `mean_gap`: most arrivals
+/// land back to back, one in four after a lull of up to six means — the
+/// single arrival-shape recipe `generate_job_mix` and `dsra-service`'s
+/// trace generator share (same time unit as the caller's clock).
+pub fn sample_gap(rng: &mut SplitMix64, mean_gap: u64) -> u64 {
+    if rng.next_below(4) == 0 {
+        mean_gap * (1 + rng.next_below(6))
+    } else {
+        rng.next_below(mean_gap.max(1) / 2 + 1)
     }
 }
 
@@ -155,43 +200,11 @@ impl JobMixConfig {
 /// low-battery phases, the paper's §5 motivation).
 pub fn generate_job_mix(config: JobMixConfig) -> Vec<JobSpec> {
     let mut rng = SplitMix64::new(config.seed);
-    let total_weight = u64::from(config.weights.dct)
-        + u64::from(config.weights.me)
-        + u64::from(config.weights.encode);
-    assert!(
-        total_weight > 0,
-        "job mix needs at least one non-zero weight"
-    );
     let mut jobs = Vec::with_capacity(config.jobs as usize);
     let mut clock = 0u64;
     for id in 0..config.jobs {
-        // Bursty arrivals: most jobs arrive back-to-back, some after a lull.
-        let gap = if rng.next_below(4) == 0 {
-            config.mean_gap_cycles * (1 + rng.next_below(6))
-        } else {
-            rng.next_below(config.mean_gap_cycles.max(1) / 2 + 1)
-        };
-        clock += gap;
-        let pick = rng.next_below(total_weight);
-        let payload = if pick < u64::from(config.weights.dct) {
-            JobPayload::DctBlocks {
-                blocks: 1 + rng.next_below(4) as u16,
-                amplitude: 600 + rng.next_below(1200) as i64,
-            }
-        } else if pick < u64::from(config.weights.dct) + u64::from(config.weights.me) {
-            JobPayload::MeSearch {
-                size: (48, 48),
-                shift: (rng.next_below(5) as i8 - 2, rng.next_below(5) as i8 - 2),
-                block: 8,
-                range: 2 + rng.next_below(2) as u8,
-            }
-        } else {
-            JobPayload::EncodeGop {
-                size: (32, 32),
-                frames: 2 + rng.next_below(2) as u8,
-                noise: rng.next_below(3) as u8,
-            }
-        };
+        clock += sample_gap(&mut rng, config.mean_gap_cycles);
+        let payload = sample_payload(&mut rng, config.weights);
         // Service classes rotate through phases: long quality stretches with
         // periodic battery-saver windows and occasional deadline/background
         // traffic, mirroring a device moving through operating conditions.

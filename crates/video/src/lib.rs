@@ -33,8 +33,8 @@ pub mod sequence;
 
 pub use entropy::{estimate_bits, run_length, zigzag_scan, RunLevel};
 pub use jobs::{
-    generate_job_mix, me_search_planes, JobMixConfig, JobMixWeights, JobPayload, JobSpec,
-    ServiceClass,
+    generate_job_mix, me_search_planes, sample_gap, sample_payload, JobMixConfig, JobMixWeights,
+    JobPayload, JobSpec, ServiceClass,
 };
 pub use metrics::{mse, psnr};
 pub use pipeline::{encode_frame, EncodeConfig, EncodeStats};

@@ -20,7 +20,10 @@
 //!   accounting and power gating;
 //! * [`runtime`] — the multi-array SoC runtime: content-addressed bitstream
 //!   cache, diff-aware scheduling, energy-aware serving, worker-thread job
-//!   service.
+//!   service;
+//! * [`service`] — the open-loop multi-tenant streaming frontend: seeded
+//!   traces, admission control and load shedding, elastic array pools,
+//!   SLO tracking.
 //!
 //! ## Quickstart
 //!
@@ -44,6 +47,7 @@ pub use dsra_me as me;
 pub use dsra_platform as platform;
 pub use dsra_power as power;
 pub use dsra_runtime as runtime;
+pub use dsra_service as service;
 pub use dsra_sim as sim;
 pub use dsra_tech as tech;
 pub use dsra_video as video;

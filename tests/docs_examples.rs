@@ -62,6 +62,25 @@ fn experiment_index_references_resolve() {
         );
     }
     assert!(
+        design.contains("## 9. Streaming service layer"),
+        "DESIGN.md must document the dsra-service layer (§9)"
+    );
+    for anchor in [
+        "AdmissionQueue",
+        "EdfShed",
+        "stream_serve_job",
+        "gate_idle_us",
+        "wake_backlog",
+        "sample_payload",
+        "p50_cycles",
+        "BENCH_stream.json",
+    ] {
+        assert!(
+            design.contains(anchor),
+            "DESIGN.md §9 must cover `{anchor}`"
+        );
+    }
+    assert!(
         readme.contains("## Performance"),
         "README must keep the performance table"
     );
@@ -79,6 +98,10 @@ fn experiment_index_references_resolve() {
         readme.contains("`dsra-power`"),
         "README crate map must list dsra-power"
     );
+    assert!(
+        readme.contains("`dsra-service`"),
+        "README crate map must list dsra-service"
+    );
 
     for bin in [
         "table1",
@@ -91,6 +114,7 @@ fn experiment_index_references_resolve() {
         "pipeline",
         "soc_serve",
         "battery_serve",
+        "stream_serve",
     ] {
         let path = root.join(format!("crates/bench/src/bin/{bin}.rs"));
         assert!(path.is_file(), "README indexes missing binary {bin}");

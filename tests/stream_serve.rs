@@ -1,0 +1,148 @@
+//! Integration gate for the E13 streaming layer: at equal offered load
+//! the EDF+shedding policy must beat the FIFO-unbounded baseline on p99
+//! serve latency *and* SLO-violation rate, and every session must be
+//! byte-identical across runs. The latency percentiles come from
+//! `dsra_bench::hist` — the same histogram the `stream_serve` binary
+//! folds into `BENCH_stream.json`, so this gate and the E13 artifact
+//! cannot measure different things.
+
+use dsra::runtime::{DctMapping, RuntimeConfig, SocRuntime};
+use dsra::service::{
+    serve_trace, standard_tenants, AdmitPolicy, PoolConfig, ServiceConfig, ServiceReport,
+    TraceConfig,
+};
+use dsra_bench::latency_histogram;
+
+use std::sync::OnceLock;
+
+fn runtime() -> SocRuntime {
+    SocRuntime::new(RuntimeConfig {
+        da_arrays: 1,
+        me_arrays: 1,
+        mappings: vec![
+            DctMapping::BasicDa,
+            DctMapping::MixedRom,
+            DctMapping::SccFull,
+        ],
+        ..Default::default()
+    })
+    .expect("runtime builds")
+}
+
+/// A deliberately overloaded trace: 4 tenants offering several times
+/// what the 1 DA + 1 ME pool can serve (≈3 µs mean gap per tenant), so
+/// backlog — and with it shedding and the policy difference — is
+/// guaranteed to appear.
+fn overloaded_trace() -> TraceConfig {
+    TraceConfig {
+        tenants: standard_tenants(4, 3),
+        duration_us: 2_000,
+        ..Default::default()
+    }
+}
+
+fn run(policy: AdmitPolicy) -> ServiceReport {
+    serve_trace(
+        &mut runtime(),
+        &overloaded_trace(),
+        &ServiceConfig {
+            policy,
+            pool: PoolConfig::default(),
+        },
+    )
+    .expect("session")
+}
+
+/// Sessions are deterministic (pinned below), so the FIFO and EDF runs
+/// are computed once and shared across the gates in this file.
+fn fifo_report() -> &'static ServiceReport {
+    static FIFO: OnceLock<ServiceReport> = OnceLock::new();
+    FIFO.get_or_init(|| run(AdmitPolicy::FifoUnbounded))
+}
+
+fn edf_report() -> &'static ServiceReport {
+    static EDF: OnceLock<ServiceReport> = OnceLock::new();
+    EDF.get_or_init(|| run(AdmitPolicy::EdfShed))
+}
+
+#[test]
+fn edf_with_shedding_beats_fifo_on_p99_and_violation_rate() {
+    let fifo = fifo_report();
+    let edf = edf_report();
+
+    // Equal offered load: the trace is identical.
+    assert_eq!(fifo.requests, edf.requests);
+    assert!(fifo.requests > 100, "trace must carry real traffic");
+    assert_eq!(fifo.shed, 0, "the baseline never sheds");
+
+    // The E13 acceptance gate.
+    let (hf, he) = (latency_histogram(fifo), latency_histogram(edf));
+    assert!(
+        he.p99() < hf.p99(),
+        "EDF p99 {} must beat FIFO p99 {}",
+        he.p99(),
+        hf.p99()
+    );
+    assert!(
+        edf.violation_pct() < fifo.violation_pct(),
+        "EDF violation rate {:.2}% must beat FIFO {:.2}%",
+        edf.violation_pct(),
+        fifo.violation_pct()
+    );
+    // The win comes from saying "no": shedding actually engaged, and what
+    // was served was mostly worth serving.
+    assert!(edf.shed > 0, "overload must trigger shedding");
+    assert!(edf.goodput_pct() > fifo.goodput_pct());
+}
+
+#[test]
+fn streaming_sessions_are_byte_identical_across_runs() {
+    let a = edf_report();
+    let b = run(AdmitPolicy::EdfShed);
+    assert_eq!(a.digest(), b.digest());
+    assert_eq!(a.render(), b.render());
+    assert_eq!(a.outcomes, b.outcomes);
+    assert_eq!(a.pool, b.pool);
+    // The histogram (and therefore BENCH_stream.json's percentile keys)
+    // is a pure function of the report.
+    assert_eq!(latency_histogram(a), latency_histogram(&b));
+}
+
+#[test]
+fn report_accounting_is_internally_consistent() {
+    let report = edf_report();
+    assert_eq!(report.requests, report.served + report.shed);
+    assert_eq!(
+        report.served,
+        report.outcomes.iter().filter(|o| !o.shed).count()
+    );
+    // Tenant rows partition the outcome rows.
+    assert_eq!(
+        report.tenants.iter().map(|t| t.submitted).sum::<usize>(),
+        report.requests
+    );
+    for t in &report.tenants {
+        assert_eq!(t.submitted, t.served + t.shed);
+        assert!(t.violations <= t.served);
+    }
+    // Energy: per-request attributions never exceed the pool total (the
+    // remainder is idle leakage no single request owns).
+    let per_request: f64 = report.outcomes.iter().map(|o| o.energy_j).sum();
+    assert!(report.pool.total_j() >= per_request);
+    assert!(per_request > 0.0);
+    // Interactive tenants are the urgent ones: under EDF none of them
+    // may fare worse than the service-wide violation rate.
+    for t in report
+        .tenants
+        .iter()
+        .filter(|t| t.spec.archetype == "interactive")
+    {
+        let rate = t.violations as f64 * 100.0 / t.submitted.max(1) as f64;
+        assert!(
+            rate <= report.violation_pct() + 1e-9,
+            "interactive tenant {} violated {rate:.2}% vs service {:.2}%",
+            t.spec.id,
+            report.violation_pct()
+        );
+    }
+}
