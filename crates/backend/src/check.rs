@@ -1,0 +1,43 @@
+//! The differential backend: every job through both engines, diffed.
+
+use dsra_core::error::{CoreError, Result};
+use dsra_core::report::ExecOutcome;
+use dsra_dct::DaParams;
+use dsra_video::JobSpec;
+
+use crate::{ArrayBackend, Backend, GoldenBackend};
+
+/// Runs every job through the array simulator *and* the golden reference
+/// and fails on the first divergence — `soc_serve --backend check`. The
+/// array's outcome is returned, so a check-mode serve is byte-identical to
+/// an array-mode serve whenever the contract holds.
+#[derive(Default)]
+pub struct CheckBackend {
+    array: ArrayBackend,
+    golden: GoldenBackend,
+}
+
+impl Backend for CheckBackend {
+    fn name(&self) -> &'static str {
+        "check"
+    }
+
+    fn execute(
+        &mut self,
+        params: DaParams,
+        job: &JobSpec,
+        kernel_name: &str,
+    ) -> Result<ExecOutcome> {
+        let array = self.array.execute(params, job, kernel_name)?;
+        let golden = self.golden.execute(params, job, kernel_name)?;
+        if array != golden {
+            return Err(CoreError::Mismatch(format!(
+                "backend divergence on job {} ({kernel_name}): \
+                 array (cycles {}, checksum {:#018x}) vs \
+                 golden (cycles {}, checksum {:#018x})",
+                job.id, array.exec_cycles, array.checksum, golden.exec_cycles, golden.checksum
+            )));
+        }
+        Ok(array)
+    }
+}

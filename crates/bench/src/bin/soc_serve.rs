@@ -13,8 +13,8 @@
 //! scheduler plans deterministically and the worker threads only execute
 //! plans — which is exactly what the `outcome digest` line pins.
 
-use dsra_bench::{banner, json_flag, parse_u64};
-use dsra_runtime::{RuntimeConfig, SocRuntime};
+use dsra_bench::{arg_value, banner, json_flag, parse_u64};
+use dsra_runtime::{BackendKind, RuntimeConfig, SocRuntime};
 use dsra_video::{generate_job_mix, JobMixConfig};
 
 fn main() {
@@ -22,11 +22,23 @@ fn main() {
     let da = parse_u64("--da", 2) as usize;
     let me = parse_u64("--me", 2) as usize;
     let seed = parse_u64("--seed", 0x50C_5EED);
+    // `--backend check` runs every job through the array simulator *and*
+    // the software golden reference, failing on the first divergence; the
+    // report (and its digest) is byte-identical across all three because
+    // outcomes are pinned by the backend contract.
+    let backend = match arg_value("--backend") {
+        None => BackendKind::default(),
+        Some(name) => BackendKind::from_name(&name)
+            .unwrap_or_else(|| panic!("--backend must be one of array|golden|check, got `{name}`")),
+    };
     banner(
         "E11",
         "multi-array SoC runtime: cache + diff-aware scheduling",
     );
-    println!("pool: {da} DA + {me} ME arrays, {jobs} jobs, seed {seed:#x}\n");
+    println!(
+        "pool: {da} DA + {me} ME arrays, {jobs} jobs, seed {seed:#x}, {} backend\n",
+        backend.name()
+    );
 
     let mix = generate_job_mix(JobMixConfig {
         jobs,
@@ -36,6 +48,7 @@ fn main() {
     let mut runtime = SocRuntime::new(RuntimeConfig {
         da_arrays: da,
         me_arrays: me,
+        backend,
         ..Default::default()
     })
     .expect("runtime construction");

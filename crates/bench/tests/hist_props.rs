@@ -1,0 +1,74 @@
+//! Property tests for `dsra_bench::hist::Histogram` (ISSUE 6 satellite):
+//! the bucketed nearest-rank percentile agrees with the naive sort-based
+//! definition — exactly at unit bucket width, and to within one bucket
+//! width otherwise.
+
+use dsra_bench::Histogram;
+use dsra_core::rng::SplitMix64;
+use proptest::prelude::*;
+
+/// Naive nearest-rank percentile: sort, take the `ceil(p/100 · n)`-th
+/// smallest (1-indexed, clamped to the first value like the histogram).
+fn naive_percentile(samples: &[u64], p: f64) -> u64 {
+    let mut sorted = samples.to_vec();
+    sorted.sort_unstable();
+    let rank = ((p / 100.0) * sorted.len() as f64).ceil().max(1.0) as usize;
+    sorted[rank.min(sorted.len()) - 1]
+}
+
+/// Deterministic sample vector: `count` values below `limit`, expanded
+/// from one seed (the shim has no vec strategies).
+fn samples(seed: u64, count: usize, limit: u64) -> Vec<u64> {
+    let mut rng = SplitMix64::new(seed);
+    (0..count).map(|_| rng.next_below(limit)).collect()
+}
+
+proptest! {
+    /// With unit-width buckets (and no overflow), the histogram *is* the
+    /// naive nearest-rank percentile, at every probed p.
+    #[test]
+    fn unit_width_is_exact(
+        seed in any::<u64>(),
+        count in 1usize..400,
+    ) {
+        // 512 unit buckets, values in [0, 512): no overflow bucket hit.
+        let vals = samples(seed, count, 512);
+        let mut h = Histogram::new(1, 512);
+        h.record_all(vals.iter().copied());
+        for p in [1.0, 25.0, 50.0, 75.0, 90.0, 99.0, 100.0] {
+            prop_assert_eq!(
+                h.percentile(p),
+                naive_percentile(&vals, p),
+                "p = {} over {} unit-bucketed samples (seed {})",
+                p, count, seed
+            );
+        }
+    }
+
+    /// With wide buckets the histogram's answer brackets the naive one
+    /// from above by less than one bucket width: the true nearest-rank
+    /// value lands somewhere inside the reported bucket.
+    #[test]
+    fn wide_buckets_agree_within_one_bucket_width(
+        seed in any::<u64>(),
+        count in 1usize..300,
+        width in 1u64..64,
+    ) {
+        // Keep every value inside the bucketed range so the overflow
+        // bucket (whose bound is the exact max, not a bucket bound) stays
+        // out of play: values < width * buckets.
+        let buckets = 128usize;
+        let vals = samples(seed, count, width * buckets as u64);
+        let mut h = Histogram::new(width, buckets);
+        h.record_all(vals.iter().copied());
+        for p in [50.0, 99.0] {
+            let naive = naive_percentile(&vals, p);
+            let bucketed = h.percentile(p);
+            prop_assert!(
+                bucketed >= naive && bucketed < naive + width,
+                "p = {}: bucketed {} vs naive {} (width {}, seed {})",
+                p, bucketed, naive, width, seed
+            );
+        }
+    }
+}

@@ -66,6 +66,9 @@ fn runtime_report_json_carries_required_keys() {
     let v = parse_json(&doc).unwrap_or_else(|e| panic!("unparseable report: {e}\n{doc}"));
 
     assert_eq!(v.get("experiment").and_then(Json::as_str), Some("E11"));
+    // The execution backend is part of the schema (ISSUE 6) but never part
+    // of the digest — outcomes are byte-identical across backends.
+    assert_eq!(v.get("backend").and_then(Json::as_str), Some("array"));
     for key in [
         "jobs",
         "dct_jobs",

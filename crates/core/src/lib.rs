@@ -66,7 +66,7 @@ pub mod prelude {
         Fingerprint, Net, NetId, Netlist, Node, NodeId, NodeKind, PhysNet, PortRef,
     };
     pub use crate::place::{place, Placement, PlacerOptions};
-    pub use crate::report::{table1, ResourceReport};
+    pub use crate::report::{table1, ExecOutcome, ResourceReport};
     pub use crate::route::{route, RouterOptions, Routing, RoutingStats, TrackClass};
 }
 

@@ -11,6 +11,21 @@ use std::fmt;
 
 use crate::cluster::{AddShiftRole, ClusterCfg, ClusterKind};
 
+/// The deterministic result of executing one job payload on an execution
+/// backend (the cycle-accurate array simulator, the software golden
+/// reference, or any future engine behind the `Backend` trait).
+///
+/// Two backends agree on a job exactly when their outcomes are equal —
+/// the differential contract harness compares nothing else.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ExecOutcome {
+    /// Sim-cycles the payload occupied the array (the golden backend
+    /// reports the cycles the array *would* spend).
+    pub exec_cycles: u64,
+    /// Deterministic digest of the payload's outputs.
+    pub checksum: u64,
+}
+
 /// Cluster usage of one mapped implementation (one column of Table 1).
 #[derive(Debug, Clone, PartialEq, Eq, Default)]
 pub struct ResourceReport {

@@ -1,25 +1,21 @@
 //! Per-array job execution: what each worker thread runs.
 //!
 //! A worker owns one simulated array: a `ReconfigManager` holding the
-//! kernels its plan needs, lazily built cycle-accurate engines, and the
-//! assignment list the scheduler produced. Execution is deterministic —
-//! every payload is a pure function of the job spec — so running arrays on
-//! parallel threads cannot change any result, only the wall-clock time to
-//! compute it.
+//! kernels its plan needs, an execution [`Backend`] (the cycle-level array
+//! simulator by default, the golden software reference or the differential
+//! check mode when configured), and the assignment list the scheduler
+//! produced. Execution is deterministic — every payload is a pure function
+//! of the job spec — so running arrays on parallel threads cannot change
+//! any result, only the wall-clock time to compute it.
 
 use std::collections::HashMap;
 
-use dsra_core::error::{CoreError, Result};
+use dsra_backend::Backend;
+use dsra_core::error::Result;
 use dsra_core::netlist::Fingerprint;
-use dsra_core::rng::SplitMix64;
-use dsra_dct::{DaParams, DctImpl};
-use dsra_me::{MeEngine, SearchParams, Systolic2d};
+use dsra_dct::DaParams;
 use dsra_platform::{ReconfigManager, ReconfigReport, SocConfig};
-use dsra_video::{
-    encode_frame, me_search_planes, EncodeConfig, JobPayload, SequenceConfig, SyntheticSequence,
-};
 
-use crate::kernel::DctMapping;
 use crate::Assignment;
 
 /// What one executed job reports back.
@@ -35,27 +31,14 @@ pub(crate) struct JobExec {
     pub checksum: u64,
 }
 
-use dsra_core::rng::fnv1a_fold as mix;
-
-/// One array's execution engines, owned by the runtime and **reused across
-/// serve calls**: cycle-accurate DCT implementations keyed by mapping name
-/// and systolic ME engines keyed by block edge. Before this cache each
-/// serve rebuilt every engine — a netlist construction plus an execution-
-/// plan compile per kernel per chunk, which E12's chunked discharge loop
-/// paid hundreds of times over.
-#[derive(Default)]
-pub(crate) struct WorkerEngines {
-    dct_impls: HashMap<&'static str, Box<dyn DctImpl>>,
-    me_engines: HashMap<u8, Systolic2d>,
-}
-
 /// Executes one array's plan in order. `assignments` must all target the
-/// same array.
+/// same array; `backend` is that array's runtime-owned execution engine,
+/// reused across serve calls.
 pub(crate) fn run_worker(
     soc: SocConfig,
     params: DaParams,
     assignments: &[Assignment],
-    engines: &mut WorkerEngines,
+    backend: &mut dyn Backend,
 ) -> Result<Vec<JobExec>> {
     let mut mgr = ReconfigManager::new(soc);
     // Register each distinct kernel once (the plan references the same Arc
@@ -77,133 +60,13 @@ pub(crate) fn run_worker(
             reconfig.bits_written, a.slot.reconfig_bits,
             "executed switch cost must match the scheduler's plan"
         );
-        let (exec_cycles, checksum) = execute_payload(params, &a.job, &a.kernel.name, engines)?;
+        let outcome = backend.execute(params, &a.job, &a.kernel.name)?;
         out.push(JobExec {
             job_id: a.job.id,
             reconfig,
-            exec_cycles,
-            checksum,
+            exec_cycles: outcome.exec_cycles,
+            checksum: outcome.checksum,
         });
     }
     Ok(out)
-}
-
-/// Executes one job's payload cycle-accurately on an array's engines and
-/// returns `(exec_cycles, checksum)`. Shared by the batch worker loop
-/// above and the incremental streaming path (`SocRuntime::stream_serve_job`),
-/// so both serve modes compute byte-identical outcomes from one
-/// definition.
-pub(crate) fn execute_payload(
-    params: DaParams,
-    job: &dsra_video::JobSpec,
-    kernel_name: &str,
-    engines: &mut WorkerEngines,
-) -> Result<(u64, u64)> {
-    let WorkerEngines {
-        dct_impls,
-        me_engines,
-    } = engines;
-    fn dct_impl<'a>(
-        dct_impls: &'a mut HashMap<&'static str, Box<dyn DctImpl>>,
-        params: DaParams,
-        name: &str,
-    ) -> Result<&'a mut Box<dyn DctImpl>> {
-        let mapping = DctMapping::from_name(name)
-            .ok_or_else(|| CoreError::Mismatch(format!("unknown DCT kernel `{name}`")))?;
-        Ok(match dct_impls.entry(mapping.name()) {
-            std::collections::hash_map::Entry::Occupied(e) => e.into_mut(),
-            std::collections::hash_map::Entry::Vacant(e) => e.insert(mapping.build(params)?),
-        })
-    }
-    Ok(match job.payload {
-        JobPayload::DctBlocks { blocks, amplitude } => {
-            let imp = dct_impl(dct_impls, params, kernel_name)?;
-            let mut rng = SplitMix64::new(job.seed);
-            let mut cycles = 0u64;
-            let mut sum = 0xA5A5_A5A5u64;
-            for _ in 0..blocks {
-                let x: [i64; 8] = std::array::from_fn(|_| {
-                    rng.next_below(2 * amplitude as u64 + 1) as i64 - amplitude
-                });
-                let y = imp.transform(&x)?;
-                cycles += imp.cycles_per_block();
-                for v in y {
-                    // Quantise to kill any last-bit noise before digesting.
-                    sum = mix(sum, (v * 256.0).round() as i64 as u64);
-                }
-            }
-            (cycles, sum)
-        }
-        JobPayload::MeSearch {
-            size,
-            shift,
-            block,
-            range,
-        } => {
-            let eng = match me_engines.entry(block) {
-                std::collections::hash_map::Entry::Occupied(e) => e.into_mut(),
-                std::collections::hash_map::Entry::Vacant(e) => {
-                    e.insert(Systolic2d::new(usize::from(block))?)
-                }
-            };
-            let (w, h) = (usize::from(size.0), usize::from(size.1));
-            let (b, rg) = (usize::from(block), usize::from(range));
-            // Search a centred block; the full window (block ± range)
-            // must fit inside the plane or the systolic feed would read
-            // out of bounds.
-            let (bx, by) = (w.saturating_sub(b) / 2, h.saturating_sub(b) / 2);
-            if bx < rg || by < rg || bx + b + rg > w || by + b + rg > h {
-                return Err(CoreError::Mismatch(format!(
-                    "job {}: {w}x{h} plane too small for block {b} ± {rg} search",
-                    job.id
-                )));
-            }
-            let (cur, refp) = me_search_planes(size, shift, job.seed);
-            let sp = SearchParams {
-                block: b,
-                range: i32::from(range),
-            };
-            let r = eng.search(&cur, &refp, bx, by, &sp)?;
-            let mut sum = 0x5A5A_5A5Au64;
-            sum = mix(sum, r.best.mv.0 as u64);
-            sum = mix(sum, r.best.mv.1 as u64);
-            sum = mix(sum, r.best.sad);
-            sum = mix(sum, r.best.candidates);
-            (r.cycles, sum)
-        }
-        JobPayload::EncodeGop {
-            size,
-            frames,
-            noise,
-        } => {
-            let imp = dct_impl(dct_impls, params, kernel_name)?;
-            let seq = SyntheticSequence::generate(SequenceConfig {
-                width: usize::from(size.0),
-                height: usize::from(size.1),
-                frames: usize::from(frames),
-                noise,
-                objects: 1,
-                seed: job.seed,
-                ..Default::default()
-            });
-            let cfg = EncodeConfig {
-                search: SearchParams {
-                    block: 16,
-                    range: 2,
-                },
-                ..Default::default()
-            };
-            let mut cycles = 0u64;
-            let mut sum = 0xC0DEu64;
-            for f in 1..seq.frames().len() {
-                let (_, stats) = encode_frame(seq.frame(f), seq.frame(f - 1), imp.as_ref(), &cfg)?;
-                cycles += stats.dct_cycles;
-                sum = mix(sum, stats.total_sad);
-                sum = mix(sum, stats.estimated_bits);
-                sum = mix(sum, stats.nonzero_levels as u64);
-                sum = mix(sum, (stats.psnr_db * 1000.0).round() as i64 as u64);
-            }
-            (cycles, sum)
-        }
-    })
 }

@@ -73,6 +73,7 @@ use dsra_tech::{EnergySplit, TechModel};
 use dsra_video::{JobPayload, JobSpec};
 
 pub use cache::{BitstreamCache, CacheStats, CompiledKernel};
+pub use dsra_backend::{Backend, BackendKind};
 pub use kernel::{ArrayKind, DctMapping, KernelId};
 pub use report::{
     ArrayReport, BatterySample, BatteryTrajectory, EnergyReport, JobOutcome, RuntimeReport,
@@ -138,6 +139,12 @@ pub struct RuntimeConfig {
     pub mappings: Vec<DctMapping>,
     /// Battery, DVFS and energy-accounting constants.
     pub power: PowerConfig,
+    /// Execution backend the worker threads run payloads on: the
+    /// cycle-level array simulator (default), the pure-software golden
+    /// reference, or the differential check mode that runs both and fails
+    /// on any divergence. Outcomes are byte-identical across backends by
+    /// contract.
+    pub backend: BackendKind,
 }
 
 impl Default for RuntimeConfig {
@@ -149,6 +156,7 @@ impl Default for RuntimeConfig {
             da_params: DaParams::precise(),
             mappings: DctMapping::ALL.to_vec(),
             power: PowerConfig::default(),
+            backend: BackendKind::default(),
         }
     }
 }
@@ -310,8 +318,8 @@ pub struct SocRuntime {
     /// Memoised kernel-pair reconfiguration costs, threaded through every
     /// serve's scheduler so warm probes are table lookups.
     diff_memo: DiffMatrix,
-    /// Per-array execution engines, reused across serve calls.
-    engines: Vec<exec::WorkerEngines>,
+    /// Per-array execution backends, reused across serve calls.
+    engines: Vec<Box<dyn Backend>>,
     /// Wall-clock phase timings of the last serve.
     last_timings: PhaseTimings,
     /// Incremental streaming session, if one is open (E13).
@@ -366,7 +374,7 @@ impl SocRuntime {
         }
         let battery = Battery::new(config.power.battery_capacity_j);
         let engines = (0..config.da_arrays + config.me_arrays)
-            .map(|_| exec::WorkerEngines::default())
+            .map(|_| config.backend.build())
             .collect();
         Ok(SocRuntime {
             config,
@@ -501,8 +509,9 @@ impl SocRuntime {
             let handles: Vec<_> = plans
                 .iter()
                 .zip(self.engines.iter_mut())
-                .map(|(plan, engines)| {
-                    s.spawn(move || exec::run_worker(soc, params, plan, engines))
+                .map(|(plan, backend)| {
+                    let backend = backend.as_mut();
+                    s.spawn(move || exec::run_worker(soc, params, plan, backend))
                 })
                 .collect();
             handles
@@ -737,8 +746,8 @@ impl SocRuntime {
         let gap_before = account.total_j();
         account.charge_idle(start - prev_free, prev_leak, &point, was_gated);
         let gap_j = account.total_j() - gap_before;
-        let (exec_cycles, checksum) =
-            exec::execute_payload(params, job, &kernel.name, &mut self.engines[array])?;
+        let outcome = self.engines[array].execute(params, job, &kernel.name)?;
+        let (exec_cycles, checksum) = (outcome.exec_cycles, outcome.checksum);
         let end = start + slot.reconfig_cycles + exec_cycles;
         stream.sched.settle(array, end);
         // The job's attributable energy, mirroring the batch accounting:
@@ -1072,6 +1081,7 @@ fn assemble_report(
     let count = |tag: &str| outcomes.iter().filter(|o| o.kind == tag).count();
     let jobs = outcomes.len();
     RuntimeReport {
+        backend: config.backend.name(),
         jobs,
         dct_jobs: count("dct"),
         me_jobs: count("me"),

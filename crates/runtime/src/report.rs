@@ -136,6 +136,11 @@ impl EnergyReport {
 /// The full serve report.
 #[derive(Debug, Clone, PartialEq)]
 pub struct RuntimeReport {
+    /// Execution backend that produced the outcomes (`array` / `golden` /
+    /// `check`). Reported in the JSON summary; deliberately *not* part of
+    /// the digest — the backend contract says outcomes are byte-identical
+    /// across backends, so the digest must not vary with the backend.
+    pub backend: &'static str,
     /// Jobs served.
     pub jobs: usize,
     /// DCT-block jobs.
@@ -290,6 +295,7 @@ impl RuntimeReport {
         let mut s = String::new();
         s.push_str("{\n");
         s.push_str(&format!("  \"experiment\": \"{experiment}\",\n"));
+        s.push_str(&format!("  \"backend\": \"{}\",\n", self.backend));
         s.push_str(&format!("  \"jobs\": {},\n", self.jobs));
         s.push_str(&format!("  \"dct_jobs\": {},\n", self.dct_jobs));
         s.push_str(&format!("  \"me_jobs\": {},\n", self.me_jobs));

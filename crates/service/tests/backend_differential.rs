@@ -1,0 +1,56 @@
+//! Backend contract at the service layer (ISSUE 6): the same streamed
+//! trace served by the open-loop frontend must produce *byte-identical*
+//! sessions whichever execution backend the runtime's arrays run —
+//! checksums, latencies, shed decisions, energy, and therefore the
+//! session digest. The check backend additionally diffs every request
+//! in-flight and must complete the whole trace without a divergence.
+
+use dsra_runtime::{BackendKind, DctMapping, RuntimeConfig, SocRuntime};
+use dsra_service::{serve_trace, standard_tenants, ServiceConfig, ServiceReport, TraceConfig};
+
+fn session(backend: BackendKind) -> ServiceReport {
+    let mut runtime = SocRuntime::new(RuntimeConfig {
+        da_arrays: 1,
+        me_arrays: 1,
+        mappings: vec![
+            DctMapping::BasicDa,
+            DctMapping::MixedRom,
+            DctMapping::SccFull,
+        ],
+        backend,
+        ..Default::default()
+    })
+    .expect("runtime builds");
+    serve_trace(
+        &mut runtime,
+        &TraceConfig {
+            tenants: standard_tenants(3, 40),
+            duration_us: 5_000,
+            ..Default::default()
+        },
+        &ServiceConfig::default(),
+    )
+    .expect("session")
+}
+
+#[test]
+fn sessions_are_byte_identical_across_backends() {
+    let array = session(BackendKind::Array);
+    let golden = session(BackendKind::Golden);
+    assert!(array.outcomes.iter().any(|o| !o.shed), "trace served work");
+    assert_eq!(
+        array.outcomes, golden.outcomes,
+        "per-request outcomes must not depend on the execution backend"
+    );
+    assert_eq!(array.digest(), golden.digest());
+}
+
+#[test]
+fn check_backend_serves_the_whole_trace_without_divergence() {
+    let array = session(BackendKind::Array);
+    // Check mode runs every request through both engines; any divergence
+    // is a hard serve error, so completing the session *is* the assertion.
+    let check = session(BackendKind::Check);
+    assert_eq!(array.outcomes, check.outcomes);
+    assert_eq!(array.digest(), check.digest());
+}

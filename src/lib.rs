@@ -18,6 +18,9 @@
 //!   policies, dynamic switching;
 //! * [`power`] — battery model, DVFS operating points, per-array energy
 //!   accounting and power gating;
+//! * [`backend`] — execution backends behind one contract: the cycle-level
+//!   array simulator, a pure-software golden reference, and the
+//!   differential check mode that diffs them per job;
 //! * [`runtime`] — the multi-array SoC runtime: content-addressed bitstream
 //!   cache, diff-aware scheduling, energy-aware serving, worker-thread job
 //!   service;
@@ -41,6 +44,7 @@
 
 #![warn(missing_docs)]
 
+pub use dsra_backend as backend;
 pub use dsra_core as core;
 pub use dsra_dct as dct;
 pub use dsra_me as me;

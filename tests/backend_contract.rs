@@ -1,0 +1,155 @@
+//! Golden-vector contract gate (ISSUE 6): both execution backends must
+//! reproduce the *committed* fixtures under `crates/backend/fixtures/`,
+//! not merely agree with each other — so a regression that corrupts the
+//! array simulator and the golden model the same way (a shared-driver bug,
+//! a checksum-definition drift) still fails against the pinned values.
+//!
+//! Regenerate fixtures only after an intentional contract change:
+//! `cargo test -p dsra-backend --test contract -- --ignored regen_fixtures`.
+
+use dsra::backend::{ArrayBackend, Backend, DctMapping, GoldenBackend};
+use dsra::core::report::ExecOutcome;
+use dsra::dct::DaParams;
+use dsra::video::{JobPayload, JobSpec, ServiceClass};
+use dsra_bench::{parse_json, Json};
+
+fn fixture(name: &str) -> Json {
+    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("crates/backend/fixtures")
+        .join(name);
+    let src =
+        std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("read {}: {e}", path.display()));
+    parse_json(&src).unwrap_or_else(|e| panic!("parse {}: {e}", path.display()))
+}
+
+fn u64_field(v: &Json, key: &str) -> u64 {
+    v.get(key)
+        .and_then(Json::as_f64)
+        .unwrap_or_else(|| panic!("missing numeric field `{key}`")) as u64
+}
+
+fn i64_field(v: &Json, key: &str) -> i64 {
+    v.get(key)
+        .and_then(Json::as_f64)
+        .unwrap_or_else(|| panic!("missing numeric field `{key}`")) as i64
+}
+
+/// Checksums are stored as `0x…` strings: JSON numbers are doubles here
+/// and cannot hold a u64 exactly.
+fn checksum_field(v: &Json) -> u64 {
+    let s = v
+        .get("checksum")
+        .and_then(Json::as_str)
+        .expect("checksum string");
+    u64::from_str_radix(s.trim_start_matches("0x"), 16)
+        .unwrap_or_else(|e| panic!("bad checksum `{s}`: {e}"))
+}
+
+fn both_backends(job: &JobSpec, kernel: &str) -> ExecOutcome {
+    let params = DaParams::precise();
+    let array = ArrayBackend::default()
+        .execute(params, job, kernel)
+        .expect("array backend");
+    let golden = GoldenBackend::default()
+        .execute(params, job, kernel)
+        .expect("golden backend");
+    assert_eq!(array, golden, "backends diverged on `{kernel}`");
+    array
+}
+
+#[test]
+fn dct_golden_vectors_pin_both_backends() {
+    let doc = fixture("dct_vectors.json");
+    let vectors = doc.get("vectors").and_then(Json::as_array).unwrap();
+    assert_eq!(vectors.len(), 6, "one pinned vector per mapping");
+    for v in vectors {
+        let kernel = v.get("kernel").and_then(Json::as_str).unwrap();
+        let seed = u64_field(v, "seed");
+        let amplitude = i64_field(v, "amplitude");
+        let job = JobSpec {
+            id: 1,
+            arrival_cycle: 0,
+            class: ServiceClass::Quality,
+            payload: JobPayload::DctBlocks {
+                blocks: u64_field(v, "blocks") as u16,
+                amplitude,
+            },
+            seed,
+        };
+        let out = both_backends(&job, kernel);
+        assert_eq!(
+            out.exec_cycles,
+            u64_field(v, "exec_cycles"),
+            "`{kernel}` cycle count drifted from the committed fixture"
+        );
+        assert_eq!(
+            out.checksum,
+            checksum_field(v),
+            "`{kernel}` checksum drifted from the committed fixture"
+        );
+        // The fixture also pins the first block's quantised coefficients —
+        // the human-auditable layer beneath the digest.
+        let expected: Vec<i64> = v
+            .get("coeffs0_q8")
+            .and_then(Json::as_array)
+            .unwrap()
+            .iter()
+            .map(|c| c.as_f64().unwrap() as i64)
+            .collect();
+        let mapping = DctMapping::from_name(kernel).unwrap();
+        let imp = mapping.build(DaParams::precise()).unwrap();
+        let mut rng = dsra::core::rng::SplitMix64::new(seed);
+        let x: [i64; 8] =
+            std::array::from_fn(|_| rng.next_below(2 * amplitude as u64 + 1) as i64 - amplitude);
+        let y = imp.transform(&x).unwrap();
+        let got: Vec<i64> = y.iter().map(|c| (c * 256.0).round() as i64).collect();
+        assert_eq!(got, expected, "`{kernel}` first-block coefficients drifted");
+    }
+}
+
+#[test]
+fn me_golden_vectors_pin_both_backends() {
+    let doc = fixture("me_vectors.json");
+    let vectors = doc.get("vectors").and_then(Json::as_array).unwrap();
+    assert_eq!(vectors.len(), 3, "three pinned motion searches");
+    for v in vectors {
+        let size = (u64_field(v, "width") as u16, u64_field(v, "height") as u16);
+        let shift = (i64_field(v, "shift_x") as i8, i64_field(v, "shift_y") as i8);
+        let block = u64_field(v, "block") as u8;
+        let range = u64_field(v, "range") as u8;
+        let seed = u64_field(v, "seed");
+        let job = JobSpec {
+            id: 2,
+            arrival_cycle: 0,
+            class: ServiceClass::Quality,
+            payload: JobPayload::MeSearch {
+                size,
+                shift,
+                block,
+                range,
+            },
+            seed,
+        };
+        let out = both_backends(&job, &format!("ME {block}"));
+        assert_eq!(out.exec_cycles, u64_field(v, "exec_cycles"));
+        assert_eq!(out.checksum, checksum_field(v));
+        // The pinned motion vector must be recoverable from the planes —
+        // and on these noise-free synthetic pairs it is the ground truth.
+        let (cur, refp) = dsra::video::me_search_planes(size, shift, seed);
+        let b = usize::from(block);
+        let (bx, by) = (
+            (usize::from(size.0)).saturating_sub(b) / 2,
+            (usize::from(size.1)).saturating_sub(b) / 2,
+        );
+        let sp = dsra::me::SearchParams {
+            block: b,
+            range: i32::from(range),
+        };
+        let best = dsra::me::full_search(&cur, &refp, bx, by, &sp);
+        let mv = v.get("mv").and_then(Json::as_array).unwrap();
+        assert_eq!(i64::from(best.mv.0), mv[0].as_f64().unwrap() as i64);
+        assert_eq!(i64::from(best.mv.1), mv[1].as_f64().unwrap() as i64);
+        assert_eq!(best.sad, u64_field(v, "sad"));
+        assert_eq!(best.candidates, u64_field(v, "candidates"));
+    }
+}

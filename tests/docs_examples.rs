@@ -81,6 +81,24 @@ fn experiment_index_references_resolve() {
         );
     }
     assert!(
+        design.contains("## 10. Backend contract"),
+        "DESIGN.md must document the dsra-backend contract (§10)"
+    );
+    for anchor in [
+        "ArrayBackend",
+        "GoldenBackend",
+        "CheckBackend",
+        "ExecOutcome",
+        "run_payload",
+        "--backend check",
+        "golden_me_search",
+    ] {
+        assert!(
+            design.contains(anchor),
+            "DESIGN.md §10 must cover `{anchor}`"
+        );
+    }
+    assert!(
         readme.contains("## Performance"),
         "README must keep the performance table"
     );
@@ -101,6 +119,10 @@ fn experiment_index_references_resolve() {
     assert!(
         readme.contains("`dsra-service`"),
         "README crate map must list dsra-service"
+    );
+    assert!(
+        readme.contains("`dsra-backend`"),
+        "README crate map must list dsra-backend"
     );
 
     for bin in [
