@@ -12,7 +12,10 @@ use dsra_core::place::{place, PlacerOptions};
 use dsra_core::route::{route, RouterOptions};
 use dsra_dct::{all_impls, BasicDa, DaParams, DctImpl};
 use dsra_me::{MeEngine, Systolic2d};
+use dsra_runtime::{DctMapping, RuntimeConfig, SocRuntime};
 use dsra_sim::{ExecPlan, Simulator};
+use dsra_trace::{EventLog, NoopSink};
+use dsra_video::{generate_job_mix, JobMixConfig};
 
 /// `engine_step`: raw cycles/second of the flat-plan simulator on the two
 /// array archetypes — the bit-serial DA datapath and the 2-D systolic ME
@@ -90,9 +93,44 @@ fn bench_diff_bits(c: &mut Criterion) {
     g.finish();
 }
 
+/// `trace_overhead`: the warm serve with the default (disabled) sink vs
+/// an explicitly installed `NoopSink` vs a recording `EventLog` — the
+/// zero-cost-when-off claim, measured (ISSUE 7). The first two must be
+/// indistinguishable; the third prices full event recording.
+fn bench_trace_overhead(c: &mut Criterion) {
+    let mut g = c.benchmark_group("trace_overhead");
+    g.sample_size(10).measurement_time(Duration::from_secs(3));
+    let mix = generate_job_mix(JobMixConfig {
+        jobs: 40,
+        ..Default::default()
+    });
+    let mut rt = SocRuntime::new(RuntimeConfig {
+        da_arrays: 1,
+        me_arrays: 1,
+        mappings: vec![DctMapping::BasicDa, DctMapping::MixedRom],
+        ..Default::default()
+    })
+    .unwrap();
+    rt.serve(&mix).unwrap(); // warm caches and buffers
+    let serve = |rt: &mut SocRuntime| {
+        rt.recharge_full();
+        rt.serve(&mix).unwrap().makespan_cycles
+    };
+    g.bench_function("serve_default_sink", |b| b.iter(|| serve(&mut rt)));
+    rt.set_trace_sink(Box::new(NoopSink));
+    g.bench_function("serve_noop_sink", |b| b.iter(|| serve(&mut rt)));
+    g.bench_function("serve_event_log", |b| {
+        b.iter(|| {
+            rt.set_trace_sink(Box::new(EventLog::new()));
+            serve(&mut rt)
+        })
+    });
+    g.finish();
+}
+
 criterion_group! {
     name = benches;
     config = Criterion::default();
-    targets = bench_engine_step, bench_diff_bits
+    targets = bench_engine_step, bench_diff_bits, bench_trace_overhead
 }
 criterion_main!(benches);

@@ -16,11 +16,12 @@
 //! same definition `tests/battery_serve.rs` gates in tier-1.
 
 use dsra_bench::{
-    banner, discharge_battery, json_flag, parse_f64, parse_u64, write_json_summary,
-    DischargeOutcome, JsonValue,
+    banner, discharge_runtime, install_trace_arg, json_flag, parse_f64, parse_u64,
+    write_chrome_trace, write_json_summary, DischargeOutcome, JsonValue,
 };
 use dsra_runtime::{
     DefaultPolicy, EnergyAwarePolicy, NaivePolicy, PowerConfig, RuntimeConfig, SchedulePolicy,
+    SocRuntime,
 };
 use dsra_video::JobMixConfig;
 
@@ -69,8 +70,20 @@ fn main() {
         Box::new(EnergyAwarePolicy::default()),
     ];
     let mut runs: Vec<DischargeOutcome> = Vec::new();
-    for policy in policies {
-        runs.push(discharge_battery(config(), policy, base, max_serves).expect("discharge run"));
+    let count = policies.len();
+    for (i, policy) in policies.into_iter().enumerate() {
+        let mut runtime = SocRuntime::with_policy(config(), policy).expect("runtime construction");
+        // `--trace <file>` records the last policy's discharge (the
+        // energy-aware run the E12 gate celebrates).
+        let trace_path = if i + 1 == count {
+            install_trace_arg(&mut runtime)
+        } else {
+            None
+        };
+        runs.push(discharge_runtime(&mut runtime, base, max_serves).expect("discharge run"));
+        if let Some(path) = &trace_path {
+            write_chrome_trace(&mut runtime, path);
+        }
     }
 
     println!("policy        jobs/charge  serves  low-batt  J/job       frames/J");

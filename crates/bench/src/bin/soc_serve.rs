@@ -13,7 +13,7 @@
 //! scheduler plans deterministically and the worker threads only execute
 //! plans — which is exactly what the `outcome digest` line pins.
 
-use dsra_bench::{arg_value, banner, json_flag, parse_u64};
+use dsra_bench::{arg_value, banner, install_trace_arg, json_flag, parse_u64, write_chrome_trace};
 use dsra_runtime::{BackendKind, RuntimeConfig, SocRuntime};
 use dsra_video::{generate_job_mix, JobMixConfig};
 
@@ -52,8 +52,12 @@ fn main() {
         ..Default::default()
     })
     .expect("runtime construction");
+    let trace_path = install_trace_arg(&mut runtime);
     let report = runtime.serve(&mix).expect("serve");
     print!("{}", report.render());
+    if let Some(path) = &trace_path {
+        write_chrome_trace(&mut runtime, path);
+    }
 
     let hit_rate = report.cache.hit_rate();
     println!(

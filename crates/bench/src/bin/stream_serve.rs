@@ -17,8 +17,8 @@
 //! which is exactly what each policy's `outcome digest` line pins.
 
 use dsra_bench::{
-    arg_value, banner, json_flag, latency_histogram, parse_u64, stream_metrics, write_json_summary,
-    JsonValue,
+    arg_value, banner, install_trace_arg, json_flag, latency_histogram, parse_u64,
+    shed_wait_histogram, stream_metrics, write_chrome_trace, write_json_summary, JsonValue,
 };
 use dsra_runtime::{RuntimeConfig, SocRuntime};
 use dsra_service::{
@@ -58,13 +58,20 @@ fn main() {
     };
 
     let mut runs: Vec<ServiceReport> = Vec::new();
-    for policy in &policies {
+    for (i, policy) in policies.iter().enumerate() {
         let mut runtime = SocRuntime::new(RuntimeConfig {
             da_arrays: da,
             me_arrays: me,
             ..Default::default()
         })
         .expect("runtime construction");
+        // `--trace <file>` records the last policy's session (the one the
+        // E13 gate cares about) as a Chrome trace-event document.
+        let trace_path = if i + 1 == policies.len() {
+            install_trace_arg(&mut runtime)
+        } else {
+            None
+        };
         let report = serve_trace(
             &mut runtime,
             &trace,
@@ -77,12 +84,20 @@ fn main() {
         print!("{}", report.render());
         let h = latency_histogram(&report);
         println!(
-            "serve latency      : p50 {} µs, p90 {} µs, p99 {} µs, max {} µs\n",
+            "serve latency      : p50 {} µs, p90 {} µs, p99 {} µs, max {} µs",
             h.p50(),
             h.p90(),
             h.p99(),
             h.max()
         );
+        println!(
+            "shed waits         : p99 {} µs over {} shed\n",
+            shed_wait_histogram(&report).p99(),
+            report.shed
+        );
+        if let Some(path) = &trace_path {
+            write_chrome_trace(&mut runtime, path);
+        }
         runs.push(report);
     }
 

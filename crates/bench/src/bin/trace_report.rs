@@ -1,0 +1,28 @@
+//! Post-processes a `--trace` Chrome trace-event document into operator
+//! breakdowns: queue-delay per tenant, per-array utilization/gating
+//! timelines, reconfig-stall attribution by kernel, and the top-k hot
+//! kernel configurations by fingerprint (DESIGN.md §11).
+//!
+//! ```sh
+//! cargo run -p dsra-bench --release --bin stream_serve -- --trace trace.json
+//! cargo run -p dsra-bench --release --bin trace_report -- trace.json --top 8
+//! ```
+//!
+//! The report is a pure function of the trace document, which is itself
+//! byte-identical per seed — so the breakdown is too.
+
+use dsra_bench::{analyze_chrome_trace, banner, parse_json, parse_u64};
+
+fn main() {
+    let path = std::env::args().nth(1).unwrap_or_else(|| {
+        eprintln!("usage: trace_report <trace.json> [--top N]");
+        std::process::exit(2);
+    });
+    let top_k = parse_u64("--top", 8) as usize;
+    banner("trace_report", "job-lifecycle trace breakdowns");
+    let src = std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("cannot read {path}: {e}"));
+    let doc = parse_json(&src).unwrap_or_else(|e| panic!("{path} is not strict JSON: {e}"));
+    let analysis =
+        analyze_chrome_trace(&doc).unwrap_or_else(|e| panic!("{path} is not a trace: {e}"));
+    print!("{}", analysis.render(top_k));
+}

@@ -59,8 +59,22 @@ pub fn discharge_battery(
     base: JobMixConfig,
     max_serves: u64,
 ) -> Result<DischargeOutcome> {
-    let low_pct = config.power.low_battery_pct;
     let mut runtime = SocRuntime::with_policy(config, policy)?;
+    discharge_runtime(&mut runtime, base, max_serves)
+}
+
+/// [`discharge_battery`] against a caller-owned runtime — so the caller
+/// can install a trace sink first (`battery_serve --trace`) and collect
+/// the recorded log afterwards.
+///
+/// # Errors
+/// Propagates serve failures.
+pub fn discharge_runtime(
+    runtime: &mut SocRuntime,
+    base: JobMixConfig,
+    max_serves: u64,
+) -> Result<DischargeOutcome> {
+    let low_pct = runtime.config().power.low_battery_pct;
     let mut out = DischargeOutcome {
         policy: runtime.policy_name(),
         jobs_served: 0,

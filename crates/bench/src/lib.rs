@@ -20,18 +20,24 @@
 #![warn(missing_docs)]
 
 pub mod discharge;
-pub mod hist;
 pub mod json;
 pub mod stream;
+pub mod tracepost;
+
+/// Fixed-bucket latency histogram — lives in `dsra-trace` now (the
+/// metrics registry embeds it) but keeps its historical
+/// `dsra_bench::hist` path for every existing caller.
+pub use dsra_trace::hist;
 
 use dsra_core::netlist::Netlist;
 use dsra_me::Plane;
 use dsra_sim::{Activity, Simulator};
 
-pub use discharge::{discharge_battery, DischargeOutcome};
+pub use discharge::{discharge_battery, discharge_runtime, DischargeOutcome};
 pub use hist::Histogram;
 pub use json::{parse_json, Json};
-pub use stream::{latency_histogram, stream_metrics};
+pub use stream::{latency_histogram, shed_wait_histogram, stream_metrics};
+pub use tracepost::{analyze_chrome_trace, install_trace_arg, write_chrome_trace, TraceAnalysis};
 
 /// Deterministic hash-noise planes with a known shift (no displacement
 /// aliasing) — the standard ME workload.

@@ -20,11 +20,21 @@ pub fn latency_histogram(report: &ServiceReport) -> Histogram {
     h
 }
 
+/// Folds the queue residencies of the shed requests into the same
+/// fixed-bucket histogram — `shed_wait_p99` says how long requests sat
+/// queued before the policy gave up on them.
+pub fn shed_wait_histogram(report: &ServiceReport) -> Histogram {
+    let mut h = Histogram::new(LATENCY_BUCKET_US, LATENCY_BUCKETS);
+    h.record_all(report.sorted_shed_waits_us());
+    h
+}
+
 /// The per-policy metric block of `BENCH_stream.json`, keys prefixed
 /// with the policy tag (`fifo_…` / `edf_shed_…`).
 pub fn stream_metrics(report: &ServiceReport) -> Vec<(String, JsonValue)> {
     let tag = report.policy.replace('-', "_");
     let h = latency_histogram(report);
+    let sw = shed_wait_histogram(report);
     vec![
         (
             format!("{tag}_requests"),
@@ -43,6 +53,7 @@ pub fn stream_metrics(report: &ServiceReport) -> Vec<(String, JsonValue)> {
         (format!("{tag}_p90_latency_us"), JsonValue::Int(h.p90())),
         (format!("{tag}_p99_latency_us"), JsonValue::Int(h.p99())),
         (format!("{tag}_max_latency_us"), JsonValue::Int(h.max())),
+        (format!("{tag}_shed_wait_p99_us"), JsonValue::Int(sw.p99())),
         (
             format!("{tag}_violation_pct"),
             JsonValue::Num(report.violation_pct()),

@@ -6,6 +6,7 @@
 use dsra_bench::{json_summary, parse_json, stream_metrics, Json, JsonValue};
 use dsra_runtime::{DctMapping, PhaseTimings, RuntimeConfig, SocRuntime};
 use dsra_service::{serve_trace, standard_tenants, AdmitPolicy, ServiceConfig, TraceConfig};
+use dsra_trace::{chrome_trace, EventLog};
 use dsra_video::{generate_job_mix, JobMixConfig, JobMixWeights};
 
 /// The flat `json_summary` shape every per-experiment writer uses:
@@ -248,6 +249,7 @@ fn stream_metrics_carry_the_bench_stream_contract() {
             "p90_latency_us",
             "p99_latency_us",
             "max_latency_us",
+            "shed_wait_p99_us",
             "violation_pct",
             "shed_pct",
             "goodput_pct",
@@ -271,5 +273,131 @@ fn stream_metrics_carry_the_bench_stream_contract() {
                 .is_some(),
             "missing {tag}_digest"
         );
+    }
+}
+
+/// The `--trace` Chrome trace-event document (ISSUE 7): strict-parseable
+/// JSON whose event kinds, categories and per-kind required keys are
+/// pinned here. A new event kind or a dropped key is a schema change and
+/// must update this test.
+#[test]
+fn chrome_trace_document_carries_the_pinned_schema() {
+    let trace = TraceConfig {
+        tenants: standard_tenants(2, 300),
+        duration_us: 4_000,
+        ..Default::default()
+    };
+    let mut rt = SocRuntime::new(RuntimeConfig {
+        da_arrays: 1,
+        me_arrays: 1,
+        mappings: vec![DctMapping::BasicDa, DctMapping::MixedRom],
+        ..Default::default()
+    })
+    .expect("runtime");
+    rt.set_trace_sink(Box::new(EventLog::new()));
+    serve_trace(&mut rt, &trace, &ServiceConfig::default()).expect("session");
+    let log = rt.take_trace_sink().into_log().expect("recording sink");
+    let doc = chrome_trace(&log);
+    let v = parse_json(&doc).unwrap_or_else(|e| panic!("trace is not strict JSON: {e}"));
+
+    // Top-level shape.
+    assert!(v.get("displayTimeUnit").and_then(Json::as_str).is_some());
+    let other = v.get("otherData").expect("otherData object");
+    for key in ["mode", "backend", "policy"] {
+        assert!(
+            other.get(key).and_then(Json::as_str).is_some(),
+            "missing session metadata {key}"
+        );
+    }
+    assert_eq!(other.get("mode").and_then(Json::as_str), Some("stream"));
+
+    // Per-event shape: the pinned phase/category/name sets and the keys
+    // each kind must carry.
+    let events = v
+        .get("traceEvents")
+        .and_then(Json::as_array)
+        .expect("traceEvents array");
+    assert!(!events.is_empty());
+    let mut seen: Vec<&str> = Vec::new();
+    for (i, ev) in events.iter().enumerate() {
+        let name = ev.get("name").and_then(Json::as_str).unwrap_or_default();
+        let cat = ev.get("cat").and_then(Json::as_str).unwrap_or_default();
+        let ph = ev.get("ph").and_then(Json::as_str).unwrap_or_default();
+        for key in ["name", "cat", "ph"] {
+            assert!(
+                ev.get(key).and_then(Json::as_str).is_some(),
+                "event {i}: {key}"
+            );
+        }
+        for key in ["ts", "pid", "tid"] {
+            assert!(
+                ev.get(key).and_then(Json::as_f64).is_some(),
+                "event {i}: {key}"
+            );
+        }
+        let args = ev.get("args").expect("args object");
+        match ph {
+            "M" => {
+                assert_eq!(cat, "__metadata");
+                assert!(matches!(name, "process_name" | "thread_name"), "{name}");
+                assert!(args.get("name").and_then(Json::as_str).is_some());
+            }
+            "X" => {
+                assert!(
+                    ev.get("dur").and_then(Json::as_f64).is_some(),
+                    "event {i}: dur"
+                );
+                match cat {
+                    "array" => assert!(
+                        matches!(name, "idle" | "gated" | "reconfig" | "waking" | "exec"),
+                        "unknown array phase {name}"
+                    ),
+                    "job" => {
+                        assert!(matches!(name, "queued" | "shed"), "unknown job span {name}");
+                        assert!(args.get("job").and_then(Json::as_f64).is_some());
+                    }
+                    other => panic!("unknown X category {other}"),
+                }
+            }
+            "i" => {
+                assert_eq!(cat, "job");
+                assert!(
+                    matches!(name, "admit" | "complete"),
+                    "unknown instant {name}"
+                );
+                assert_eq!(ev.get("s").and_then(Json::as_str), Some("t"));
+                assert!(args.get("job").and_then(Json::as_f64).is_some());
+                if name == "complete" {
+                    for key in ["checksum", "kernel", "fingerprint"] {
+                        assert!(args.get(key).and_then(Json::as_str).is_some(), "{key}");
+                    }
+                    for key in ["dynamic_j", "static_j", "reconfig_j"] {
+                        assert!(args.get(key).is_some(), "{key}");
+                    }
+                }
+            }
+            "C" => {
+                assert_eq!(cat, "counter");
+                assert!(
+                    matches!(
+                        name,
+                        "battery_j"
+                            | "cache_hits"
+                            | "cache_misses"
+                            | "diff_probes"
+                            | "diff_memo_misses"
+                    ),
+                    "unknown counter track {name}"
+                );
+            }
+            other => panic!("unknown phase {other}"),
+        }
+        if !seen.contains(&ph) {
+            seen.push(ph);
+        }
+    }
+    // Every pinned event kind actually occurs in a streaming session.
+    for ph in ["M", "X", "i", "C"] {
+        assert!(seen.contains(&ph), "no {ph} events in the document");
     }
 }

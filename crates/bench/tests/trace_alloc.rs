@@ -1,0 +1,90 @@
+//! The zero-cost-when-off gate (ISSUE 7 satellite): with tracing
+//! disabled, the serve path performs exactly as many heap allocations as
+//! it did before the trace hooks existed — the no-op sink adds none.
+//!
+//! Lives in its own integration-test binary because the counting
+//! `#[global_allocator]` is process-wide.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use dsra_runtime::{DctMapping, RuntimeConfig, SocRuntime};
+use dsra_trace::{EventLog, NoopSink};
+use dsra_video::{generate_job_mix, JobMixConfig};
+
+struct CountingAlloc;
+
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+fn allocs_during<T>(f: impl FnOnce() -> T) -> (u64, T) {
+    let before = ALLOCS.load(Ordering::Relaxed);
+    let out = f();
+    (ALLOCS.load(Ordering::Relaxed) - before, out)
+}
+
+#[test]
+fn noop_tracing_adds_no_serve_allocations() {
+    let mix = generate_job_mix(JobMixConfig {
+        jobs: 40,
+        ..Default::default()
+    });
+    let mut rt = SocRuntime::new(RuntimeConfig {
+        da_arrays: 1,
+        me_arrays: 1,
+        mappings: vec![DctMapping::BasicDa, DctMapping::MixedRom],
+        ..Default::default()
+    })
+    .expect("runtime");
+    // Warm every cache (bitstreams, diff memo, thread-local buffers) so
+    // the measured serves are the steady state.
+    rt.serve(&mix).expect("warm serve");
+
+    let serve = |rt: &mut SocRuntime| {
+        rt.recharge_full();
+        rt.serve(&mix).expect("serve").digest()
+    };
+
+    // Warm serving is allocation-deterministic: two identical serves with
+    // the default (disabled) sink allocate identically.
+    let (baseline, d1) = allocs_during(|| serve(&mut rt));
+    let (again, d2) = allocs_during(|| serve(&mut rt));
+    assert_eq!(d1, d2, "warm serves must be byte-identical");
+    assert_eq!(
+        baseline, again,
+        "warm serves must be allocation-deterministic"
+    );
+
+    // An explicitly installed NoopSink is indistinguishable from the
+    // default: the disabled trace path allocates nothing per job.
+    rt.set_trace_sink(Box::new(NoopSink));
+    let (noop, d3) = allocs_during(|| serve(&mut rt));
+    assert_eq!(d1, d3);
+    assert_eq!(
+        noop, baseline,
+        "NoopSink must add zero allocations over the default sink"
+    );
+
+    // Sanity: a recording sink does allocate (events, strings) — the
+    // comparison above is not vacuous.
+    rt.set_trace_sink(Box::new(EventLog::new()));
+    let (recording, d4) = allocs_during(|| serve(&mut rt));
+    assert_eq!(d1, d4, "tracing must not change outcomes");
+    assert!(
+        recording > baseline,
+        "recording sink should allocate ({recording} vs {baseline})"
+    );
+}

@@ -11,6 +11,38 @@ use dsra_tech::{EnergySplit, TechModel};
 
 use crate::dvfs::OperatingPoint;
 
+/// A point-in-time snapshot of an account's three energy components.
+///
+/// Tracing takes one of these before and after a job's reconfig + exec
+/// window and attributes the component-wise difference to the job; the
+/// digest-visible per-job `energy_j` stays `total_j() - before` so the
+/// split is a pure observability addition.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct EnergyTotals {
+    /// Activity-based dynamic energy (joules).
+    pub dynamic_j: f64,
+    /// Leakage energy (joules).
+    pub static_j: f64,
+    /// Configuration-plane write energy (joules).
+    pub reconfig_j: f64,
+}
+
+impl EnergyTotals {
+    /// Sum of all three components.
+    pub fn total_j(&self) -> f64 {
+        self.dynamic_j + self.static_j + self.reconfig_j
+    }
+
+    /// Component-wise difference against an earlier snapshot.
+    pub fn since(&self, earlier: &EnergyTotals) -> EnergyTotals {
+        EnergyTotals {
+            dynamic_j: self.dynamic_j - earlier.dynamic_j,
+            static_j: self.static_j - earlier.static_j,
+            reconfig_j: self.reconfig_j - earlier.reconfig_j,
+        }
+    }
+}
+
 /// Energy integrated by one array over one serve.
 #[derive(Debug, Clone, PartialEq)]
 pub struct EnergyAccount {
@@ -99,6 +131,15 @@ impl EnergyAccount {
     pub fn total_j(&self) -> f64 {
         self.dynamic_j + self.static_j + self.reconfig_j
     }
+
+    /// Snapshot of the three components (see [`EnergyTotals`]).
+    pub fn totals(&self) -> EnergyTotals {
+        EnergyTotals {
+            dynamic_j: self.dynamic_j,
+            static_j: self.static_j,
+            reconfig_j: self.reconfig_j,
+        }
+    }
 }
 
 #[cfg(test)]
@@ -132,6 +173,20 @@ mod tests {
         assert_eq!(powered.idle_cycles, 500);
         assert_eq!(gated.total_j(), 0.0);
         assert_eq!(gated.gated_cycles, 500);
+    }
+
+    #[test]
+    fn totals_snapshot_differences_attribute_per_window_energy() {
+        let mut a = EnergyAccount::new("da0");
+        a.charge_active(50, &split(), &OperatingPoint::NOMINAL);
+        let before = a.totals();
+        a.charge_reconfig(1000, 0.5, &OperatingPoint::NOMINAL);
+        a.charge_active(100, &split(), &OperatingPoint::NOMINAL);
+        let delta = a.totals().since(&before);
+        assert!((delta.reconfig_j - 500.0).abs() < 1e-9);
+        assert!((delta.dynamic_j - 4000.0).abs() < 1e-9);
+        assert!((delta.static_j - 1000.0).abs() < 1e-9);
+        assert!((delta.total_j() - (a.total_j() - before.total_j())).abs() < 1e-9);
     }
 
     #[test]

@@ -51,7 +51,7 @@ pub mod account;
 pub mod battery;
 pub mod dvfs;
 
-pub use account::EnergyAccount;
+pub use account::{EnergyAccount, EnergyTotals};
 pub use battery::Battery;
 pub use dvfs::{OperatingPoint, NOMINAL_FREQ_MHZ, NOMINAL_VOLTAGE};
 

@@ -70,6 +70,7 @@ use dsra_dct::DaParams;
 use dsra_platform::{profile_impl, standard_da_fabric, Condition, ImplProfile, SocConfig};
 use dsra_power::{Battery, EnergyAccount, OperatingPoint};
 use dsra_tech::{EnergySplit, TechModel};
+use dsra_trace::{ArrayPhase, EnergyBreakdown, NoopSink, TraceEvent, TraceSink};
 use dsra_video::{JobPayload, JobSpec};
 
 pub use cache::{BitstreamCache, CacheStats, CompiledKernel};
@@ -79,8 +80,8 @@ pub use report::{
     ArrayReport, BatterySample, BatteryTrajectory, EnergyReport, JobOutcome, RuntimeReport,
 };
 pub use scheduler::{
-    ArrayState, DefaultPolicy, DiffAwareScheduler, DiffMatrix, EnergyAwarePolicy, NaivePolicy,
-    PlannedSlot, PowerSnapshot, SchedulePolicy,
+    ArrayState, DefaultPolicy, DiffAwareScheduler, DiffMatrix, DiffStats, EnergyAwarePolicy,
+    NaivePolicy, PlannedSlot, PowerSnapshot, SchedulePolicy,
 };
 
 /// Wall-clock phase timings of the last [`SocRuntime::serve`] call —
@@ -198,6 +199,11 @@ struct StreamState {
     exec_cycles: Vec<u64>,
     gate_events: usize,
     wakes: usize,
+    /// Cache counters at session open, for the session-delta trace
+    /// counters emitted by `stream_end`.
+    cache_before: CacheStats,
+    /// DiffMatrix counters at session open (same purpose).
+    diff_before: DiffStats,
 }
 
 /// Scheduler-visible status of one array in streaming mode.
@@ -324,6 +330,10 @@ pub struct SocRuntime {
     last_timings: PhaseTimings,
     /// Incremental streaming session, if one is open (E13).
     stream: Option<StreamState>,
+    /// Trace sink every serve path reports into. The default
+    /// [`NoopSink`] is disabled, and all event construction is guarded by
+    /// `enabled()`, so the untraced hot path stays allocation-free.
+    sink: Box<dyn TraceSink>,
 }
 
 impl SocRuntime {
@@ -389,7 +399,29 @@ impl SocRuntime {
             engines,
             last_timings: PhaseTimings::default(),
             stream: None,
+            sink: Box::new(NoopSink),
         })
+    }
+
+    /// Installs a trace sink; subsequent serve calls (batch and stream)
+    /// report lifecycle, interval, energy and counter events into it.
+    /// Every stamp is a virtual cycle — wall-clock never enters the
+    /// stream — so a recorded log is byte-identical across runs.
+    pub fn set_trace_sink(&mut self, sink: Box<dyn TraceSink>) {
+        self.sink = sink;
+    }
+
+    /// Removes the current trace sink (restoring the no-op default) so a
+    /// recorded `EventLog` can be recovered via `TraceSink::into_log`.
+    pub fn take_trace_sink(&mut self) -> Box<dyn TraceSink> {
+        std::mem::replace(&mut self.sink, Box::new(NoopSink))
+    }
+
+    /// The live trace sink — upper layers (the service frontend's
+    /// admission path) emit their own events through this, guarded by
+    /// `enabled()` exactly like the runtime's own emission.
+    pub fn trace_sink(&mut self) -> &mut dyn TraceSink {
+        self.sink.as_mut()
     }
 
     /// Profiles of the offered DCT mappings.
@@ -444,7 +476,22 @@ impl SocRuntime {
         if let Some(stream) = self.stream.take() {
             self.diff_memo = stream.sched.into_memo();
         }
+        if self.sink.enabled() {
+            self.sink.emit(TraceEvent::Meta {
+                key: "mode",
+                value: "batch".into(),
+            });
+            self.sink.emit(TraceEvent::Meta {
+                key: "backend",
+                value: self.config.backend.name().into(),
+            });
+            self.sink.emit(TraceEvent::Meta {
+                key: "policy",
+                value: self.policy.name().into(),
+            });
+        }
         let stats_before = self.cache.stats();
+        let diff_before = self.diff_memo.stats();
         let mut order: Vec<&JobSpec> = jobs.iter().collect();
         order.sort_by_key(|j| (j.arrival_cycle, j.id));
 
@@ -538,8 +585,19 @@ impl SocRuntime {
             cache_delta,
             self.policy.power_gate_idle(),
             &self.battery,
+            self.sink.as_mut(),
         );
         self.battery.drain(report.energy.total_j());
+        if self.sink.enabled() {
+            let d = self.diff_memo.stats().since(diff_before);
+            for (name, value) in [("diff_probes", d.probes), ("diff_memo_misses", d.misses)] {
+                self.sink.emit(TraceEvent::Counter {
+                    t: report.makespan_cycles,
+                    name,
+                    value,
+                });
+            }
+        }
         Ok(report)
     }
 
@@ -557,6 +615,22 @@ impl SocRuntime {
         if let Some(stream) = self.stream.take() {
             self.diff_memo = stream.sched.into_memo();
         }
+        if self.sink.enabled() {
+            self.sink.emit(TraceEvent::Meta {
+                key: "mode",
+                value: "stream".into(),
+            });
+            self.sink.emit(TraceEvent::Meta {
+                key: "backend",
+                value: self.config.backend.name().into(),
+            });
+            self.sink.emit(TraceEvent::Meta {
+                key: "policy",
+                value: self.policy.name().into(),
+            });
+        }
+        let cache_before = self.cache.stats();
+        let diff_before = self.diff_memo.stats();
         let arrays = self.config.da_arrays + self.config.me_arrays;
         self.stream = Some(StreamState {
             sched: DiffAwareScheduler::with_memo(
@@ -582,6 +656,8 @@ impl SocRuntime {
             exec_cycles: vec![0; arrays],
             gate_events: 0,
             wakes: 0,
+            cache_before,
+            diff_before,
         });
     }
 
@@ -624,15 +700,27 @@ impl SocRuntime {
             .loaded
             .as_ref()
             .map_or(0.0, |kernel| kernel.split.leak_power);
+        let free_at = state.free_at;
         let account = &mut stream.accounts[array];
         let before = account.total_j();
-        account.charge_idle(now_cycle - state.free_at, leak, &point, false);
+        account.charge_idle(now_cycle - free_at, leak, &point, false);
         let idle_j = account.total_j() - before;
         stream.sched.settle(array, now_cycle);
         stream.sched.evict(array);
         stream.gated[array] = true;
         stream.gate_events += 1;
         self.battery.drain(idle_j);
+        if self.sink.enabled() && now_cycle > free_at {
+            // The powered-idle span the gate decision just closed out.
+            self.sink.emit(TraceEvent::ArrayInterval {
+                array: array as u32,
+                phase: ArrayPhase::Idle,
+                start: free_at,
+                end: now_cycle,
+                job: None,
+                kernel: None,
+            });
+        }
         true
     }
 
@@ -660,6 +748,17 @@ impl SocRuntime {
         stream.sched.settle(array, free_at.max(now_cycle));
         stream.gated[array] = false;
         stream.wakes += 1;
+        if self.sink.enabled() && now_cycle > free_at {
+            // The dark span between the gate and this wake decision.
+            self.sink.emit(TraceEvent::ArrayInterval {
+                array: array as u32,
+                phase: ArrayPhase::Gated,
+                start: free_at,
+                end: now_cycle,
+                job: None,
+                kernel: None,
+            });
+        }
         true
     }
 
@@ -688,6 +787,7 @@ impl SocRuntime {
         let point = self.config.power.dvfs;
         let e_bit = self.config.power.reconfig_energy_per_bit;
         let params = self.config.da_params;
+        let tracing = self.sink.enabled();
         let stream = self.stream.as_mut().expect("checked above");
         if !stream
             .sched
@@ -746,6 +846,29 @@ impl SocRuntime {
         let gap_before = account.total_j();
         account.charge_idle(start - prev_free, prev_leak, &point, was_gated);
         let gap_j = account.total_j() - gap_before;
+        if tracing {
+            if start > prev_free {
+                self.sink.emit(TraceEvent::ArrayInterval {
+                    array: array as u32,
+                    phase: if was_gated {
+                        ArrayPhase::Gated
+                    } else {
+                        ArrayPhase::Idle
+                    },
+                    start: prev_free,
+                    end: start,
+                    job: None,
+                    kernel: None,
+                });
+            }
+            self.sink.emit(TraceEvent::JobSchedule {
+                t: start,
+                job: job.id,
+                array: array as u32,
+                kernel: kernel.name.clone(),
+                fingerprint: kernel.fingerprint.to_hex(),
+            });
+        }
         let outcome = self.engines[array].execute(params, job, &kernel.name)?;
         let (exec_cycles, checksum) = (outcome.exec_cycles, outcome.checksum);
         let end = start + slot.reconfig_cycles + exec_cycles;
@@ -754,6 +877,7 @@ impl SocRuntime {
         // its configuration write, the new plane's leakage while the bus
         // writes it, and its execution window.
         let job_before = account.total_j();
+        let totals_before = account.totals();
         account.charge_reconfig(slot.reconfig_bits, e_bit, &point);
         account.charge_idle(slot.reconfig_cycles, kernel.split.leak_power, &point, false);
         account.charge_active(exec_cycles, &kernel.split, &point);
@@ -762,7 +886,50 @@ impl SocRuntime {
         stream.reconfig_events[array] += usize::from(slot.reconfig_bits > 0);
         stream.reconfig_bits[array] += slot.reconfig_bits;
         stream.exec_cycles[array] += exec_cycles;
+        if tracing {
+            if slot.reconfig_cycles > 0 {
+                self.sink.emit(TraceEvent::ArrayInterval {
+                    array: array as u32,
+                    phase: if was_gated {
+                        ArrayPhase::Waking
+                    } else {
+                        ArrayPhase::Reconfig
+                    },
+                    start,
+                    end: start + slot.reconfig_cycles,
+                    job: Some(job.id),
+                    kernel: Some(kernel.name.clone()),
+                });
+            }
+            if exec_cycles > 0 {
+                self.sink.emit(TraceEvent::ArrayInterval {
+                    array: array as u32,
+                    phase: ArrayPhase::Exec,
+                    start: start + slot.reconfig_cycles,
+                    end,
+                    job: Some(job.id),
+                    kernel: Some(kernel.name.clone()),
+                });
+            }
+            let d = account.totals().since(&totals_before);
+            self.sink.emit(TraceEvent::JobComplete {
+                t: end,
+                job: job.id,
+                checksum,
+                energy: EnergyBreakdown {
+                    dynamic_j: d.dynamic_j,
+                    static_j: d.static_j,
+                    reconfig_j: d.reconfig_j,
+                },
+            });
+        }
         self.battery.drain(gap_j + energy_j);
+        if tracing {
+            self.sink.emit(TraceEvent::BatteryLevel {
+                t: end,
+                charge_j: self.battery.charge_j(),
+            });
+        }
         Ok(StreamedJob {
             id: job.id,
             array,
@@ -785,6 +952,7 @@ impl SocRuntime {
     /// memo. Returns `None` if no session was open.
     pub fn stream_end(&mut self, now_cycle: u64) -> Option<StreamSummary> {
         let point = self.config.power.dvfs;
+        let tracing = self.sink.enabled();
         let mut stream = self.stream.take()?;
         let mut tail_j = 0.0;
         let mut arrays = Vec::with_capacity(stream.accounts.len());
@@ -803,6 +971,20 @@ impl SocRuntime {
                 stream.gated[i],
             );
             tail_j += account.total_j() - before;
+            if tracing && now_cycle > state.free_at {
+                self.sink.emit(TraceEvent::ArrayInterval {
+                    array: i as u32,
+                    phase: if stream.gated[i] {
+                        ArrayPhase::Gated
+                    } else {
+                        ArrayPhase::Idle
+                    },
+                    start: state.free_at,
+                    end: now_cycle,
+                    job: None,
+                    kernel: None,
+                });
+            }
             arrays.push(StreamArrayReport {
                 id: i,
                 kind: state.kind,
@@ -819,6 +1001,26 @@ impl SocRuntime {
         }
         self.battery.drain(tail_j);
         self.diff_memo = stream.sched.into_memo();
+        if tracing {
+            let cache = self.cache.stats().since(stream.cache_before);
+            let diff = self.diff_memo.stats().since(stream.diff_before);
+            for (name, value) in [
+                ("cache_hits", cache.hits),
+                ("cache_misses", cache.misses),
+                ("diff_probes", diff.probes),
+                ("diff_memo_misses", diff.misses),
+            ] {
+                self.sink.emit(TraceEvent::Counter {
+                    t: now_cycle,
+                    name,
+                    value,
+                });
+            }
+            self.sink.emit(TraceEvent::BatteryLevel {
+                t: now_cycle,
+                charge_j: self.battery.charge_j(),
+            });
+        }
         Some(StreamSummary {
             arrays,
             gate_events: stream.gate_events,
@@ -934,6 +1136,10 @@ fn payload_tag(payload: &JobPayload) -> &'static str {
 
 /// Folds per-array plans and execution results into the final report,
 /// integrating per-array energy (DESIGN.md §7) and the battery trajectory.
+/// Also the batch-mode trace emission point: the full per-job timeline is
+/// reconstructed here on the main thread, so lifecycle spans, array
+/// intervals and battery samples all fall out of the walk (workers stay
+/// sink-free).
 fn assemble_report(
     config: &RuntimeConfig,
     plans: &[Vec<Assignment>],
@@ -941,7 +1147,9 @@ fn assemble_report(
     cache: CacheStats,
     gate_idle: bool,
     battery: &Battery,
+    sink: &mut dyn TraceSink,
 ) -> RuntimeReport {
+    let tracing = sink.enabled();
     let point = config.power.dvfs;
     let e_bit = config.power.reconfig_energy_per_bit;
     let mut outcomes = Vec::new();
@@ -991,15 +1199,80 @@ fn assemble_report(
             if let Some(prev) = loaded {
                 account.charge_idle(start - free_at, prev.leak_power, &point, gate_idle);
             }
+            if tracing {
+                sink.emit(TraceEvent::JobEnqueue {
+                    t: asg.job.arrival_cycle,
+                    job: asg.job.id,
+                    tenant: 0,
+                    class: asg.job.class.tag(),
+                    kind: payload_tag(&asg.job.payload),
+                    deadline: 0,
+                });
+                if start > free_at {
+                    sink.emit(TraceEvent::ArrayInterval {
+                        array: array_id as u32,
+                        phase: if loaded.is_some() && gate_idle {
+                            ArrayPhase::Gated
+                        } else {
+                            ArrayPhase::Idle
+                        },
+                        start: free_at,
+                        end: start,
+                        job: None,
+                        kernel: None,
+                    });
+                }
+                sink.emit(TraceEvent::JobSchedule {
+                    t: start,
+                    job: asg.job.id,
+                    array: array_id as u32,
+                    kernel: asg.kernel.name.clone(),
+                    fingerprint: asg.kernel.fingerprint.to_hex(),
+                });
+                if reconfig_cycles > 0 {
+                    sink.emit(TraceEvent::ArrayInterval {
+                        array: array_id as u32,
+                        phase: ArrayPhase::Reconfig,
+                        start,
+                        end: start + reconfig_cycles,
+                        job: Some(asg.job.id),
+                        kernel: Some(asg.kernel.name.clone()),
+                    });
+                }
+                if ex.exec_cycles > 0 {
+                    sink.emit(TraceEvent::ArrayInterval {
+                        array: array_id as u32,
+                        phase: ArrayPhase::Exec,
+                        start: start + reconfig_cycles,
+                        end,
+                        job: Some(asg.job.id),
+                        kernel: Some(asg.kernel.name.clone()),
+                    });
+                }
+            }
             let split = asg.kernel.split;
             // The job's attributable energy: its reconfiguration write,
             // the leakage of the (new) plane while the bus writes it,
             // and its execution window, all from one account snapshot.
             let before = account.total_j();
+            let totals_before = account.totals();
             account.charge_reconfig(ex.reconfig.bits_written, e_bit, &point);
             account.charge_idle(reconfig_cycles, split.leak_power, &point, false);
             account.charge_active(ex.exec_cycles, &split, &point);
             let energy_j = account.total_j() - before;
+            if tracing {
+                let d = account.totals().since(&totals_before);
+                sink.emit(TraceEvent::JobComplete {
+                    t: end,
+                    job: asg.job.id,
+                    checksum: ex.checksum,
+                    energy: EnergyBreakdown {
+                        dynamic_j: d.dynamic_j,
+                        static_j: d.static_j,
+                        reconfig_j: d.reconfig_j,
+                    },
+                });
+            }
             loaded = Some(split);
             free_at = end;
             a.exec_cycles += ex.exec_cycles;
@@ -1033,9 +1306,23 @@ fn assemble_report(
     // to no job — everything outside the per-job attributions feeds the
     // trajectory's idle drain.
     let job_energy_total: f64 = outcomes.iter().map(|o| o.energy_j).sum();
-    for (account, (loaded, free_at)) in accounts.iter_mut().zip(&residual) {
+    for (array_id, (account, (loaded, free_at))) in accounts.iter_mut().zip(&residual).enumerate() {
         if let Some(split) = loaded {
             account.charge_idle(makespan - free_at, split.leak_power, &point, gate_idle);
+        }
+        if tracing && makespan > *free_at {
+            sink.emit(TraceEvent::ArrayInterval {
+                array: array_id as u32,
+                phase: if loaded.is_some() && gate_idle {
+                    ArrayPhase::Gated
+                } else {
+                    ArrayPhase::Idle
+                },
+                start: *free_at,
+                end: makespan,
+                job: None,
+                kernel: None,
+            });
         }
     }
     for (a, account) in arrays.iter_mut().zip(&accounts) {
@@ -1065,17 +1352,34 @@ fn assemble_report(
     by_completion.sort_unstable_by_key(|&(end, id, _)| (end, id));
     let start_j = battery.charge_j();
     let mut sim = *battery;
-    let samples: Vec<BatterySample> = by_completion
-        .into_iter()
-        .map(|(_, id, energy_j)| {
-            sim.drain(energy_j);
-            BatterySample {
-                job: id,
+    let mut samples: Vec<BatterySample> = Vec::with_capacity(by_completion.len());
+    for (end_cycle, id, energy_j) in by_completion {
+        sim.drain(energy_j);
+        if tracing {
+            sink.emit(TraceEvent::BatteryLevel {
+                t: end_cycle,
                 charge_j: sim.charge_j(),
-            }
-        })
-        .collect();
+            });
+        }
+        samples.push(BatterySample {
+            job: id,
+            charge_j: sim.charge_j(),
+        });
+    }
     sim.drain(idle_drain_j);
+    if tracing {
+        sink.emit(TraceEvent::BatteryLevel {
+            t: makespan,
+            charge_j: sim.charge_j(),
+        });
+        for (name, value) in [("cache_hits", cache.hits), ("cache_misses", cache.misses)] {
+            sink.emit(TraceEvent::Counter {
+                t: makespan,
+                name,
+                value,
+            });
+        }
+    }
 
     outcomes.sort_by_key(|o| o.id);
     let count = |tag: &str| outcomes.iter().filter(|o| o.kind == tag).count();
@@ -1210,6 +1514,65 @@ mod tests {
         );
         // The mix rotates kernels, so the memo actually learned pairs.
         assert!(warm.diff_memo_len() > 0, "diff memo never engaged");
+    }
+
+    #[test]
+    fn batch_tracing_observes_without_changing_the_report() {
+        use dsra_trace::EventLog;
+        let jobs = small_mix(24, 17);
+        let untraced = small_runtime().serve(&jobs).unwrap();
+        let mut rt = small_runtime();
+        rt.set_trace_sink(Box::new(EventLog::new()));
+        let traced = rt.serve(&jobs).unwrap();
+        assert_eq!(traced.digest(), untraced.digest());
+        assert_eq!(traced.outcomes, untraced.outcomes);
+        let log = rt
+            .take_trace_sink()
+            .into_log()
+            .expect("recording sink installed");
+        assert_eq!(log.meta("mode"), Some("batch"));
+        assert_eq!(log.meta("backend"), Some("array"));
+        // Every job has its whole lifecycle recorded, agreeing with the
+        // report's timeline.
+        let spans = log.job_spans();
+        assert_eq!(spans.len(), jobs.len());
+        for s in &spans {
+            assert!(s.is_full_lifecycle(), "job {} incomplete", s.job);
+            let o = &traced.outcomes[s.job as usize];
+            assert_eq!(s.enqueue, Some(o.arrival_cycle));
+            assert_eq!(s.schedule, Some(o.start_cycle));
+            assert_eq!(s.complete, Some(o.end_cycle));
+            assert_eq!(s.checksum, Some(o.checksum));
+            let e = s.energy.expect("energy breakdown");
+            assert!(
+                (e.total_j() - o.energy_j).abs() <= 1e-9 * o.energy_j.max(1.0),
+                "attribution split must sum to the digest-pinned energy"
+            );
+        }
+        // Per-array state intervals tile [0, makespan] gap-free.
+        let by_array = log.array_intervals();
+        assert_eq!(by_array.len(), traced.arrays.len());
+        for (array, spans) in &by_array {
+            let mut cursor = 0u64;
+            for (start, end, _) in spans {
+                assert_eq!(*start, cursor, "gap on array {array}");
+                assert!(end > start);
+                cursor = *end;
+            }
+            assert_eq!(cursor, traced.makespan_cycles, "array {array} tail");
+        }
+        // One battery point per completion plus the final idle-drain point.
+        let battery_points = log
+            .events()
+            .iter()
+            .filter(|e| matches!(e, dsra_trace::TraceEvent::BatteryLevel { .. }))
+            .count();
+        assert_eq!(battery_points, jobs.len() + 1);
+        // A re-run with a fresh runtime records the identical log.
+        let mut rt2 = small_runtime();
+        rt2.set_trace_sink(Box::new(EventLog::new()));
+        rt2.serve(&jobs).unwrap();
+        assert_eq!(rt2.take_trace_sink().into_log().unwrap(), log);
     }
 
     #[test]

@@ -42,6 +42,28 @@ use crate::kernel::ArrayKind;
 #[derive(Debug, Default)]
 pub struct DiffMatrix {
     entries: HashMap<(Fingerprint, Fingerprint), u64>,
+    probes: u64,
+    misses: u64,
+}
+
+/// Lifetime probe counters of a [`DiffMatrix`] — observability only
+/// (trace `Counter` events); never consulted by any scheduling decision.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DiffStats {
+    /// Unequal-fingerprint probes (equal pairs short-circuit to 0 bits).
+    pub probes: u64,
+    /// Probes that had to sweep the frame maps (first sight of a pair).
+    pub misses: u64,
+}
+
+impl DiffStats {
+    /// Counter deltas against an earlier snapshot.
+    pub fn since(&self, earlier: DiffStats) -> DiffStats {
+        DiffStats {
+            probes: self.probes - earlier.probes,
+            misses: self.misses - earlier.misses,
+        }
+    }
 }
 
 impl DiffMatrix {
@@ -60,21 +82,33 @@ impl DiffMatrix {
         self.entries.is_empty()
     }
 
+    /// Lifetime probe counters (see [`DiffStats`]).
+    pub fn stats(&self) -> DiffStats {
+        DiffStats {
+            probes: self.probes,
+            misses: self.misses,
+        }
+    }
+
     /// Reconfiguration bits between two compiled kernels — zero for equal
     /// fingerprints, otherwise the (memoised) bitstream diff.
     pub fn bits(&mut self, from: &CompiledKernel, to: &CompiledKernel) -> u64 {
         if from.fingerprint == to.fingerprint {
             return 0;
         }
+        self.probes += 1;
         let key = if from.fingerprint <= to.fingerprint {
             (from.fingerprint, to.fingerprint)
         } else {
             (to.fingerprint, from.fingerprint)
         };
-        *self
-            .entries
-            .entry(key)
-            .or_insert_with(|| from.artifact.bitstream.diff_bits(&to.artifact.bitstream))
+        match self.entries.entry(key) {
+            std::collections::hash_map::Entry::Occupied(e) => *e.get(),
+            std::collections::hash_map::Entry::Vacant(v) => {
+                self.misses += 1;
+                *v.insert(from.artifact.bitstream.diff_bits(&to.artifact.bitstream))
+            }
+        }
     }
 }
 

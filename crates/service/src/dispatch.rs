@@ -17,6 +17,7 @@
 
 use dsra_core::error::{CoreError, Result};
 use dsra_runtime::{ArrayKind, SocRuntime, StreamArrayStatus};
+use dsra_trace::TraceEvent;
 use dsra_video::{JobPayload, JobSpec};
 
 use crate::admit::{AdmissionQueue, AdmitPolicy};
@@ -146,12 +147,40 @@ pub fn serve_requests(
         // queue (open loop: admission never says no; the EDF policy says
         // no at dispatch time by shedding).
         while next < trace.len() && trace[next].arrival_us <= now_us {
+            let r = &trace[next];
+            // Trace the arrival and its (open-loop, always-yes) admission
+            // in virtual cycles, so lifecycle spans line up with the
+            // runtime's schedule/exec events.
+            if runtime.trace_sink().enabled() {
+                let sink = runtime.trace_sink();
+                sink.emit(TraceEvent::JobEnqueue {
+                    t: r.arrival_us * cyc,
+                    job: r.id,
+                    tenant: r.tenant.into(),
+                    class: r.class.tag(),
+                    kind: payload_tag(&r.payload),
+                    deadline: r.deadline_us * cyc,
+                });
+                sink.emit(TraceEvent::JobAdmit {
+                    t: now_us * cyc,
+                    job: r.id,
+                });
+            }
             queue.push(trace[next]);
             next += 1;
         }
 
         // 2 — shedding: queued requests whose budget is already blown.
         for r in queue.shed_blown(now_us) {
+            let wait_us = now_us - r.arrival_us;
+            if runtime.trace_sink().enabled() {
+                runtime.trace_sink().emit(TraceEvent::JobShed {
+                    t: now_us * cyc,
+                    job: r.id,
+                    tenant: r.tenant.into(),
+                    queued: wait_us * cyc,
+                });
+            }
             outcomes[r.id as usize] = Some(RequestOutcome {
                 id: r.id,
                 tenant: r.tenant,
@@ -164,6 +193,7 @@ pub fn serve_requests(
                 end_us: now_us,
                 latency_us: 0,
                 violated: false,
+                shed_wait_us: wait_us,
                 reconfig_bits: 0,
                 checksum: 0,
                 energy_j: 0.0,
@@ -245,6 +275,7 @@ pub fn serve_requests(
                 end_us,
                 latency_us: end_us - r.arrival_us,
                 violated: end_us > r.deadline_us,
+                shed_wait_us: 0,
                 reconfig_bits: served.reconfig_bits,
                 checksum: served.checksum,
                 energy_j: served.energy_j,

@@ -35,6 +35,10 @@ pub struct RequestOutcome {
     pub latency_us: u64,
     /// `true` if the request was served but finished past its deadline.
     pub violated: bool,
+    /// Queue residency at the shed instant (µs; 0 when served) — how late
+    /// the shed decision fell. Schema addition for `shed_wait_p99`
+    /// reporting; deliberately NOT folded into [`ServiceReport::digest`].
+    pub shed_wait_us: u64,
     /// Bits the switch before this request rewrote (full bitstream on an
     /// elastic-pool wake).
     pub reconfig_bits: u64,
@@ -106,6 +110,19 @@ impl ServiceReport {
             .collect();
         l.sort_unstable();
         l
+    }
+
+    /// Queue residencies of the shed requests in µs, sorted ascending —
+    /// the `shed_wait_p99` input (how late the shed decisions fell).
+    pub fn sorted_shed_waits_us(&self) -> Vec<u64> {
+        let mut w: Vec<u64> = self
+            .outcomes
+            .iter()
+            .filter(|o| o.shed)
+            .map(|o| o.shed_wait_us)
+            .collect();
+        w.sort_unstable();
+        w
     }
 
     /// Served requests that met their deadline, as a fraction of all

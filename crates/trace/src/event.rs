@@ -1,0 +1,204 @@
+//! The structured event model: job lifecycle, array state intervals,
+//! energy attribution, and counters — all stamped in virtual cycles.
+
+/// What an array is doing over one state interval.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ArrayPhase {
+    /// Powered but unused (leakage at full rate unless the policy gates).
+    Idle,
+    /// Power-gated between jobs or by the elastic pool (leakage scaled by
+    /// the gating factor; configuration lost under non-retentive gating).
+    Gated,
+    /// Rewriting configuration SRAM for an incoming kernel.
+    Reconfig,
+    /// The full-rewrite reconfiguration of a job that woke a gated array —
+    /// same mechanics as [`ArrayPhase::Reconfig`], tagged so gating cost
+    /// attribution survives into the trace.
+    Waking,
+    /// Executing a job.
+    Exec,
+}
+
+impl ArrayPhase {
+    /// Stable lower-case tag used as the Chrome-trace event name.
+    pub fn tag(self) -> &'static str {
+        match self {
+            ArrayPhase::Idle => "idle",
+            ArrayPhase::Gated => "gated",
+            ArrayPhase::Reconfig => "reconfig",
+            ArrayPhase::Waking => "waking",
+            ArrayPhase::Exec => "exec",
+        }
+    }
+}
+
+/// Per-job energy attribution (deltas of the owning array's account over
+/// the job's reconfig + exec window).
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct EnergyBreakdown {
+    /// Switching energy (J).
+    pub dynamic_j: f64,
+    /// Leakage energy (J).
+    pub static_j: f64,
+    /// Configuration-rewrite energy (J).
+    pub reconfig_j: f64,
+}
+
+impl EnergyBreakdown {
+    /// Sum of all three components.
+    pub fn total_j(&self) -> f64 {
+        self.dynamic_j + self.static_j + self.reconfig_j
+    }
+}
+
+/// One deterministic trace event. All `t`/`start`/`end` stamps are virtual
+/// cycles (see the crate docs for the stamping rule).
+#[derive(Debug, Clone, PartialEq)]
+pub enum TraceEvent {
+    /// Session-level metadata (mode, backend, policy, …). Emitted once per
+    /// serve/stream session; the exporter keeps the first value per key.
+    Meta {
+        /// Metadata key.
+        key: &'static str,
+        /// Metadata value.
+        value: String,
+    },
+    /// A job entered the system (batch submission or service arrival).
+    JobEnqueue {
+        /// Arrival cycle.
+        t: u64,
+        /// Job id.
+        job: u32,
+        /// Owning tenant (0 in batch mode).
+        tenant: u32,
+        /// Service-class tag (`"quality"`, `"deadline"`, …).
+        class: &'static str,
+        /// Payload kind tag (`"dct"`, `"me"`, `"encode"`).
+        kind: &'static str,
+        /// Absolute deadline cycle (0 when the class carries none).
+        deadline: u64,
+    },
+    /// Admission control accepted the job into the ready queue.
+    JobAdmit {
+        /// Admission cycle.
+        t: u64,
+        /// Job id.
+        job: u32,
+    },
+    /// Admission control shed the job after `queued` cycles of residency.
+    JobShed {
+        /// Shed cycle.
+        t: u64,
+        /// Job id.
+        job: u32,
+        /// Owning tenant.
+        tenant: u32,
+        /// Queue residency at the shed instant (cycles).
+        queued: u64,
+    },
+    /// The scheduler bound the job to an array (reconfiguration starts
+    /// at this instant).
+    JobSchedule {
+        /// Schedule cycle (= reconfig start).
+        t: u64,
+        /// Job id.
+        job: u32,
+        /// Target array.
+        array: u32,
+        /// Compiled kernel name.
+        kernel: String,
+        /// Kernel netlist fingerprint (32 hex digits).
+        fingerprint: String,
+    },
+    /// The job finished executing.
+    JobComplete {
+        /// Completion cycle.
+        t: u64,
+        /// Job id.
+        job: u32,
+        /// Output checksum (backend-independent).
+        checksum: u64,
+        /// Energy attributed to this job's reconfig + exec window.
+        energy: EnergyBreakdown,
+    },
+    /// One array spent `[start, end)` in `phase`. Emission skips empty
+    /// intervals; per array the intervals tile the session gap-free.
+    ArrayInterval {
+        /// Array id.
+        array: u32,
+        /// State over the interval.
+        phase: ArrayPhase,
+        /// First cycle of the interval.
+        start: u64,
+        /// One past the last cycle of the interval.
+        end: u64,
+        /// Job occupying the array (reconfig/waking/exec phases).
+        job: Option<u32>,
+        /// Kernel loaded during the interval, when known.
+        kernel: Option<String>,
+    },
+    /// Battery trajectory sample after a drain.
+    BatteryLevel {
+        /// Sample cycle.
+        t: u64,
+        /// Remaining charge (J).
+        charge_j: f64,
+    },
+    /// Monotone counter sample (cache hits/misses, DiffMatrix probes, …).
+    Counter {
+        /// Sample cycle.
+        t: u64,
+        /// Counter name.
+        name: &'static str,
+        /// Cumulative value at `t` (session-relative).
+        value: u64,
+    },
+}
+
+impl TraceEvent {
+    /// Stable tag naming the event kind (the `kind` key of the pinned
+    /// trace-file schema).
+    pub fn kind_tag(&self) -> &'static str {
+        match self {
+            TraceEvent::Meta { .. } => "meta",
+            TraceEvent::JobEnqueue { .. } => "enqueue",
+            TraceEvent::JobAdmit { .. } => "admit",
+            TraceEvent::JobShed { .. } => "shed",
+            TraceEvent::JobSchedule { .. } => "schedule",
+            TraceEvent::JobComplete { .. } => "complete",
+            TraceEvent::ArrayInterval { .. } => "interval",
+            TraceEvent::BatteryLevel { .. } => "battery",
+            TraceEvent::Counter { .. } => "counter",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn phase_tags_are_stable() {
+        let tags: Vec<&str> = [
+            ArrayPhase::Idle,
+            ArrayPhase::Gated,
+            ArrayPhase::Reconfig,
+            ArrayPhase::Waking,
+            ArrayPhase::Exec,
+        ]
+        .iter()
+        .map(|p| p.tag())
+        .collect();
+        assert_eq!(tags, ["idle", "gated", "reconfig", "waking", "exec"]);
+    }
+
+    #[test]
+    fn breakdown_totals_sum_components() {
+        let e = EnergyBreakdown {
+            dynamic_j: 1.0,
+            static_j: 0.25,
+            reconfig_j: 0.5,
+        };
+        assert_eq!(e.total_j(), 1.75);
+    }
+}

@@ -3,8 +3,11 @@
 //!
 //! Built for latency distributions: E13 (`stream_serve`) folds served
 //! request latencies through it for the p50/p90/p99 lines in
-//! `BENCH_stream.json`, and `tests/stream_serve.rs` gates the
-//! EDF-vs-FIFO comparison on the same definition. Values land in
+//! `BENCH_stream.json`, `tests/stream_serve.rs` gates the EDF-vs-FIFO
+//! comparison on the same definition, and the [`crate::MetricsRegistry`]
+//! uses it for its histogram slots. It lives here (re-exported as
+//! `dsra_bench::hist`) so trace consumers below the bench layer can
+//! summarise distributions without a dependency cycle. Values land in
 //! `value / bucket_width` (the last bucket catches everything beyond the
 //! range); percentiles report a bucket's inclusive upper bound, clamped
 //! to the exact maximum recorded, so `bucket_width == 1` reproduces exact

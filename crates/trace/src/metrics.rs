@@ -1,0 +1,147 @@
+//! A small metrics registry: named counters, gauges, and histograms in
+//! insertion order, with a deterministic text rendering.
+//!
+//! Post-processing (`trace_report`) assembles its summary through one of
+//! these so every number it prints comes from a named, inspectable slot;
+//! tests read the same slots back instead of scraping stdout.
+
+use crate::hist::Histogram;
+
+/// Insertion-ordered counters (`u64`, monotone), gauges (`f64`), and
+/// [`Histogram`]s. Lookup is linear — registries hold tens of entries.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct MetricsRegistry {
+    counters: Vec<(String, u64)>,
+    gauges: Vec<(String, f64)>,
+    hists: Vec<(String, Histogram)>,
+}
+
+impl MetricsRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        MetricsRegistry::default()
+    }
+
+    /// Adds `delta` to the named counter, creating it at 0 first.
+    pub fn count(&mut self, name: &str, delta: u64) {
+        match self.counters.iter_mut().find(|(n, _)| n == name) {
+            Some((_, v)) => *v += delta,
+            None => self.counters.push((name.to_owned(), delta)),
+        }
+    }
+
+    /// Current value of a counter (0 when absent).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters
+            .iter()
+            .find(|(n, _)| n == name)
+            .map_or(0, |(_, v)| *v)
+    }
+
+    /// Sets the named gauge, creating or overwriting it.
+    pub fn set_gauge(&mut self, name: &str, value: f64) {
+        match self.gauges.iter_mut().find(|(n, _)| n == name) {
+            Some((_, v)) => *v = value,
+            None => self.gauges.push((name.to_owned(), value)),
+        }
+    }
+
+    /// Current value of a gauge.
+    pub fn gauge(&self, name: &str) -> Option<f64> {
+        self.gauges.iter().find(|(n, _)| n == name).map(|(_, v)| *v)
+    }
+
+    /// The named histogram, created with the given shape on first use.
+    /// The shape arguments are ignored on later calls.
+    pub fn hist_mut(&mut self, name: &str, bucket_width: u64, buckets: usize) -> &mut Histogram {
+        if !self.hists.iter().any(|(n, _)| n == name) {
+            self.hists
+                .push((name.to_owned(), Histogram::new(bucket_width, buckets)));
+        }
+        let (_, h) = self
+            .hists
+            .iter_mut()
+            .find(|(n, _)| n == name)
+            .expect("histogram just inserted");
+        h
+    }
+
+    /// Read-only access to a histogram.
+    pub fn hist(&self, name: &str) -> Option<&Histogram> {
+        self.hists.iter().find(|(n, _)| n == name).map(|(_, h)| h)
+    }
+
+    /// Registered counter names in insertion order.
+    pub fn counter_names(&self) -> impl Iterator<Item = &str> {
+        self.counters.iter().map(|(n, _)| n.as_str())
+    }
+
+    /// Deterministic text rendering: counters, gauges (6 decimals), then
+    /// histogram percentiles, each in insertion order.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for (n, v) in &self.counters {
+            out.push_str(&format!("{n} = {v}\n"));
+        }
+        for (n, v) in &self.gauges {
+            out.push_str(&format!("{n} = {v:.6}\n"));
+        }
+        for (n, h) in &self.hists {
+            out.push_str(&format!(
+                "{n}: n={} p50={} p90={} p99={} max={}\n",
+                h.count(),
+                h.p50(),
+                h.p90(),
+                h.p99(),
+                h.max()
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate_and_read_back() {
+        let mut m = MetricsRegistry::new();
+        m.count("served", 3);
+        m.count("served", 2);
+        assert_eq!(m.counter("served"), 5);
+        assert_eq!(m.counter("absent"), 0);
+    }
+
+    #[test]
+    fn gauges_overwrite_and_histograms_keep_their_shape() {
+        let mut m = MetricsRegistry::new();
+        m.set_gauge("util_pct", 10.0);
+        m.set_gauge("util_pct", 62.5);
+        assert_eq!(m.gauge("util_pct"), Some(62.5));
+        assert_eq!(m.gauge("absent"), None);
+        m.hist_mut("queue", 1, 64).record_all([5, 9, 12]);
+        // Shape arguments are ignored after creation.
+        m.hist_mut("queue", 999, 1).record(7);
+        let h = m.hist("queue").expect("queue histogram");
+        assert_eq!(h.count(), 4);
+        assert_eq!(h.max(), 12);
+    }
+
+    #[test]
+    fn render_is_insertion_ordered_and_deterministic() {
+        let mut m = MetricsRegistry::new();
+        m.count("zebra", 1);
+        m.count("alpha", 2);
+        m.set_gauge("pct", 50.0);
+        m.hist_mut("lat", 1, 8).record(3);
+        let r = m.render();
+        assert_eq!(r, m.render());
+        let zebra = r.find("zebra = 1").expect("zebra line");
+        let alpha = r.find("alpha = 2").expect("alpha line");
+        assert!(zebra < alpha, "insertion order, not sorted order");
+        assert!(r.contains("pct = 50.000000"));
+        assert!(r.contains("lat: n=1 p50=3 p90=3 p99=3 max=3"));
+        assert_eq!(m.counter_names().collect::<Vec<_>>(), ["zebra", "alpha"]);
+    }
+}

@@ -66,6 +66,18 @@ pub enum ServiceClass {
     Background,
 }
 
+impl ServiceClass {
+    /// Stable lower-case tag (trace events, reports).
+    pub fn tag(&self) -> &'static str {
+        match self {
+            ServiceClass::Quality => "quality",
+            ServiceClass::LowPower => "low-power",
+            ServiceClass::Deadline(_) => "deadline",
+            ServiceClass::Background => "background",
+        }
+    }
+}
+
 /// One job in the mix.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct JobSpec {

@@ -21,6 +21,8 @@
 //! * [`backend`] — execution backends behind one contract: the cycle-level
 //!   array simulator, a pure-software golden reference, and the
 //!   differential check mode that diffs them per job;
+//! * [`trace`] — deterministic virtual-time tracing: job-lifecycle events,
+//!   array state intervals, metrics registry, Chrome-trace exporter;
 //! * [`runtime`] — the multi-array SoC runtime: content-addressed bitstream
 //!   cache, diff-aware scheduling, energy-aware serving, worker-thread job
 //!   service;
@@ -54,4 +56,5 @@ pub use dsra_runtime as runtime;
 pub use dsra_service as service;
 pub use dsra_sim as sim;
 pub use dsra_tech as tech;
+pub use dsra_trace as trace;
 pub use dsra_video as video;

@@ -84,6 +84,26 @@ fn experiment_index_references_resolve() {
         design.contains("## 10. Backend contract"),
         "DESIGN.md must document the dsra-backend contract (§10)"
     );
+    assert!(
+        design.contains("## 11. Observability"),
+        "DESIGN.md must document the dsra-trace layer (§11)"
+    );
+    for anchor in [
+        "TraceSink",
+        "NoopSink",
+        "EventLog",
+        "ArrayInterval",
+        "EnergyBreakdown",
+        "chrome_trace",
+        "MetricsRegistry",
+        "shed_wait_p99_us",
+        "--trace <file>",
+    ] {
+        assert!(
+            design.contains(anchor),
+            "DESIGN.md §11 must cover `{anchor}`"
+        );
+    }
     for anchor in [
         "ArrayBackend",
         "GoldenBackend",
@@ -124,6 +144,10 @@ fn experiment_index_references_resolve() {
         readme.contains("`dsra-backend`"),
         "README crate map must list dsra-backend"
     );
+    assert!(
+        readme.contains("`dsra-trace`"),
+        "README crate map must list dsra-trace"
+    );
 
     for bin in [
         "table1",
@@ -137,6 +161,7 @@ fn experiment_index_references_resolve() {
         "soc_serve",
         "battery_serve",
         "stream_serve",
+        "trace_report",
     ] {
         let path = root.join(format!("crates/bench/src/bin/{bin}.rs"));
         assert!(path.is_file(), "README indexes missing binary {bin}");
