@@ -17,7 +17,7 @@
 
 use dsra_bench::{
     banner, discharge_runtime, install_trace_arg, json_flag, parse_f64, parse_u64,
-    write_chrome_trace, write_json_summary, DischargeOutcome, JsonValue,
+    write_chrome_trace, write_json_summary, write_metrics_arg, DischargeOutcome, JsonValue,
 };
 use dsra_runtime::{
     DefaultPolicy, EnergyAwarePolicy, NaivePolicy, PowerConfig, RuntimeConfig, SchedulePolicy,
@@ -114,30 +114,29 @@ fn main() {
         "E12 gate: energy-aware must serve strictly more jobs per charge"
     );
 
-    if json_flag() {
-        let mut metrics: Vec<(String, JsonValue)> = vec![
-            ("battery_capacity_j".into(), JsonValue::Num(capacity)),
-            ("chunk_jobs".into(), JsonValue::Int(u64::from(chunk))),
-            ("low_battery_pct".into(), JsonValue::Int(u64::from(low_pct))),
-        ];
-        for r in &runs {
-            let key = r.policy.replace('-', "_");
-            metrics.push((
-                format!("{key}_jobs_per_charge"),
-                JsonValue::Int(r.jobs_served as u64),
-            ));
-            metrics.push((
-                format!("{key}_serves"),
-                JsonValue::Int(r.reports.len() as u64),
-            ));
-            metrics.push((format!("{key}_total_j"), JsonValue::Num(r.total_j)));
-        }
+    let mut metrics: Vec<(String, JsonValue)> = vec![
+        ("battery_capacity_j".into(), JsonValue::Num(capacity)),
+        ("chunk_jobs".into(), JsonValue::Int(u64::from(chunk))),
+        ("low_battery_pct".into(), JsonValue::Int(u64::from(low_pct))),
+    ];
+    for r in &runs {
+        let key = r.policy.replace('-', "_");
         metrics.push((
-            "energy_aware_gain_pct".into(),
-            JsonValue::Num(
-                (energy.jobs_served as f64 / naive.jobs_served.max(1) as f64 - 1.0) * 100.0,
-            ),
+            format!("{key}_jobs_per_charge"),
+            JsonValue::Int(r.jobs_served as u64),
         ));
+        metrics.push((
+            format!("{key}_serves"),
+            JsonValue::Int(r.reports.len() as u64),
+        ));
+        metrics.push((format!("{key}_total_j"), JsonValue::Num(r.total_j)));
+    }
+    metrics.push((
+        "energy_aware_gain_pct".into(),
+        JsonValue::Num((energy.jobs_served as f64 / naive.jobs_served.max(1) as f64 - 1.0) * 100.0),
+    ));
+    if json_flag() {
         write_json_summary("battery_serve", "E12", &metrics);
     }
+    write_metrics_arg(&metrics);
 }

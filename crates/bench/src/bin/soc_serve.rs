@@ -13,7 +13,10 @@
 //! scheduler plans deterministically and the worker threads only execute
 //! plans — which is exactly what the `outcome digest` line pins.
 
-use dsra_bench::{arg_value, banner, install_trace_arg, json_flag, parse_u64, write_chrome_trace};
+use dsra_bench::{
+    arg_value, banner, install_trace_arg, json_flag, parse_u64, write_chrome_trace,
+    write_metrics_arg, JsonValue,
+};
 use dsra_runtime::{BackendKind, RuntimeConfig, SocRuntime};
 use dsra_video::{generate_job_mix, JobMixConfig};
 
@@ -81,4 +84,43 @@ fn main() {
         .expect("write BENCH_runtime.json");
         println!("wrote BENCH_runtime.json");
     }
+    // `--metrics <file>`: the scalar view of the same report in
+    // Prometheus text exposition (counters for counts, gauges for rates).
+    let metrics: Vec<(String, JsonValue)> = vec![
+        ("jobs".into(), JsonValue::Int(report.jobs as u64)),
+        ("dct_jobs".into(), JsonValue::Int(report.dct_jobs as u64)),
+        ("me_jobs".into(), JsonValue::Int(report.me_jobs as u64)),
+        (
+            "encode_jobs".into(),
+            JsonValue::Int(report.encode_jobs as u64),
+        ),
+        (
+            "makespan_cycles".into(),
+            JsonValue::Int(report.makespan_cycles),
+        ),
+        (
+            "jobs_per_megacycle".into(),
+            JsonValue::Num(report.jobs_per_megacycle),
+        ),
+        (
+            "cache_lookups".into(),
+            JsonValue::Int(report.cache.lookups()),
+        ),
+        ("cache_hits".into(), JsonValue::Int(report.cache.hits)),
+        ("cache_misses".into(), JsonValue::Int(report.cache.misses)),
+        ("cache_hit_rate".into(), JsonValue::Num(hit_rate)),
+        (
+            "total_reconfig_bits".into(),
+            JsonValue::Int(report.total_reconfig_bits),
+        ),
+        (
+            "reconfig_events".into(),
+            JsonValue::Int(report.reconfig_events as u64),
+        ),
+        (
+            "energy_total_j".into(),
+            JsonValue::Num(report.energy.total_j()),
+        ),
+    ];
+    write_metrics_arg(&metrics);
 }

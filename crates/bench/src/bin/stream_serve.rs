@@ -9,7 +9,14 @@
 //! cargo run -p dsra-bench --release --bin stream_serve -- \
 //!     --tenants 4 --duration 20000 --rate 900 --da 2 --me 2 \
 //!     --policy both --seed 0x57EA4AED --json
+//! cargo run -p dsra-bench --release --bin stream_serve -- --monitor --json
 //! ```
+//!
+//! `--monitor` installs the online SLO monitor on every session, prints
+//! its dashboard after each, appends the `monitor-shed` closed-loop
+//! policy to the run list, and adds the `monitor_*` alert keys to the
+//! `--json` summary. `--metrics <file>` dumps the summary metrics in
+//! Prometheus text exposition.
 //!
 //! Output is byte-identical across runs with the same arguments: the
 //! trace is a pure function of its config, the dispatcher advances a
@@ -17,13 +24,17 @@
 //! which is exactly what each policy's `outcome digest` line pins.
 
 use dsra_bench::{
-    arg_value, banner, install_trace_arg, json_flag, latency_histogram, parse_u64,
-    shed_wait_histogram, stream_metrics, write_chrome_trace, write_json_summary, JsonValue,
+    arg_value, banner, json_flag, latency_histogram, monitor_metrics, parse_u64,
+    shed_wait_histogram, stream_metrics, write_chrome_trace, write_json_summary, write_metrics_arg,
+    JsonValue,
 };
+use dsra_monitor::{render_dashboard, MonitorHandle};
 use dsra_runtime::{RuntimeConfig, SocRuntime};
 use dsra_service::{
-    serve_trace, standard_tenants, AdmitPolicy, ServiceConfig, ServiceReport, TraceConfig,
+    install_monitor, serve_trace, standard_tenants, AdmitPolicy, ServiceConfig, ServiceReport,
+    TraceConfig,
 };
+use dsra_trace::{EventLog, NoopSink, TraceSink};
 
 fn main() {
     let tenants = parse_u64("--tenants", 4) as u16;
@@ -51,13 +62,18 @@ fn main() {
         duration_us,
         seed,
     };
-    let policies: Vec<AdmitPolicy> = match policy_arg.as_str() {
+    let monitored = std::env::args().any(|a| a == "--monitor");
+    let mut policies: Vec<AdmitPolicy> = match policy_arg.as_str() {
         "both" => vec![AdmitPolicy::FifoUnbounded, AdmitPolicy::EdfShed],
         name => vec![AdmitPolicy::from_name(name)
-            .unwrap_or_else(|| panic!("unknown --policy {name} (fifo | edf | both)"))],
+            .unwrap_or_else(|| panic!("unknown --policy {name} (fifo | edf | monitor | both)"))],
     };
+    if monitored && !policies.contains(&AdmitPolicy::MonitorShed) {
+        policies.push(AdmitPolicy::MonitorShed);
+    }
 
     let mut runs: Vec<ServiceReport> = Vec::new();
+    let mut last_monitor: Option<MonitorHandle> = None;
     for (i, policy) in policies.iter().enumerate() {
         let mut runtime = SocRuntime::new(RuntimeConfig {
             da_arrays: da,
@@ -68,8 +84,24 @@ fn main() {
         // `--trace <file>` records the last policy's session (the one the
         // E13 gate cares about) as a Chrome trace-event document.
         let trace_path = if i + 1 == policies.len() {
-            install_trace_arg(&mut runtime)
+            arg_value("--trace")
         } else {
+            None
+        };
+        // The monitor (and `monitor-shed`) needs the online monitor
+        // installed as a tee over whatever the session records into.
+        let use_monitor = monitored || *policy == AdmitPolicy::MonitorShed;
+        let monitor = if use_monitor {
+            let inner: Box<dyn TraceSink> = if trace_path.is_some() {
+                Box::new(EventLog::new())
+            } else {
+                Box::new(NoopSink)
+            };
+            Some(install_monitor(&mut runtime, &trace.tenants, inner))
+        } else {
+            if trace_path.is_some() {
+                runtime.set_trace_sink(Box::new(EventLog::new()));
+            }
             None
         };
         let report = serve_trace(
@@ -77,11 +109,19 @@ fn main() {
             &trace,
             &ServiceConfig {
                 policy: *policy,
+                monitor: monitor.clone(),
                 ..Default::default()
             },
         )
         .expect("streaming session");
         print!("{}", report.render());
+        if let Some(handle) = &monitor {
+            print!(
+                "{}",
+                render_dashboard(&handle.final_snapshot(), &handle.alert_log())
+            );
+            last_monitor = Some(handle.clone());
+        }
         let h = latency_histogram(&report);
         println!(
             "serve latency      : p50 {} µs, p90 {} µs, p99 {} µs, max {} µs",
@@ -129,17 +169,24 @@ fn main() {
         }
     }
 
+    let mut metrics: Vec<(String, JsonValue)> = vec![
+        ("tenants".into(), JsonValue::Int(u64::from(tenants))),
+        ("duration_us".into(), JsonValue::Int(duration_us)),
+        ("rate_per_ms".into(), JsonValue::Int(rate_per_ms)),
+        ("da_arrays".into(), JsonValue::Int(da as u64)),
+        ("me_arrays".into(), JsonValue::Int(me as u64)),
+    ];
+    for report in &runs {
+        metrics.extend(stream_metrics(report));
+    }
+    if let Some(handle) = &last_monitor {
+        metrics.extend(monitor_metrics(
+            &handle.final_snapshot(),
+            &handle.alert_log(),
+        ));
+    }
     if json_flag() {
-        let mut metrics: Vec<(String, JsonValue)> = vec![
-            ("tenants".into(), JsonValue::Int(u64::from(tenants))),
-            ("duration_us".into(), JsonValue::Int(duration_us)),
-            ("rate_per_ms".into(), JsonValue::Int(rate_per_ms)),
-            ("da_arrays".into(), JsonValue::Int(da as u64)),
-            ("me_arrays".into(), JsonValue::Int(me as u64)),
-        ];
-        for report in &runs {
-            metrics.extend(stream_metrics(report));
-        }
         write_json_summary("stream", "E13", &metrics);
     }
+    write_metrics_arg(&metrics);
 }

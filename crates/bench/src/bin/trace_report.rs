@@ -6,16 +6,26 @@
 //! ```sh
 //! cargo run -p dsra-bench --release --bin stream_serve -- --trace trace.json
 //! cargo run -p dsra-bench --release --bin trace_report -- trace.json --top 8
+//! cargo run -p dsra-bench --release --bin trace_report -- trace.json --slo
 //! ```
+//!
+//! `--slo` replays the recorded event stream through the offline
+//! `dsra-monitor` (geometry restored from the document's `monitor_*`
+//! metadata) and prints the per-tenant error-budget timeline plus the
+//! final dashboard — the post-hoc view of exactly the windows the online
+//! monitor sealed (DESIGN.md §12).
 //!
 //! The report is a pure function of the trace document, which is itself
 //! byte-identical per seed — so the breakdown is too.
 
-use dsra_bench::{analyze_chrome_trace, banner, parse_json, parse_u64};
+use dsra_bench::{
+    analyze_chrome_trace, banner, events_from_chrome, parse_json, parse_u64, slo_config_from_meta,
+};
+use dsra_monitor::{render_dashboard, render_timeline, Monitor};
 
 fn main() {
     let path = std::env::args().nth(1).unwrap_or_else(|| {
-        eprintln!("usage: trace_report <trace.json> [--top N]");
+        eprintln!("usage: trace_report <trace.json> [--top N] [--slo]");
         std::process::exit(2);
     });
     let top_k = parse_u64("--top", 8) as usize;
@@ -25,4 +35,16 @@ fn main() {
     let analysis =
         analyze_chrome_trace(&doc).unwrap_or_else(|e| panic!("{path} is not a trace: {e}"));
     print!("{}", analysis.render(top_k));
+    if std::env::args().any(|a| a == "--slo") {
+        let events =
+            events_from_chrome(&doc).unwrap_or_else(|e| panic!("{path} is not a trace: {e}"));
+        let cfg = slo_config_from_meta(&analysis.meta);
+        let monitor = Monitor::replay(cfg, events.iter());
+        println!("== error-budget timeline ==");
+        print!("{}", render_timeline(monitor.timeline()));
+        print!(
+            "{}",
+            render_dashboard(&monitor.final_snapshot(), monitor.alert_log())
+        );
+    }
 }

@@ -1,0 +1,307 @@
+//! Key-by-key comparison of two `BENCH_*.json` summaries — the library
+//! behind the `bench_diff` binary and the CI baseline-diff step.
+//!
+//! The bench files mix three kinds of keys and a useful diff must treat
+//! them differently:
+//!
+//! * **timing** keys (`*_ms` — wall-clock phase timings) vary run to run
+//!   on any machine; they are *reported* but never fail the diff;
+//! * **exact** keys — digests, strings, and integer-valued counts — pin
+//!   deterministic virtual-time behaviour; *any* change is a regression;
+//! * **float** keys (energy, percentages, ratios) are deterministic too,
+//!   but are compared with a relative threshold so a legitimate
+//!   last-decimal formatting change does not read as a regression.
+//!
+//! Missing or extra keys are always regressions: the JSON schema is part
+//! of the contract (`json_contract.rs` pins it per file; this pins it
+//! *across* revisions).
+
+use crate::json::Json;
+
+/// How a key is compared (derived from its name and value shapes).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum KeyClass {
+    /// Wall-clock timing (`*_ms`): reported, never fails.
+    Timing,
+    /// Digest/string/integer count: any change fails.
+    Exact,
+    /// Fractional number: fails beyond the relative threshold.
+    Float,
+}
+
+/// One compared key.
+#[derive(Debug, Clone)]
+pub struct DiffEntry {
+    /// Dotted path of the key (`energy.total_j`, `metrics.fifo_digest`).
+    pub key: String,
+    /// Comparison class applied.
+    pub class: KeyClass,
+    /// Baseline value, rendered.
+    pub old: String,
+    /// Candidate value, rendered.
+    pub new: String,
+    /// Relative change for numeric keys (`|new−old| / max(|old|, ε)`).
+    pub rel_change: Option<f64>,
+    /// Whether this key regressed under its class's rule.
+    pub failed: bool,
+}
+
+/// The full comparison of two summaries.
+#[derive(Debug, Clone)]
+pub struct DiffReport {
+    /// Every key present in both documents, in baseline order.
+    pub entries: Vec<DiffEntry>,
+    /// Keys in the baseline but not the candidate (always a regression).
+    pub missing: Vec<String>,
+    /// Keys in the candidate but not the baseline (always a regression).
+    pub extra: Vec<String>,
+    /// Relative threshold applied to [`KeyClass::Float`] keys.
+    pub threshold: f64,
+}
+
+impl DiffReport {
+    /// `true` when any key regressed (class rule violated, or schema
+    /// drift via missing/extra keys).
+    pub fn regressed(&self) -> bool {
+        !self.missing.is_empty() || !self.extra.is_empty() || self.entries.iter().any(|e| e.failed)
+    }
+
+    /// Keys that changed at all (including tolerated timing/float drift).
+    pub fn changed(&self) -> usize {
+        self.entries.iter().filter(|e| e.old != e.new).count()
+    }
+
+    /// Deterministic human-readable rendering: one line per changed or
+    /// failed key, then schema drift, then a verdict line.
+    pub fn render(&self) -> String {
+        let mut s = String::new();
+        for e in &self.entries {
+            if e.old == e.new {
+                continue;
+            }
+            let verdict = if e.failed {
+                "FAIL"
+            } else {
+                match e.class {
+                    KeyClass::Timing => "ok (timing)",
+                    KeyClass::Float => "ok (within threshold)",
+                    KeyClass::Exact => "ok",
+                }
+            };
+            let rel = e
+                .rel_change
+                .map(|r| format!(" rel={:.6}", r))
+                .unwrap_or_default();
+            s.push_str(&format!(
+                "{verdict:>21}  {}: {} -> {}{rel}\n",
+                e.key, e.old, e.new
+            ));
+        }
+        for k in &self.missing {
+            s.push_str(&format!("{:>21}  {k}: missing in candidate\n", "FAIL"));
+        }
+        for k in &self.extra {
+            s.push_str(&format!("{:>21}  {k}: not in baseline\n", "FAIL"));
+        }
+        let failed = self.entries.iter().filter(|e| e.failed).count()
+            + self.missing.len()
+            + self.extra.len();
+        s.push_str(&format!(
+            "{} keys compared, {} changed, {} failed (threshold {:.6})\n",
+            self.entries.len(),
+            self.changed(),
+            failed,
+            self.threshold
+        ));
+        s.push_str(if self.regressed() {
+            "verdict: REGRESSED\n"
+        } else {
+            "verdict: OK\n"
+        });
+        s
+    }
+}
+
+/// Flattens a parsed document to `(dotted.path, leaf)` pairs in source
+/// order; array elements use their index as a path segment.
+pub fn flatten(doc: &Json) -> Vec<(String, Json)> {
+    let mut out = Vec::new();
+    walk(doc, String::new(), &mut out);
+    out
+}
+
+fn walk(v: &Json, path: String, out: &mut Vec<(String, Json)>) {
+    let join = |p: &str, seg: &str| {
+        if p.is_empty() {
+            seg.to_owned()
+        } else {
+            format!("{p}.{seg}")
+        }
+    };
+    match v {
+        Json::Obj(fields) => {
+            for (k, child) in fields {
+                walk(child, join(&path, k), out);
+            }
+        }
+        Json::Arr(items) => {
+            for (i, child) in items.iter().enumerate() {
+                walk(child, join(&path, &i.to_string()), out);
+            }
+        }
+        leaf => out.push((path, leaf.clone())),
+    }
+}
+
+fn classify(key: &str, old: &Json, new: &Json) -> KeyClass {
+    let last = key.rsplit('.').next().unwrap_or(key);
+    if last.ends_with("_ms") {
+        return KeyClass::Timing;
+    }
+    match (old, new) {
+        (Json::Num(a), Json::Num(b)) if a.fract() == 0.0 && b.fract() == 0.0 => KeyClass::Exact,
+        (Json::Num(_), Json::Num(_)) => KeyClass::Float,
+        _ => KeyClass::Exact,
+    }
+}
+
+fn render_leaf(v: &Json) -> String {
+    match v {
+        Json::Null => "null".to_owned(),
+        Json::Bool(b) => b.to_string(),
+        Json::Num(n) if n.fract() == 0.0 && n.abs() < 1e15 => format!("{}", *n as i64),
+        Json::Num(n) => format!("{n:.6}"),
+        Json::Str(s) => s.clone(),
+        other => format!("{other:?}"),
+    }
+}
+
+/// Compares two parsed summaries key by key.
+///
+/// `threshold` is the relative change tolerated on [`KeyClass::Float`]
+/// keys (e.g. `0.01` = 1 %).
+pub fn diff_documents(old: &Json, new: &Json, threshold: f64) -> DiffReport {
+    let old_flat = flatten(old);
+    let new_flat = flatten(new);
+    let mut entries = Vec::new();
+    let mut missing = Vec::new();
+    for (key, old_v) in &old_flat {
+        let Some((_, new_v)) = new_flat.iter().find(|(k, _)| k == key) else {
+            missing.push(key.clone());
+            continue;
+        };
+        let class = classify(key, old_v, new_v);
+        let rel_change = match (old_v, new_v) {
+            (Json::Num(a), Json::Num(b)) => Some((b - a).abs() / a.abs().max(1e-12)),
+            _ => None,
+        };
+        let failed = match class {
+            KeyClass::Timing => false,
+            KeyClass::Exact => old_v != new_v,
+            KeyClass::Float => rel_change.map(|r| r > threshold).unwrap_or(true),
+        };
+        entries.push(DiffEntry {
+            key: key.clone(),
+            class,
+            old: render_leaf(old_v),
+            new: render_leaf(new_v),
+            rel_change,
+            failed,
+        });
+    }
+    let extra = new_flat
+        .iter()
+        .filter(|(k, _)| !old_flat.iter().any(|(ok, _)| ok == k))
+        .map(|(k, _)| k.clone())
+        .collect();
+    DiffReport {
+        entries,
+        missing,
+        extra,
+        threshold,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json::parse_json;
+
+    fn diff(old: &str, new: &str, threshold: f64) -> DiffReport {
+        diff_documents(
+            &parse_json(old).unwrap(),
+            &parse_json(new).unwrap(),
+            threshold,
+        )
+    }
+
+    #[test]
+    fn identical_documents_pass() {
+        let doc = r#"{"metrics": {"served": 10, "digest": "0xabc", "energy_j": 1.5}}"#;
+        let r = diff(doc, doc, 0.01);
+        assert!(!r.regressed());
+        assert_eq!(r.changed(), 0);
+        assert!(r.render().contains("verdict: OK"));
+    }
+
+    #[test]
+    fn digest_and_count_changes_hard_fail() {
+        let old = r#"{"served": 10, "digest": "0xabc"}"#;
+        for new in [
+            r#"{"served": 11, "digest": "0xabc"}"#,
+            r#"{"served": 10, "digest": "0xdef"}"#,
+        ] {
+            let r = diff(old, new, 0.5);
+            assert!(r.regressed(), "must fail: {new}");
+            assert!(r.render().contains("FAIL"));
+        }
+    }
+
+    #[test]
+    fn floats_respect_the_relative_threshold() {
+        let old = r#"{"energy_j": 100.5}"#;
+        let within = diff(old, r#"{"energy_j": 100.6}"#, 0.01);
+        assert!(!within.regressed());
+        assert_eq!(within.changed(), 1);
+        assert!(within.render().contains("within threshold"));
+        let beyond = diff(old, r#"{"energy_j": 150.5}"#, 0.01);
+        assert!(beyond.regressed());
+    }
+
+    #[test]
+    fn timing_keys_never_fail() {
+        let old = r#"{"phases": {"planning_ms": 20.4, "exec_ms": 500.1}}"#;
+        let new = r#"{"phases": {"planning_ms": 99.9, "exec_ms": 0.25}}"#;
+        let r = diff(old, new, 0.001);
+        assert!(!r.regressed());
+        assert_eq!(r.changed(), 2);
+        assert!(r.render().contains("ok (timing)"));
+    }
+
+    #[test]
+    fn schema_drift_is_a_regression_both_ways() {
+        let old = r#"{"a": 1, "b": 2}"#;
+        let r = diff(old, r#"{"a": 1}"#, 0.01);
+        assert!(r.regressed());
+        assert_eq!(r.missing, vec!["b".to_owned()]);
+        let r = diff(old, r#"{"a": 1, "b": 2, "c": 3}"#, 0.01);
+        assert!(r.regressed());
+        assert_eq!(r.extra, vec!["c".to_owned()]);
+    }
+
+    #[test]
+    fn arrays_flatten_with_indices() {
+        let doc = r#"{"trajectory": [{"job": 0, "charge_j": 9.5}, {"job": 1, "charge_j": 8.25}]}"#;
+        let flat = flatten(&parse_json(doc).unwrap());
+        assert_eq!(flat[0].0, "trajectory.0.job");
+        assert_eq!(flat[3].0, "trajectory.1.charge_j");
+        // An element-count change shows up as missing keys, not a panic.
+        let r = diff(
+            doc,
+            r#"{"trajectory": [{"job": 0, "charge_j": 9.5}]}"#,
+            0.01,
+        );
+        assert!(r.regressed());
+        assert!(r.missing.iter().any(|k| k == "trajectory.1.job"));
+    }
+}

@@ -19,6 +19,7 @@
 
 #![warn(missing_docs)]
 
+pub mod diff;
 pub mod discharge;
 pub mod json;
 pub mod stream;
@@ -33,11 +34,15 @@ use dsra_core::netlist::Netlist;
 use dsra_me::Plane;
 use dsra_sim::{Activity, Simulator};
 
+pub use diff::{diff_documents, DiffReport, KeyClass};
 pub use discharge::{discharge_battery, discharge_runtime, DischargeOutcome};
 pub use hist::Histogram;
 pub use json::{parse_json, Json};
-pub use stream::{latency_histogram, shed_wait_histogram, stream_metrics};
-pub use tracepost::{analyze_chrome_trace, install_trace_arg, write_chrome_trace, TraceAnalysis};
+pub use stream::{latency_histogram, monitor_metrics, shed_wait_histogram, stream_metrics};
+pub use tracepost::{
+    analyze_chrome_trace, events_from_chrome, install_trace_arg, slo_config_from_meta,
+    write_chrome_trace, TraceAnalysis,
+};
 
 /// Deterministic hash-noise planes with a known shift (no displacement
 /// aliasing) — the standard ME workload.
@@ -207,4 +212,34 @@ pub fn write_json_summary<K: AsRef<str>>(tag: &str, experiment: &str, metrics: &
     let path = format!("BENCH_{tag}.json");
     std::fs::write(&path, json_summary(experiment, metrics)).expect("write benchmark summary");
     println!("wrote {path}");
+}
+
+/// Folds a flat metric vec (the same one [`json_summary`] renders) into a
+/// [`dsra_trace::MetricsRegistry`]: integers become counters, floats
+/// become gauges, strings (digests, logs) are skipped. The registry's
+/// `render_prometheus` then gives every experiment binary a
+/// text-exposition dump (`--metrics <file>`) without a second metric
+/// definition to drift.
+pub fn registry_from_metrics<K: AsRef<str>>(
+    metrics: &[(K, JsonValue)],
+) -> dsra_trace::MetricsRegistry {
+    let mut reg = dsra_trace::MetricsRegistry::new();
+    for (key, value) in metrics {
+        match value {
+            JsonValue::Int(v) => reg.count(key.as_ref(), *v),
+            JsonValue::Num(v) => reg.set_gauge(key.as_ref(), *v),
+            JsonValue::Str(_) => {}
+        }
+    }
+    reg
+}
+
+/// Writes `render_prometheus("dsra")` of the metric vec to the path given
+/// by `--metrics <file>`, when the flag is present.
+pub fn write_metrics_arg<K: AsRef<str>>(metrics: &[(K, JsonValue)]) {
+    if let Some(path) = arg_value("--metrics") {
+        let reg = registry_from_metrics(metrics);
+        std::fs::write(&path, reg.render_prometheus("dsra")).expect("write metrics file");
+        println!("wrote {path}");
+    }
 }

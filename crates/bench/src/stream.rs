@@ -3,7 +3,9 @@
 //! and the tier-1 integration gate (`tests/stream_serve.rs`) — so the
 //! artifact, its schema test and the acceptance gate cannot drift apart.
 
+use dsra_monitor::AlertLog;
 use dsra_service::ServiceReport;
+use dsra_trace::HealthSnapshot;
 
 use crate::hist::Histogram;
 use crate::JsonValue;
@@ -82,6 +84,36 @@ pub fn stream_metrics(report: &ServiceReport) -> Vec<(String, JsonValue)> {
         (
             format!("{tag}_digest"),
             JsonValue::Str(format!("{:#018x}", report.digest())),
+        ),
+    ]
+}
+
+/// The monitor metric block of `BENCH_stream.json` (present only under
+/// `--monitor`): window/alert totals from the final [`HealthSnapshot`]
+/// plus the [`AlertLog`] folded to its digest and compact form — enough
+/// to pin same-seed byte-identical alerting without growing the file
+/// with the full log.
+pub fn monitor_metrics(health: &HealthSnapshot, log: &AlertLog) -> Vec<(String, JsonValue)> {
+    vec![
+        (
+            "monitor_windows_sealed".to_owned(),
+            JsonValue::Int(health.windows_sealed),
+        ),
+        (
+            "monitor_alerts_active".to_owned(),
+            JsonValue::Int(u64::from(health.alerts_active)),
+        ),
+        (
+            "monitor_alert_transitions".to_owned(),
+            JsonValue::Int(log.len() as u64),
+        ),
+        (
+            "monitor_alert_digest".to_owned(),
+            JsonValue::Str(format!("{:#018x}", log.digest())),
+        ),
+        (
+            "monitor_alert_log".to_owned(),
+            JsonValue::Str(log.compact()),
         ),
     ]
 }

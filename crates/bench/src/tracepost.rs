@@ -10,8 +10,11 @@
 
 use std::collections::BTreeMap;
 
+use dsra_monitor::MonitorConfig;
 use dsra_runtime::SocRuntime;
-use dsra_trace::{chrome_trace, EventLog, MetricsRegistry};
+use dsra_trace::{
+    chrome_trace, ArrayPhase, EnergyBreakdown, EventLog, MetricsRegistry, TraceEvent,
+};
 
 use crate::json::Json;
 
@@ -449,11 +452,210 @@ impl TraceAnalysis {
     }
 }
 
+// `TraceEvent` carries `&'static str` class/kind/counter tags; a document
+// round-trip has to map the known vocabulary back onto those statics.
+fn static_class(s: &str) -> &'static str {
+    match s {
+        "quality" => "quality",
+        "low-power" => "low-power",
+        "deadline" => "deadline",
+        "background" => "background",
+        _ => "?",
+    }
+}
+
+fn static_kind(s: &str) -> &'static str {
+    match s {
+        "dct" => "dct",
+        "me" => "me",
+        "encode" => "encode",
+        _ => "?",
+    }
+}
+
+fn static_counter(s: &str) -> Option<&'static str> {
+    match s {
+        "cache_hits" => Some("cache_hits"),
+        "cache_misses" => Some("cache_misses"),
+        "diff_probes" => Some("diff_probes"),
+        "diff_memo_misses" => Some("diff_memo_misses"),
+        _ => None,
+    }
+}
+
+/// Reconstructs the monitor-relevant [`TraceEvent`] stream from a parsed
+/// `--trace` document, in virtual-time order (ties broken enqueue-first,
+/// so a replaying [`dsra_monitor::Monitor`] joins arrivals before their
+/// same-cycle completions and never seals a window early).
+///
+/// The inverse of [`dsra_trace::chrome_trace`] up to what the exporter
+/// keeps: `JobSchedule`/`Meta` events are not rebuilt (the monitor
+/// ignores both), shed arrivals lose their deadline (shed jobs never
+/// complete, so no violation check reads it), and `battery_j` samples
+/// round-trip through the exporter's 6-decimal rendering.
+///
+/// # Errors
+/// Fails when the document lacks `traceEvents` or an event is missing
+/// the fields its kind requires.
+pub fn events_from_chrome(doc: &Json) -> Result<Vec<TraceEvent>, String> {
+    let events = doc
+        .get("traceEvents")
+        .and_then(Json::as_array)
+        .ok_or("document has no traceEvents array")?;
+    let mut out: Vec<TraceEvent> = Vec::new();
+    for (i, ev) in events.iter().enumerate() {
+        let name = ev
+            .get("name")
+            .and_then(Json::as_str)
+            .ok_or_else(|| format!("event {i} has no name"))?;
+        let ph = ev
+            .get("ph")
+            .and_then(Json::as_str)
+            .ok_or_else(|| format!("event {i} has no ph"))?;
+        let tid = arg_u64(ev, "tid").ok_or_else(|| format!("event {i} has no tid"))? as u32;
+        let ts = arg_u64(ev, "ts").unwrap_or(0);
+        let args = ev
+            .get("args")
+            .ok_or_else(|| format!("event {i} has no args"))?;
+        let job = || {
+            arg_u64(args, "job")
+                .map(|j| j as u32)
+                .ok_or_else(|| format!("event {i} ({name}) has no job"))
+        };
+        let class = args.get("class").and_then(Json::as_str).unwrap_or("?");
+        let kind = args.get("kind").and_then(Json::as_str).unwrap_or("?");
+        match (ph, name) {
+            ("X", "idle" | "gated" | "reconfig" | "waking" | "exec") => {
+                let dur = arg_u64(ev, "dur").ok_or_else(|| format!("span {i} has no dur"))?;
+                let phase = match name {
+                    "idle" => ArrayPhase::Idle,
+                    "gated" => ArrayPhase::Gated,
+                    "reconfig" => ArrayPhase::Reconfig,
+                    "waking" => ArrayPhase::Waking,
+                    _ => ArrayPhase::Exec,
+                };
+                out.push(TraceEvent::ArrayInterval {
+                    array: tid,
+                    phase,
+                    start: ts,
+                    end: ts + dur,
+                    job: arg_u64(args, "job").map(|j| j as u32),
+                    kernel: args.get("kernel").and_then(Json::as_str).map(str::to_owned),
+                });
+            }
+            ("X", "queued") => {
+                out.push(TraceEvent::JobEnqueue {
+                    t: ts,
+                    job: job()?,
+                    tenant: tid,
+                    class: static_class(class),
+                    kind: static_kind(kind),
+                    deadline: arg_u64(args, "deadline").unwrap_or(0),
+                });
+            }
+            ("X", "shed") => {
+                let queued = arg_u64(ev, "dur").unwrap_or(0);
+                out.push(TraceEvent::JobEnqueue {
+                    t: ts,
+                    job: job()?,
+                    tenant: tid,
+                    class: static_class(class),
+                    kind: static_kind(kind),
+                    deadline: 0,
+                });
+                out.push(TraceEvent::JobShed {
+                    t: ts + queued,
+                    job: job()?,
+                    tenant: tid,
+                    queued,
+                });
+            }
+            ("i", "admit") => out.push(TraceEvent::JobAdmit { t: ts, job: job()? }),
+            ("i", "complete") => {
+                let checksum = args
+                    .get("checksum")
+                    .and_then(Json::as_str)
+                    .and_then(|s| s.strip_prefix("0x"))
+                    .and_then(|h| u64::from_str_radix(h, 16).ok())
+                    .unwrap_or(0);
+                let part = |k: &str| -> f64 { args.get(k).and_then(Json::as_f64).unwrap_or(0.0) };
+                out.push(TraceEvent::JobComplete {
+                    t: ts,
+                    job: job()?,
+                    checksum,
+                    energy: EnergyBreakdown {
+                        dynamic_j: part("dynamic_j"),
+                        static_j: part("static_j"),
+                        reconfig_j: part("reconfig_j"),
+                    },
+                });
+            }
+            ("C", "battery_j") => {
+                let charge_j = args
+                    .get("charge_j")
+                    .and_then(Json::as_f64)
+                    .ok_or_else(|| format!("battery sample {i} has no charge_j"))?;
+                out.push(TraceEvent::BatteryLevel { t: ts, charge_j });
+            }
+            ("C", _) => {
+                if let Some(counter) = static_counter(name) {
+                    out.push(TraceEvent::Counter {
+                        t: ts,
+                        name: counter,
+                        value: arg_u64(args, "value").unwrap_or(0),
+                    });
+                }
+            }
+            _ => {}
+        }
+    }
+    let rank = |ev: &TraceEvent| match ev {
+        TraceEvent::JobEnqueue { .. } => 0u8,
+        _ => 1,
+    };
+    out.sort_by_key(|ev| (dsra_monitor::event_end_cycle(ev), rank(ev)));
+    Ok(out)
+}
+
+/// Rebuilds the online monitor's configuration from the geometry
+/// metadata a monitored session stamps into `otherData`
+/// (`monitor_window_cycles`, `monitor_hist_bucket_cycles`,
+/// `monitor_seal_grace_cycles`, `monitor_tenant_budgets` as
+/// space-joined `tenant:budget_pct` pairs).
+/// Missing keys keep the [`MonitorConfig`] defaults; `keep_timeline` is
+/// on, since a post-hoc replay exists to print the budget timeline.
+pub fn slo_config_from_meta(meta: &[(String, String)]) -> MonitorConfig {
+    let lookup = |key: &str| meta.iter().find(|(k, _)| k == key).map(|(_, v)| v.as_str());
+    let mut cfg = MonitorConfig {
+        keep_timeline: true,
+        ..MonitorConfig::default()
+    };
+    if let Some(w) = lookup("monitor_window_cycles").and_then(|v| v.parse().ok()) {
+        cfg.window_cycles = w;
+    }
+    if let Some(b) = lookup("monitor_hist_bucket_cycles").and_then(|v| v.parse().ok()) {
+        cfg.hist_bucket_cycles = b;
+    }
+    if let Some(g) = lookup("monitor_seal_grace_cycles").and_then(|v| v.parse().ok()) {
+        cfg.seal_grace_cycles = g;
+    }
+    if let Some(pairs) = lookup("monitor_tenant_budgets") {
+        cfg.tenant_budgets = pairs
+            .split_whitespace()
+            .filter_map(|pair| {
+                let (t, b) = pair.split_once(':')?;
+                Some((t.parse().ok()?, b.parse().ok()?))
+            })
+            .collect();
+    }
+    cfg
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::json::parse_json;
-    use dsra_trace::{chrome_trace, ArrayPhase, EnergyBreakdown, EventLog, TraceEvent, TraceSink};
+    use dsra_trace::TraceSink;
 
     fn sample_doc() -> Json {
         let mut log = EventLog::new();
@@ -562,5 +764,64 @@ mod tests {
     fn malformed_documents_are_rejected() {
         let doc = parse_json("{\"a\": 1}").unwrap();
         assert!(analyze_chrome_trace(&doc).is_err());
+        assert!(events_from_chrome(&doc).is_err());
+    }
+
+    #[test]
+    fn chrome_documents_reconstruct_the_monitor_event_stream() {
+        let evs = events_from_chrome(&sample_doc()).unwrap();
+        let count = |tag: &str| evs.iter().filter(|e| e.kind_tag() == tag).count();
+        // One queued span + one shed span, each rebuilding its arrival.
+        assert_eq!(count("enqueue"), 2);
+        assert_eq!(count("admit"), 2);
+        assert_eq!(count("shed"), 1);
+        assert_eq!(count("complete"), 1);
+        assert_eq!(count("interval"), 3);
+        assert_eq!(count("battery"), 1);
+        assert_eq!(count("counter"), 1);
+        // Virtual-time order, arrivals first on ties (job 1 enqueues and
+        // admits at cycle 0).
+        let ends: Vec<u64> = evs.iter().map(dsra_monitor::event_end_cycle).collect();
+        assert!(ends.windows(2).all(|w| w[0] <= w[1]), "unsorted: {ends:?}");
+        assert_eq!(evs[0].kind_tag(), "enqueue");
+        // The completed job keeps its deadline and energy attribution.
+        assert!(evs.iter().any(|e| matches!(
+            e,
+            TraceEvent::JobEnqueue {
+                job: 1,
+                deadline: 10_000,
+                class: "deadline",
+                kind: "dct",
+                ..
+            }
+        )));
+        assert!(evs.iter().any(|e| matches!(
+            e,
+            TraceEvent::JobComplete { job: 1, checksum: 7, energy, .. }
+                if (energy.total_j() - 1.75).abs() < 1e-12
+        )));
+    }
+
+    #[test]
+    fn slo_config_reads_the_monitor_geometry_meta() {
+        let meta = vec![
+            ("monitor_window_cycles".to_owned(), "12500".to_owned()),
+            ("monitor_hist_bucket_cycles".to_owned(), "125".to_owned()),
+            ("monitor_seal_grace_cycles".to_owned(), "49".to_owned()),
+            (
+                "monitor_tenant_budgets".to_owned(),
+                "0:2 1:10 2:50".to_owned(),
+            ),
+        ];
+        let cfg = slo_config_from_meta(&meta);
+        assert_eq!(cfg.window_cycles, 12_500);
+        assert_eq!(cfg.hist_bucket_cycles, 125);
+        assert_eq!(cfg.seal_grace_cycles, 49);
+        assert_eq!(cfg.tenant_budgets, vec![(0, 2.0), (1, 10.0), (2, 50.0)]);
+        assert!(cfg.keep_timeline, "replay keeps the budget timeline");
+        // Absent keys keep the defaults.
+        let d = slo_config_from_meta(&[]);
+        assert_eq!(d.window_cycles, MonitorConfig::default().window_cycles);
+        assert!(d.tenant_budgets.is_empty());
     }
 }

@@ -3,10 +3,16 @@
 //! carrying the required keys. Before this test the trajectory files were
 //! write-only — nothing in the workspace could read one back.
 
-use dsra_bench::{json_summary, parse_json, stream_metrics, Json, JsonValue};
+use dsra_bench::{
+    json_summary, monitor_metrics, parse_json, registry_from_metrics, stream_metrics, Json,
+    JsonValue,
+};
 use dsra_runtime::{DctMapping, PhaseTimings, RuntimeConfig, SocRuntime};
-use dsra_service::{serve_trace, standard_tenants, AdmitPolicy, ServiceConfig, TraceConfig};
-use dsra_trace::{chrome_trace, EventLog};
+use dsra_service::{
+    install_monitor, serve_trace, standard_tenants, AdmitPolicy, PoolConfig, ServiceConfig,
+    TraceConfig,
+};
+use dsra_trace::{chrome_trace, EventLog, NoopSink};
 use dsra_video::{generate_job_mix, JobMixConfig, JobMixWeights};
 
 /// The flat `json_summary` shape every per-experiment writer uses:
@@ -274,6 +280,90 @@ fn stream_metrics_carry_the_bench_stream_contract() {
             "missing {tag}_digest"
         );
     }
+}
+
+/// The `--monitor` extension of `BENCH_stream.json` plus the `--metrics`
+/// Prometheus text-exposition dump (ISSUE 8): a monitored session adds
+/// exactly the pinned `monitor_*` keys; `registry_from_metrics` folds
+/// the same vec into a registry whose Prometheus rendering carries the
+/// numeric keys (strings like digests are skipped by design); and both
+/// documents are byte-identical across same-seed runs.
+#[test]
+fn monitor_metrics_and_prometheus_dump_extend_the_stream_contract() {
+    let session = || {
+        let trace = TraceConfig {
+            tenants: standard_tenants(4, 3),
+            duration_us: 3_000,
+            ..Default::default()
+        };
+        let mut rt = SocRuntime::new(RuntimeConfig {
+            da_arrays: 1,
+            me_arrays: 1,
+            mappings: vec![DctMapping::BasicDa, DctMapping::MixedRom],
+            ..Default::default()
+        })
+        .expect("runtime");
+        let handle = install_monitor(&mut rt, &trace.tenants, Box::new(NoopSink));
+        let report = serve_trace(
+            &mut rt,
+            &trace,
+            &ServiceConfig {
+                policy: AdmitPolicy::MonitorShed,
+                pool: PoolConfig::default(),
+                monitor: Some(handle.clone()),
+            },
+        )
+        .expect("session");
+        let health = report.health.clone().expect("monitored session has health");
+        let mut metrics = stream_metrics(&report);
+        metrics.extend(monitor_metrics(&health, &handle.alert_log()));
+        metrics
+    };
+
+    let metrics = session();
+    let doc = json_summary("E13", &metrics);
+    let v = parse_json(&doc).unwrap_or_else(|e| panic!("unparseable monitor summary: {e}\n{doc}"));
+    let m = v.get("metrics").expect("metrics object");
+    for key in [
+        "monitor_windows_sealed",
+        "monitor_alerts_active",
+        "monitor_alert_transitions",
+    ] {
+        assert!(
+            m.get(key).and_then(Json::as_f64).is_some(),
+            "missing numeric key {key}"
+        );
+    }
+    for key in ["monitor_alert_digest", "monitor_alert_log"] {
+        assert!(
+            m.get(key).and_then(Json::as_str).is_some(),
+            "missing string key {key}"
+        );
+    }
+    assert!(
+        m.get("monitor_windows_sealed").unwrap().as_f64() > Some(0.0),
+        "the session spans at least one window"
+    );
+
+    let prom = registry_from_metrics(&metrics).render_prometheus("dsra");
+    assert!(
+        prom.contains("# TYPE dsra_monitor_windows_sealed counter\n"),
+        "windows-sealed counter missing from the Prometheus dump:\n{prom}"
+    );
+    assert!(prom.contains("# TYPE dsra_monitor_shed_requests counter\n"));
+    assert!(prom.contains("# TYPE dsra_monitor_shed_violation_pct gauge\n"));
+    assert!(
+        !prom.contains("digest") && !prom.contains("alert_log"),
+        "string metrics must not leak into the Prometheus dump"
+    );
+
+    // Same seed, same bytes — for the JSON document and the dump alike.
+    let again = session();
+    assert_eq!(json_summary("E13", &again), doc);
+    assert_eq!(
+        registry_from_metrics(&again).render_prometheus("dsra"),
+        prom
+    );
 }
 
 /// The `--trace` Chrome trace-event document (ISSUE 7): strict-parseable

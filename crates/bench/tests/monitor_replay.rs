@@ -1,0 +1,171 @@
+//! Replay pinning for the online monitor (ISSUE 8): the health state the
+//! monitor builds *while serving* must be reproducible after the fact —
+//! first from the in-memory event log, then through the full Chrome
+//! round trip (`--trace` export → `events_from_chrome` → replay), which
+//! is exactly the `trace_report --slo` path. Alert logs and timelines
+//! are bit-exact in both directions; the round-tripped battery charge is
+//! only `{:.6}`-lossy, so it is compared approximately.
+
+use dsra_bench::{analyze_chrome_trace, events_from_chrome, parse_json, slo_config_from_meta};
+use dsra_monitor::{AlertLog, BudgetPoint, Monitor, MonitorConfig};
+use dsra_runtime::{DctMapping, RuntimeConfig, SocRuntime};
+use dsra_service::{
+    install_monitor_with, monitor_config_for, serve_trace, standard_tenants, AdmitPolicy,
+    PoolConfig, ServiceConfig, TraceConfig,
+};
+use dsra_trace::{chrome_trace, EventLog, HealthSnapshot};
+
+use std::sync::OnceLock;
+
+struct OnlineRun {
+    log: EventLog,
+    cfg: MonitorConfig,
+    alerts: AlertLog,
+    timeline: Vec<BudgetPoint>,
+    snapshot: HealthSnapshot,
+}
+
+/// One overloaded monitored session under `monitor-shed`, recorded with
+/// a full-lifecycle event log: the alerter latches and acts, and every
+/// arrival interleaves monitor queries with the event stream — the
+/// hardest case for replay equality.
+fn online() -> &'static OnlineRun {
+    static RUN: OnceLock<OnlineRun> = OnceLock::new();
+    RUN.get_or_init(|| {
+        let trace = TraceConfig {
+            tenants: standard_tenants(4, 3),
+            duration_us: 4_000,
+            ..Default::default()
+        };
+        let mut rt = SocRuntime::new(RuntimeConfig {
+            da_arrays: 1,
+            me_arrays: 1,
+            mappings: vec![
+                DctMapping::BasicDa,
+                DctMapping::MixedRom,
+                DctMapping::SccFull,
+            ],
+            ..Default::default()
+        })
+        .expect("runtime");
+        let mut cfg = monitor_config_for(&trace.tenants, 100);
+        cfg.keep_timeline = true;
+        let handle = install_monitor_with(&mut rt, cfg.clone(), Box::new(EventLog::new()));
+        serve_trace(
+            &mut rt,
+            &trace,
+            &ServiceConfig {
+                policy: AdmitPolicy::MonitorShed,
+                pool: PoolConfig::default(),
+                monitor: Some(handle.clone()),
+            },
+        )
+        .expect("session");
+        let log = rt.take_trace_sink().into_log().expect("recording inner");
+        // The service-layer seal grace guarantees the online monitor
+        // dropped nothing — the precondition for time-ordered replays
+        // (the Chrome round trip below) to be exact rather than merely
+        // close.
+        assert_eq!(
+            handle.with(|m| m.drops()),
+            (0, 0),
+            "online monitor must not late-drop any window contribution"
+        );
+        OnlineRun {
+            log,
+            cfg,
+            alerts: handle.alert_log(),
+            timeline: handle.with(|m| m.timeline().to_vec()),
+            snapshot: handle.final_snapshot(),
+        }
+    })
+}
+
+/// Everything except the battery must be bit-exact; the battery charge
+/// survives the Chrome round trip only to `{:.6}` precision.
+fn assert_snapshots_agree(a: &HealthSnapshot, b: &HealthSnapshot, battery_exact: bool) {
+    assert_eq!(a.at_cycle, b.at_cycle);
+    assert_eq!(a.window_cycles, b.window_cycles);
+    assert_eq!(a.windows_sealed, b.windows_sealed);
+    assert_eq!(a.latency, b.latency);
+    assert_eq!(a.arrays, b.arrays);
+    assert_eq!(a.tenants, b.tenants);
+    assert_eq!(a.alerts_active, b.alerts_active);
+    assert_eq!(a.completes, b.completes);
+    assert_eq!(a.sheds, b.sheds);
+    match (&a.battery, &b.battery) {
+        (None, None) => {}
+        (Some(x), Some(y)) if battery_exact => assert_eq!(x, y),
+        (Some(x), Some(y)) => {
+            assert_eq!(x.at_cycle, y.at_cycle);
+            assert!(
+                (x.charge_j - y.charge_j).abs() <= 1e-6 * x.charge_j.abs().max(1.0),
+                "round-tripped charge {} vs {}",
+                y.charge_j,
+                x.charge_j
+            );
+        }
+        _ => panic!("battery presence must survive replay"),
+    }
+}
+
+#[test]
+fn replaying_the_event_log_reproduces_the_online_monitor_exactly() {
+    let run = online();
+    assert!(
+        !run.alerts.is_empty(),
+        "the overload session must latch alerts"
+    );
+    let replayed = Monitor::replay(run.cfg.clone(), run.log.events().iter());
+    assert_eq!(replayed.alert_log(), &run.alerts);
+    assert_eq!(replayed.alert_log().digest(), run.alerts.digest());
+    assert_eq!(replayed.timeline(), &run.timeline[..]);
+    assert_snapshots_agree(&replayed.final_snapshot(), &run.snapshot, true);
+}
+
+#[test]
+fn chrome_round_trip_reproduces_the_online_monitor() {
+    let run = online();
+    let doc = parse_json(&chrome_trace(&run.log)).expect("exporter emits strict JSON");
+    let events = events_from_chrome(&doc).expect("round-trip parse");
+    let analysis = analyze_chrome_trace(&doc).expect("analysis");
+    let cfg = slo_config_from_meta(&analysis.meta);
+    assert_eq!(cfg.window_cycles, run.cfg.window_cycles);
+    assert_eq!(cfg.hist_bucket_cycles, run.cfg.hist_bucket_cycles);
+    assert_eq!(cfg.seal_grace_cycles, run.cfg.seal_grace_cycles);
+    assert_eq!(cfg.tenant_budgets, run.cfg.tenant_budgets);
+
+    let replayed = Monitor::replay(cfg, events.iter());
+    assert_eq!(
+        replayed.alert_log(),
+        &run.alerts,
+        "alert transitions must survive the Chrome round trip bit-exactly"
+    );
+    assert_eq!(replayed.timeline(), &run.timeline[..]);
+    assert_snapshots_agree(&replayed.final_snapshot(), &run.snapshot, false);
+}
+
+#[test]
+fn monitor_array_health_matches_the_trace_analyzer() {
+    let run = online();
+    let doc = parse_json(&chrome_trace(&run.log)).expect("exporter emits strict JSON");
+    let analysis = analyze_chrome_trace(&doc).expect("analysis");
+    assert_eq!(analysis.arrays.len(), run.snapshot.arrays.len());
+    for (post, live) in analysis.arrays.iter().zip(&run.snapshot.arrays) {
+        assert_eq!(post.array, live.array);
+        assert!(
+            (post.utilization_pct - live.utilization_pct).abs() < 1e-9,
+            "array {} utilization: post-hoc {} vs online {}",
+            post.array,
+            post.utilization_pct,
+            live.utilization_pct
+        );
+        assert!(
+            (post.gated_pct - live.gated_pct).abs() < 1e-9,
+            "array {} gating: post-hoc {} vs online {}",
+            post.array,
+            post.gated_pct,
+            live.gated_pct
+        );
+    }
+}

@@ -1,6 +1,9 @@
 //! The zero-cost-when-off gate (ISSUE 7 satellite): with tracing
 //! disabled, the serve path performs exactly as many heap allocations as
 //! it did before the trace hooks existed — the no-op sink adds none.
+//! Extended for ISSUE 8: an installed [`MonitorSink`] must leave serve
+//! outcomes byte-identical and keep its own allocations bounded by
+//! configuration, and uninstalling it restores the allocation-free path.
 //!
 //! Lives in its own integration-test binary because the counting
 //! `#[global_allocator]` is process-wide.
@@ -8,7 +11,9 @@
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicU64, Ordering};
 
+use dsra_monitor::MonitorConfig;
 use dsra_runtime::{DctMapping, RuntimeConfig, SocRuntime};
+use dsra_service::install_monitor_with;
 use dsra_trace::{EventLog, NoopSink};
 use dsra_video::{generate_job_mix, JobMixConfig};
 
@@ -86,5 +91,55 @@ fn noop_tracing_adds_no_serve_allocations() {
     assert!(
         recording > baseline,
         "recording sink should allocate ({recording} vs {baseline})"
+    );
+}
+
+#[test]
+fn monitor_sink_preserves_outcomes_and_its_allocations_stay_bounded() {
+    let mix = generate_job_mix(JobMixConfig {
+        jobs: 40,
+        ..Default::default()
+    });
+    let mut rt = SocRuntime::new(RuntimeConfig {
+        da_arrays: 1,
+        me_arrays: 1,
+        mappings: vec![DctMapping::BasicDa, DctMapping::MixedRom],
+        ..Default::default()
+    })
+    .expect("runtime");
+    rt.serve(&mix).expect("warm serve");
+
+    let serve = |rt: &mut SocRuntime| {
+        rt.recharge_full();
+        rt.serve(&mix).expect("serve").digest()
+    };
+    let (baseline, reference) = allocs_during(|| serve(&mut rt));
+
+    // Monitoring observes every event but must not perturb outcomes.
+    let handle = install_monitor_with(&mut rt, MonitorConfig::default(), Box::new(NoopSink));
+    let (first, d1) = allocs_during(|| serve(&mut rt));
+    assert_eq!(d1, reference, "monitoring must not change serve outcomes");
+    let (second, d2) = allocs_during(|| serve(&mut rt));
+    assert_eq!(d2, reference);
+    assert!(
+        first > baseline,
+        "the monitor does build state ({first} vs {baseline})"
+    );
+    // Monitor memory is bounded by configuration, not stream length: once
+    // its maps and windows exist, another identical serve allocates no
+    // more than the first pass did.
+    assert!(
+        second <= first,
+        "steady-state monitoring must not grow allocations ({second} vs {first})"
+    );
+    assert_eq!(handle.with(|m| m.drops()), (0, 0), "nothing miscounted");
+
+    // Uninstalling the monitor restores the allocation-free serve path.
+    rt.set_trace_sink(Box::new(NoopSink));
+    let (off, d3) = allocs_during(|| serve(&mut rt));
+    assert_eq!(d3, reference);
+    assert_eq!(
+        off, baseline,
+        "with the monitor gone the serve path allocates exactly as before"
     );
 }

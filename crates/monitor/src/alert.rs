@@ -1,0 +1,189 @@
+//! The structured alert log and the per-window budget timeline.
+
+/// One burn-rate alert transition, stamped at the sealing boundary of
+/// the window that caused it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AlertEvent {
+    /// Tenant whose budget fired or recovered.
+    pub tenant: u32,
+    /// Absolute index of the sealed window that triggered the transition.
+    pub window: u64,
+    /// Virtual cycle of the transition (the window's end boundary).
+    pub at_cycle: u64,
+    /// `true` = the alert latched, `false` = it cleared.
+    pub latched: bool,
+    /// Fast-window burn rate at the transition.
+    pub fast_burn: f64,
+    /// Slow-window burn rate at the transition.
+    pub slow_burn: f64,
+}
+
+/// Append-only log of alert transitions, in sealing order. Same-seed
+/// runs produce byte-identical renderings and equal digests.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct AlertLog {
+    events: Vec<AlertEvent>,
+}
+
+impl AlertLog {
+    /// An empty log.
+    pub fn new() -> Self {
+        AlertLog::default()
+    }
+
+    pub(crate) fn push(&mut self, ev: AlertEvent) {
+        self.events.push(ev);
+    }
+
+    /// Transitions in sealing order.
+    pub fn events(&self) -> &[AlertEvent] {
+        &self.events
+    }
+
+    /// Number of transitions.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// `true` when no alert ever fired.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Deterministic multi-line rendering, one transition per line.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for e in &self.events {
+            out.push_str(&format!(
+                "{} tenant={} window={} at={} fast={:.4} slow={:.4}\n",
+                if e.latched { "latch" } else { "clear" },
+                e.tenant,
+                e.window,
+                e.at_cycle,
+                e.fast_burn,
+                e.slow_burn
+            ));
+        }
+        out
+    }
+
+    /// Compact single-line form for JSON summaries: `latch:0@12` /
+    /// `clear:0@19` tokens joined by spaces, `-` when empty.
+    pub fn compact(&self) -> String {
+        if self.events.is_empty() {
+            return "-".to_owned();
+        }
+        self.events
+            .iter()
+            .map(|e| {
+                format!(
+                    "{}:{}@{}",
+                    if e.latched { "latch" } else { "clear" },
+                    e.tenant,
+                    e.window
+                )
+            })
+            .collect::<Vec<_>>()
+            .join(" ")
+    }
+
+    /// FNV-1a digest over every transition (burn rates by their bit
+    /// patterns), for cheap byte-identity assertions in benches and CI.
+    pub fn digest(&self) -> u64 {
+        let mut h = 0xCBF2_9CE4_8422_2325u64;
+        let mut fold = |v: u64| {
+            for b in v.to_le_bytes() {
+                h ^= b as u64;
+                h = h.wrapping_mul(0x1_0000_0000_01B3);
+            }
+        };
+        for e in &self.events {
+            fold(e.tenant as u64);
+            fold(e.window);
+            fold(e.at_cycle);
+            fold(e.latched as u64);
+            fold(e.fast_burn.to_bits());
+            fold(e.slow_burn.to_bits());
+        }
+        h
+    }
+}
+
+/// One tenant's budget state at one sealed window — the unit of the
+/// post-hoc error-budget timeline (`trace_report --slo`). Recorded only
+/// when [`crate::MonitorConfig::keep_timeline`] is on.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BudgetPoint {
+    /// Absolute window index.
+    pub window: u64,
+    /// Window end boundary, cycles.
+    pub end_cycle: u64,
+    /// Tenant id.
+    pub tenant: u32,
+    /// Requests decided (served + shed) in the window.
+    pub decided: u64,
+    /// Requests that went bad (violations + sheds) in the window.
+    pub bad: u64,
+    /// Fast-window burn rate after sealing this window.
+    pub fast_burn: f64,
+    /// Slow-window burn rate after sealing this window.
+    pub slow_burn: f64,
+    /// Alert state after sealing this window.
+    pub latched: bool,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> AlertLog {
+        let mut log = AlertLog::new();
+        log.push(AlertEvent {
+            tenant: 0,
+            window: 12,
+            at_cycle: 325_000,
+            latched: true,
+            fast_burn: 3.5,
+            slow_burn: 2.0,
+        });
+        log.push(AlertEvent {
+            tenant: 0,
+            window: 19,
+            at_cycle: 500_000,
+            latched: false,
+            fast_burn: 0.25,
+            slow_burn: 0.5,
+        });
+        log
+    }
+
+    #[test]
+    fn render_and_compact_are_deterministic_and_readable() {
+        let log = sample();
+        assert_eq!(log.render(), log.render());
+        assert!(log
+            .render()
+            .starts_with("latch tenant=0 window=12 at=325000 fast=3.5000 slow=2.0000\n"));
+        assert_eq!(log.compact(), "latch:0@12 clear:0@19");
+        assert_eq!(AlertLog::new().compact(), "-");
+        assert_eq!(log.len(), 2);
+        assert!(!log.is_empty());
+    }
+
+    #[test]
+    fn digest_separates_different_logs() {
+        let log = sample();
+        assert_eq!(log.digest(), sample().digest());
+        assert_ne!(log.digest(), AlertLog::new().digest());
+        let mut other = sample();
+        other.push(AlertEvent {
+            tenant: 1,
+            window: 30,
+            at_cycle: 775_000,
+            latched: true,
+            fast_burn: 2.0,
+            slow_burn: 1.6,
+        });
+        assert_ne!(log.digest(), other.digest());
+    }
+}

@@ -1,0 +1,224 @@
+//! Property tests for the streaming monitor (ISSUE 8 satellite):
+//!
+//! * at every window boundary the monitor's sliding latency view equals
+//!   a from-scratch recomputation over exactly the last `slow_windows`
+//!   sealed windows of the raw completion stream;
+//! * the burn-rate alerter never flaps on a constant-rate stream (at
+//!   most the one initial latch), and on *any* stream consecutive
+//!   transitions are separated by the hysteresis hold, alternating
+//!   latch/clear.
+
+use dsra_monitor::{BurnRateConfig, Monitor, MonitorConfig};
+use dsra_trace::{EnergyBreakdown, Histogram, TraceEvent};
+use proptest::prelude::*;
+
+const W: u64 = 100;
+
+fn config(slow_windows: usize, budget_pct: f64, alert: Option<BurnRateConfig>) -> MonitorConfig {
+    MonitorConfig {
+        window_cycles: W,
+        hist_bucket_cycles: 10,
+        hist_buckets: 64,
+        tenant_budgets: vec![(0, budget_pct)],
+        alert: alert.unwrap_or(BurnRateConfig {
+            fast_windows: 1,
+            slow_windows,
+            fire_burn: 1.5,
+            clear_burn: 0.75,
+            hold_windows: 2,
+        }),
+        ..MonitorConfig::default()
+    }
+}
+
+/// A deterministic job stream: `(enqueue, complete)` cycle pairs with
+/// nondecreasing enqueue times, expanded from one seed.
+fn job_stream(seed: u64, jobs: usize) -> Vec<(u64, u64)> {
+    let mut rng = dsra_core::rng::SplitMix64::new(seed);
+    let mut t = 0u64;
+    (0..jobs)
+        .map(|_| {
+            t += rng.next_below(40);
+            (t, t + rng.next_below(600))
+        })
+        .collect()
+}
+
+proptest! {
+    /// Feed a random job stream in time order, sealing at every window
+    /// boundary as the stream crosses it; after each seal the merged
+    /// sliding histogram must equal one rebuilt from scratch over the
+    /// completions of exactly the last `slow_windows` sealed windows.
+    #[test]
+    fn sliding_percentiles_match_from_scratch_recompute(
+        seed in any::<u64>(),
+        jobs in 1usize..250,
+        slow in 1usize..8,
+    ) {
+        let pairs = job_stream(seed, jobs);
+        // (time, rank, job): enqueues (rank 0) before same-cycle
+        // completes (rank 1), like the dispatcher's own emission order.
+        let mut events: Vec<(u64, u8, u32)> = Vec::new();
+        for (i, &(e, c)) in pairs.iter().enumerate() {
+            events.push((e, 0, i as u32));
+            events.push((c, 1, i as u32));
+        }
+        events.sort_unstable();
+
+        let mut m = Monitor::new(config(slow, 5.0, None));
+        let mut boundary = 1u64; // next unsealed window's end / W
+        let check = |m: &mut Monitor, k: u64| {
+            m.seal_to(k * W);
+            let got = m.snapshot(k * W).latency;
+            let mut fresh = Histogram::new(10, 64);
+            let lo = k.saturating_sub(slow as u64) * W;
+            for &(e, c) in &pairs {
+                if c >= lo && c < k * W {
+                    fresh.record(c - e);
+                }
+            }
+            prop_assert_eq!(got.count, fresh.count(), "count at boundary {}", k);
+            prop_assert_eq!(got.p50, fresh.p50(), "p50 at boundary {}", k);
+            prop_assert_eq!(got.p90, fresh.p90(), "p90 at boundary {}", k);
+            prop_assert_eq!(got.p99, fresh.p99(), "p99 at boundary {}", k);
+            prop_assert_eq!(got.max, fresh.max(), "max at boundary {}", k);
+        };
+        for (t, rank, job) in events {
+            while boundary * W <= t {
+                check(&mut m, boundary);
+                boundary += 1;
+            }
+            if rank == 0 {
+                m.observe(&TraceEvent::JobEnqueue {
+                    t,
+                    job,
+                    tenant: 0,
+                    class: "deadline",
+                    kind: "dct",
+                    deadline: 0,
+                });
+            } else {
+                m.observe(&TraceEvent::JobComplete {
+                    t,
+                    job,
+                    checksum: u64::from(job),
+                    energy: EnergyBreakdown::default(),
+                });
+            }
+        }
+        check(&mut m, boundary);
+        let (late, horizon) = m.drops();
+        prop_assert_eq!((late, horizon), (0, 0), "no event may be dropped");
+    }
+}
+
+/// One window's worth of traffic for tenant 0: `bad` sheds plus
+/// `decided - bad` served jobs, all inside window `w`, then a seal.
+fn feed_window(m: &mut Monitor, w: u64, decided: u64, bad: u64, next_job: &mut u32) {
+    let base = w * W;
+    for i in 0..decided {
+        let t = base + 1 + i % (W - 2);
+        let job = *next_job;
+        *next_job += 1;
+        if i < bad {
+            m.observe(&TraceEvent::JobShed {
+                t,
+                job,
+                tenant: 0,
+                queued: 1,
+            });
+        } else {
+            m.observe(&TraceEvent::JobEnqueue {
+                t,
+                job,
+                tenant: 0,
+                class: "quality",
+                kind: "dct",
+                deadline: 0,
+            });
+            m.observe(&TraceEvent::JobComplete {
+                t: t + 1,
+                job,
+                checksum: u64::from(job),
+                energy: EnergyBreakdown::default(),
+            });
+        }
+    }
+    m.seal_to((w + 1) * W);
+}
+
+proptest! {
+    /// On a constant-rate stream the burn rate is the same at every
+    /// sealed window, so the alerter transitions at most once (the
+    /// initial latch when the constant burn exceeds the threshold) — it
+    /// never flaps, whatever the rate, budget, or window depths.
+    #[test]
+    fn alerter_never_flaps_on_constant_rate_streams(
+        decided in 1u64..16,
+        bad_seed in any::<u64>(),
+        budget_tenths in 1u64..300,
+    ) {
+        let bad = bad_seed % (decided + 1);
+        let alert = BurnRateConfig {
+            fast_windows: 2,
+            slow_windows: 6,
+            fire_burn: 1.5,
+            clear_burn: 0.75,
+            hold_windows: 2,
+        };
+        let mut m = Monitor::new(config(6, budget_tenths as f64 / 10.0, Some(alert)));
+        let mut next_job = 0u32;
+        for w in 0..40 {
+            feed_window(&mut m, w, decided, bad, &mut next_job);
+        }
+        prop_assert!(
+            m.alert_log().len() <= 1,
+            "constant rate must not flap: {} transitions\n{}",
+            m.alert_log().len(),
+            m.alert_log().render()
+        );
+    }
+
+    /// On *any* stream — here one with a randomly varying per-window
+    /// bad fraction — transitions for a tenant alternate latch/clear
+    /// and consecutive transitions are separated by more than
+    /// `hold_windows` sealed windows: the hysteresis hold is a hard
+    /// floor on flap spacing.
+    #[test]
+    fn alert_transitions_respect_the_hysteresis_hold(
+        seed in any::<u64>(),
+        hold in 0u32..5,
+        windows in 8u64..60,
+    ) {
+        let alert = BurnRateConfig {
+            fast_windows: 1,
+            slow_windows: 3,
+            fire_burn: 1.5,
+            clear_burn: 0.75,
+            hold_windows: hold,
+        };
+        let mut m = Monitor::new(config(3, 10.0, Some(alert)));
+        let mut rng = dsra_core::rng::SplitMix64::new(seed);
+        let mut next_job = 0u32;
+        for w in 0..windows {
+            let decided = 1 + rng.next_below(8);
+            let bad = rng.next_below(decided + 1);
+            feed_window(&mut m, w, decided, bad, &mut next_job);
+        }
+        let log = m.alert_log().events();
+        for pair in log.windows(2) {
+            prop_assert_ne!(
+                pair[0].latched,
+                pair[1].latched,
+                "transitions must alternate"
+            );
+            prop_assert!(
+                pair[1].window > pair[0].window + u64::from(hold),
+                "transitions at windows {} and {} violate hold {}",
+                pair[0].window,
+                pair[1].window,
+                hold
+            );
+        }
+    }
+}

@@ -77,6 +77,28 @@ impl Battery {
     }
 }
 
+/// Linear burn-rate estimate over a discharge trajectory segment: given
+/// the `(cycle, charge_j)` endpoints, returns the burn rate in joules
+/// per megacycle and the projected cycle at which the charge reaches
+/// zero (extrapolating the segment's slope). A flat or charging segment
+/// — or a degenerate one with no cycle span — burns nothing and
+/// projects no empty point.
+pub fn burn_projection(first: (u64, f64), last: (u64, f64)) -> (f64, Option<u64>) {
+    let (first_t, first_j) = first;
+    let (last_t, last_j) = last;
+    if last_t <= first_t || first_j <= last_j {
+        return (0.0, None);
+    }
+    let per_cycle = (first_j - last_j) / (last_t - first_t) as f64;
+    let cycles_left = last_j.max(0.0) / per_cycle;
+    let projected = if cycles_left < (u64::MAX - last_t) as f64 {
+        Some(last_t + cycles_left as u64)
+    } else {
+        None
+    };
+    (per_cycle * 1e6, projected)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -91,6 +113,19 @@ mod tests {
         assert_eq!(b.charge_j(), 0.0);
         b.recharge_full();
         assert_eq!(b.charge_j(), 10.0);
+    }
+
+    #[test]
+    fn burn_projection_extrapolates_the_discharge_slope() {
+        // 100 J over 1_000_000 cycles = 100 J/Mcyc; 900 J left lasts
+        // another 9_000_000 cycles.
+        let (burn, empty) = burn_projection((0, 1_000.0), (1_000_000, 900.0));
+        assert!((burn - 100.0).abs() < 1e-9);
+        assert_eq!(empty, Some(10_000_000));
+        // Flat, charging, or degenerate segments project nothing.
+        assert_eq!(burn_projection((0, 5.0), (100, 5.0)), (0.0, None));
+        assert_eq!(burn_projection((0, 5.0), (100, 6.0)), (0.0, None));
+        assert_eq!(burn_projection((50, 5.0), (50, 4.0)), (0.0, None));
     }
 
     #[test]

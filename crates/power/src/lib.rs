@@ -52,7 +52,7 @@ pub mod battery;
 pub mod dvfs;
 
 pub use account::{EnergyAccount, EnergyTotals};
-pub use battery::Battery;
+pub use battery::{burn_projection, Battery};
 pub use dvfs::{OperatingPoint, NOMINAL_FREQ_MHZ, NOMINAL_VOLTAGE};
 
 use dsra_tech::EnergySplit;

@@ -70,7 +70,7 @@ use dsra_dct::DaParams;
 use dsra_platform::{profile_impl, standard_da_fabric, Condition, ImplProfile, SocConfig};
 use dsra_power::{Battery, EnergyAccount, OperatingPoint};
 use dsra_tech::{EnergySplit, TechModel};
-use dsra_trace::{ArrayPhase, EnergyBreakdown, NoopSink, TraceEvent, TraceSink};
+use dsra_trace::{ArrayPhase, EnergyBreakdown, HealthSnapshot, NoopSink, TraceEvent, TraceSink};
 use dsra_video::{JobPayload, JobSpec};
 
 pub use cache::{BitstreamCache, CacheStats, CompiledKernel};
@@ -422,6 +422,13 @@ impl SocRuntime {
     /// `enabled()` exactly like the runtime's own emission.
     pub fn trace_sink(&mut self) -> &mut dyn TraceSink {
         self.sink.as_mut()
+    }
+
+    /// Health of this SoC at the virtual instant `now_cycle`, when the
+    /// installed sink is a streaming monitor (`dsra-monitor`'s
+    /// `MonitorSink`); `None` with a plain recorder or the no-op sink.
+    pub fn health_snapshot(&mut self, now_cycle: u64) -> Option<HealthSnapshot> {
+        self.sink.health_snapshot(now_cycle)
     }
 
     /// Profiles of the offered DCT mappings.

@@ -11,6 +11,13 @@
 //!   has passed before it could start) is shed instead of executed —
 //!   serving it would burn array time and joules on a result nobody can
 //!   use, making every job behind it later too.
+//! * [`AdmitPolicy::MonitorShed`] — EDF with a health-driven control
+//!   hook: while a burn-rate alert is latched in the online monitor
+//!   (`dsra-monitor`), [`MonitorAwareAdmission`] sheds lower-class
+//!   arrivals *at admission time*, before they ever occupy queue or
+//!   array capacity that interactive work needs. Shedding escalates
+//!   with the breadth of the burn: one alert sheds best-effort work,
+//!   two alerting tenants shed the quality tier too.
 //!
 //! The queue is a pair of per-array-kind binary heaps keyed by the
 //! policy's urgency `(key, id)` — FIFO keys by arrival, EDF by deadline —
@@ -21,7 +28,9 @@
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashMap};
 
+use dsra_monitor::MonitorHandle;
 use dsra_runtime::ArrayKind;
+use dsra_video::ServiceClass;
 
 use crate::trace::Request;
 
@@ -33,6 +42,11 @@ pub enum AdmitPolicy {
     /// Dispatch by earliest deadline; shed requests whose budget is
     /// already blown at dispatch time.
     EdfShed,
+    /// [`AdmitPolicy::EdfShed`] plus monitor-driven early shedding of
+    /// lower-class arrivals while burn-rate alerts are latched (the
+    /// shed tier escalates with the number of alerting tenants).
+    /// Requires a monitor handle in the service configuration.
+    MonitorShed,
 }
 
 impl AdmitPolicy {
@@ -41,15 +55,70 @@ impl AdmitPolicy {
         match self {
             AdmitPolicy::FifoUnbounded => "fifo",
             AdmitPolicy::EdfShed => "edf-shed",
+            AdmitPolicy::MonitorShed => "monitor-shed",
         }
     }
 
-    /// Parses a `--policy` argument (`fifo` / `edf` / `edf-shed`).
+    /// Parses a `--policy` argument (`fifo` / `edf` / `edf-shed` /
+    /// `monitor` / `monitor-shed`).
     pub fn from_name(name: &str) -> Option<Self> {
         match name {
             "fifo" => Some(AdmitPolicy::FifoUnbounded),
             "edf" | "edf-shed" => Some(AdmitPolicy::EdfShed),
+            "monitor" | "monitor-shed" => Some(AdmitPolicy::MonitorShed),
             _ => None,
+        }
+    }
+}
+
+/// The health-driven admission wrapper: polls the online monitor's
+/// latched-alert count at each arrival and says no to lower-class
+/// requests while error budgets are burning too fast. The decision is a
+/// pure function of `(monitor state, request class)` at a virtual
+/// instant, so same-seed runs shed the same requests.
+///
+/// Shedding escalates with the breadth of the burn: one latched alert
+/// sheds only the best-effort tier (background and battery-saver work);
+/// once a second tenant's budget is burning the overload is systemic and
+/// the quality tier is shed too, so the array pool serves the strict
+/// deadline tier first. Deadline-class work is never early-shed — its
+/// protection is the point.
+#[derive(Debug, Clone)]
+pub struct MonitorAwareAdmission {
+    monitor: MonitorHandle,
+}
+
+impl MonitorAwareAdmission {
+    /// Wraps a monitor handle (clone of the one feeding the sink).
+    pub fn new(monitor: MonitorHandle) -> Self {
+        MonitorAwareAdmission { monitor }
+    }
+
+    /// `true` when the request's class is in the shed-first tier
+    /// (background and battery-saver work).
+    pub fn is_sheddable_class(class: ServiceClass) -> bool {
+        matches!(class, ServiceClass::Background | ServiceClass::LowPower)
+    }
+
+    /// The latched-alert count at which arrivals of `class` are shed:
+    /// best-effort work goes at the first alert, quality-tier work once
+    /// the burn is systemic (two tenants alerting), deadline-tier work
+    /// never (`None`).
+    pub fn shed_tier(class: ServiceClass) -> Option<u32> {
+        match class {
+            ServiceClass::Background | ServiceClass::LowPower => Some(1),
+            ServiceClass::Quality => Some(2),
+            ServiceClass::Deadline(_) => None,
+        }
+    }
+
+    /// Should this arrival be shed before admission? `now_cycle` is the
+    /// dispatcher's current virtual instant; querying it seals monitor
+    /// windows exactly as the event watermark would.
+    pub fn shed_early(&self, request: &Request, now_cycle: u64) -> bool {
+        match Self::shed_tier(request.class) {
+            Some(tier) => self.monitor.active_alerts(now_cycle) >= tier,
+            None => false,
         }
     }
 }
@@ -92,7 +161,7 @@ impl AdmissionQueue {
     fn key(&self, r: &Request) -> u64 {
         match self.policy {
             AdmitPolicy::FifoUnbounded => r.arrival_us,
-            AdmitPolicy::EdfShed => r.deadline_us,
+            AdmitPolicy::EdfShed | AdmitPolicy::MonitorShed => r.deadline_us,
         }
     }
 
@@ -231,6 +300,83 @@ mod tests {
         // Nothing dispatchable while the ME pool stays busy.
         assert!(q.pop_available(|k| k == ArrayKind::Da).is_none());
         assert_eq!(q.pop_available(|k| k == ArrayKind::Me).unwrap().id, 0);
+    }
+
+    #[test]
+    fn monitor_shed_orders_like_edf_and_parses_its_names() {
+        assert_eq!(AdmitPolicy::MonitorShed.name(), "monitor-shed");
+        assert_eq!(
+            AdmitPolicy::from_name("monitor"),
+            Some(AdmitPolicy::MonitorShed)
+        );
+        assert_eq!(
+            AdmitPolicy::from_name("monitor-shed"),
+            Some(AdmitPolicy::MonitorShed)
+        );
+        let mut q = AdmissionQueue::new(AdmitPolicy::MonitorShed);
+        q.push(req(0, 0, 5_000, false));
+        q.push(req(1, 40, 100, false));
+        q.push(req(2, 10, 50, false));
+        let shed = q.shed_blown(60);
+        assert_eq!(shed.len(), 1, "blown budgets still shed like EDF");
+        assert_eq!(q.pop_available(|_| true).unwrap().id, 1, "EDF order");
+    }
+
+    #[test]
+    fn monitor_aware_admission_sheds_low_classes_only_while_alerted() {
+        use dsra_monitor::{BurnRateConfig, Monitor, MonitorConfig, MonitorHandle};
+        use dsra_trace::TraceEvent;
+
+        let cfg = MonitorConfig {
+            window_cycles: 100,
+            tenant_budgets: vec![(0, 5.0), (1, 5.0)],
+            alert: BurnRateConfig {
+                fast_windows: 1,
+                slow_windows: 1,
+                fire_burn: 1.0,
+                clear_burn: 0.5,
+                hold_windows: 0,
+            },
+            ..MonitorConfig::default()
+        };
+        let handle = MonitorHandle::new(Monitor::new(cfg));
+        let gate = MonitorAwareAdmission::new(handle.clone());
+        let mut background = req(0, 0, 1_000, false);
+        background.class = ServiceClass::Background;
+        let quality = req(1, 0, 1_000, false); // req() defaults to Quality
+        let mut interactive = req(2, 0, 1_000, false);
+        interactive.class = ServiceClass::Deadline(16);
+        assert!(!gate.shed_early(&background, 50), "no alert yet");
+        // One all-shed window latches the tenant-0 alert.
+        handle.observe(&TraceEvent::JobShed {
+            t: 10,
+            job: 9,
+            tenant: 0,
+            queued: 10,
+        });
+        assert!(gate.shed_early(&background, 150), "alert latched");
+        assert!(
+            !gate.shed_early(&quality, 150),
+            "one alert sheds only the best-effort tier"
+        );
+        // Both tenants burning in the same window escalates to the
+        // quality tier (systemic overload).
+        for (t, tenant) in [(160, 0), (170, 1)] {
+            handle.observe(&TraceEvent::JobShed {
+                t,
+                job: 10 + tenant,
+                tenant,
+                queued: 10,
+            });
+        }
+        assert!(
+            gate.shed_early(&quality, 200),
+            "systemic burn sheds the quality tier too"
+        );
+        assert!(
+            !gate.shed_early(&interactive, 200),
+            "interactive work is never early-shed"
+        );
     }
 
     #[test]

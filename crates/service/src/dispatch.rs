@@ -16,11 +16,12 @@
 //! the scheduler prices exactly like any cold bitstream write.
 
 use dsra_core::error::{CoreError, Result};
+use dsra_monitor::{Monitor, MonitorConfig, MonitorHandle, MonitorSink};
 use dsra_runtime::{ArrayKind, SocRuntime, StreamArrayStatus};
-use dsra_trace::TraceEvent;
+use dsra_trace::{TraceEvent, TraceSink};
 use dsra_video::{JobPayload, JobSpec};
 
-use crate::admit::{AdmissionQueue, AdmitPolicy};
+use crate::admit::{AdmissionQueue, AdmitPolicy, MonitorAwareAdmission};
 use crate::report::{RequestOutcome, ServiceReport, TenantReport};
 use crate::trace::{generate_trace, Request, TenantSpec, TraceConfig};
 
@@ -49,12 +50,17 @@ impl Default for PoolConfig {
 }
 
 /// How one streaming session is run.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ServiceConfig {
     /// Admission / shedding policy.
     pub policy: AdmitPolicy,
     /// Elastic pool parameters.
     pub pool: PoolConfig,
+    /// Shared handle to the online monitor, when one is installed on the
+    /// runtime (see [`install_monitor`]). Required by
+    /// [`AdmitPolicy::MonitorShed`]; with any other policy it is only
+    /// finalized at session end so its alert log is complete.
+    pub monitor: Option<MonitorHandle>,
 }
 
 impl Default for ServiceConfig {
@@ -62,8 +68,60 @@ impl Default for ServiceConfig {
         ServiceConfig {
             policy: AdmitPolicy::EdfShed,
             pool: PoolConfig::default(),
+            monitor: None,
         }
     }
+}
+
+/// Builds a [`MonitorConfig`] for a tenant set: each tenant's error
+/// budget is its SLO shed tolerance, and the window geometry is scaled
+/// from the runtime's µs↔cycle factor (250 µs windows by default). The
+/// seal grace is one µs-quantum minus one cycle: the dispatcher's clock
+/// rounds cycles *up* to µs, so a job dispatched at instant `now` can
+/// complete up to `cycles_per_us − 1` cycles behind the watermark, and
+/// the grace keeps such completions inside their window — the monitor
+/// drops nothing, and time-ordered replay (`trace_report --slo`)
+/// reproduces the online state exactly.
+pub fn monitor_config_for(tenants: &[TenantSpec], cycles_per_us: u64) -> MonitorConfig {
+    MonitorConfig {
+        window_cycles: 250 * cycles_per_us.max(1),
+        hist_bucket_cycles: 25 * cycles_per_us.max(1),
+        seal_grace_cycles: cycles_per_us.max(1) - 1,
+        tenant_budgets: tenants
+            .iter()
+            .map(|t| (u32::from(t.id), f64::from(t.slo.shed_tolerance_pct)))
+            .collect(),
+        ..MonitorConfig::default()
+    }
+}
+
+/// Creates an online monitor for `tenants`, installs it on the runtime
+/// as a [`MonitorSink`] tee over `inner` (pass the previous sink, or a
+/// boxed [`dsra_trace::NoopSink`] when recording is off), and returns
+/// the shared handle. Put a clone of the handle into
+/// [`ServiceConfig::monitor`] so the dispatcher can finalize it — and,
+/// under [`AdmitPolicy::MonitorShed`], act on its alerts.
+pub fn install_monitor(
+    runtime: &mut SocRuntime,
+    tenants: &[TenantSpec],
+    inner: Box<dyn TraceSink>,
+) -> MonitorHandle {
+    let cyc = (runtime.config().soc.clock_mhz.round() as u64).max(1);
+    let cfg = monitor_config_for(tenants, cyc);
+    install_monitor_with(runtime, cfg, inner)
+}
+
+/// [`install_monitor`] with an explicit [`MonitorConfig`] — for callers
+/// that need non-default geometry (e.g. `keep_timeline` for the
+/// error-budget timeline the replay pinning test compares).
+pub fn install_monitor_with(
+    runtime: &mut SocRuntime,
+    cfg: MonitorConfig,
+    inner: Box<dyn TraceSink>,
+) -> MonitorHandle {
+    let handle = MonitorHandle::new(Monitor::new(cfg));
+    runtime.set_trace_sink(Box::new(MonitorSink::new(handle.clone(), inner)));
+    handle
 }
 
 fn payload_tag(payload: &JobPayload) -> &'static str {
@@ -135,22 +193,69 @@ pub fn serve_requests(
     let cyc = (runtime.config().soc.clock_mhz.round() as u64).max(1);
     let us_of = |cycle: u64| cycle.div_ceil(cyc);
 
+    // The health-driven control hook: only the monitor-shed policy acts
+    // on alerts, and it cannot work without the monitor that raises them.
+    let early = match (service.policy, &service.monitor) {
+        (AdmitPolicy::MonitorShed, Some(handle)) => {
+            Some(MonitorAwareAdmission::new(handle.clone()))
+        }
+        (AdmitPolicy::MonitorShed, None) => {
+            return Err(CoreError::Mismatch(
+                "monitor-shed policy requires ServiceConfig::monitor (see install_monitor)".into(),
+            ))
+        }
+        _ => None,
+    };
+
     let mut queue = AdmissionQueue::new(service.policy);
     let mut outcomes: Vec<Option<RequestOutcome>> = vec![None; trace.len()];
     let mut next = 0usize;
     let mut now_us = trace.first().map_or(duration_us, |r| r.arrival_us);
     let mut makespan_us = 0u64;
+    // A monitored session embeds its window geometry and tenant budgets
+    // in the trace metadata, so `trace_report --slo` can rebuild exactly
+    // the same windows post hoc. Monitor-off traces carry no new keys.
+    if let Some(handle) = &service.monitor {
+        if runtime.trace_sink().enabled() {
+            let mcfg = handle.with(|m| m.config().clone());
+            let budgets = mcfg
+                .tenant_budgets
+                .iter()
+                .map(|(t, b)| format!("{t}:{b}"))
+                .collect::<Vec<_>>()
+                .join(" ");
+            let sink = runtime.trace_sink();
+            sink.emit(TraceEvent::Meta {
+                key: "monitor_window_cycles",
+                value: mcfg.window_cycles.to_string(),
+            });
+            sink.emit(TraceEvent::Meta {
+                key: "monitor_hist_bucket_cycles",
+                value: mcfg.hist_bucket_cycles.to_string(),
+            });
+            sink.emit(TraceEvent::Meta {
+                key: "monitor_seal_grace_cycles",
+                value: mcfg.seal_grace_cycles.to_string(),
+            });
+            sink.emit(TraceEvent::Meta {
+                key: "monitor_tenant_budgets",
+                value: budgets,
+            });
+        }
+    }
     runtime.stream_begin();
 
     loop {
         // 1 — admission: everything that has arrived by `now` enters the
         // queue (open loop: admission never says no; the EDF policy says
-        // no at dispatch time by shedding).
+        // no at dispatch time by shedding). Exception: under monitor-shed
+        // a latched burn-rate alert sheds lowest-class arrivals here,
+        // before they occupy queue or array capacity.
         while next < trace.len() && trace[next].arrival_us <= now_us {
-            let r = &trace[next];
-            // Trace the arrival and its (open-loop, always-yes) admission
-            // in virtual cycles, so lifecycle spans line up with the
-            // runtime's schedule/exec events.
+            let r = trace[next];
+            // Trace the arrival and its admission decision in virtual
+            // cycles, so lifecycle spans line up with the runtime's
+            // schedule/exec events.
             if runtime.trace_sink().enabled() {
                 let sink = runtime.trace_sink();
                 sink.emit(TraceEvent::JobEnqueue {
@@ -166,8 +271,39 @@ pub fn serve_requests(
                     job: r.id,
                 });
             }
-            queue.push(trace[next]);
             next += 1;
+            if let Some(gate) = &early {
+                if gate.shed_early(&r, now_us * cyc) {
+                    let wait_us = now_us - r.arrival_us;
+                    if runtime.trace_sink().enabled() {
+                        runtime.trace_sink().emit(TraceEvent::JobShed {
+                            t: now_us * cyc,
+                            job: r.id,
+                            tenant: r.tenant.into(),
+                            queued: wait_us * cyc,
+                        });
+                    }
+                    outcomes[r.id as usize] = Some(RequestOutcome {
+                        id: r.id,
+                        tenant: r.tenant,
+                        kind: payload_tag(&r.payload),
+                        arrival_us: r.arrival_us,
+                        deadline_us: r.deadline_us,
+                        shed: true,
+                        array: usize::MAX,
+                        start_us: now_us,
+                        end_us: now_us,
+                        latency_us: 0,
+                        violated: false,
+                        shed_wait_us: wait_us,
+                        reconfig_bits: 0,
+                        checksum: 0,
+                        energy_j: 0.0,
+                    });
+                    continue;
+                }
+            }
+            queue.push(r);
         }
 
         // 2 — shedding: queued requests whose budget is already blown.
@@ -311,6 +447,12 @@ pub fn serve_requests(
     let summary = runtime
         .stream_end(end_us * cyc)
         .expect("session opened above");
+    // Close the monitor's stream too: every resident window seals, so the
+    // alert log and final snapshot are complete and replay-identical.
+    let health = service.monitor.as_ref().map(|handle| {
+        handle.finalize(end_us * cyc);
+        handle.final_snapshot()
+    });
 
     let outcomes: Vec<RequestOutcome> = outcomes
         .into_iter()
@@ -355,5 +497,6 @@ pub fn serve_requests(
         pool: summary,
         tenants,
         outcomes,
+        health,
     })
 }

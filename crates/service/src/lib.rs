@@ -59,8 +59,11 @@ pub mod dispatch;
 pub mod report;
 pub mod trace;
 
-pub use admit::{AdmissionQueue, AdmitPolicy};
-pub use dispatch::{serve_requests, serve_trace, PoolConfig, ServiceConfig};
+pub use admit::{AdmissionQueue, AdmitPolicy, MonitorAwareAdmission};
+pub use dispatch::{
+    install_monitor, install_monitor_with, monitor_config_for, serve_requests, serve_trace,
+    PoolConfig, ServiceConfig,
+};
 pub use report::{RequestOutcome, ServiceReport, TenantReport};
 pub use trace::{
     generate_trace, standard_tenant, standard_tenants, Request, SloSpec, TenantSpec, TraceConfig,

@@ -96,6 +96,11 @@ pub struct ServiceReport {
     pub tenants: Vec<TenantReport>,
     /// Per-request outcomes (request-id order).
     pub outcomes: Vec<RequestOutcome>,
+    /// Final health snapshot when an online monitor was installed
+    /// (`None` otherwise). Deliberately outside [`ServiceReport::digest`]:
+    /// the digest pins dispatch decisions, which must not move when
+    /// observation is switched on.
+    pub health: Option<dsra_trace::HealthSnapshot>,
 }
 
 impl ServiceReport {

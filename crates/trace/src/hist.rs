@@ -20,6 +20,7 @@ pub struct Histogram {
     counts: Vec<u64>,
     total: u64,
     max: u64,
+    sum: u64,
 }
 
 impl Histogram {
@@ -36,6 +37,7 @@ impl Histogram {
             counts: vec![0; buckets],
             total: 0,
             max: 0,
+            sum: 0,
         }
     }
 
@@ -45,6 +47,7 @@ impl Histogram {
         self.counts[i] += 1;
         self.total += 1;
         self.max = self.max.max(value);
+        self.sum = self.sum.saturating_add(value);
     }
 
     /// Records every value of an iterator.
@@ -64,9 +67,39 @@ impl Histogram {
         self.max
     }
 
+    /// Saturating sum of all recorded values (0 when empty).
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
     /// Per-bucket counts (the last bucket is the overflow bucket).
     pub fn counts(&self) -> &[u64] {
         &self.counts
+    }
+
+    /// Folds another histogram of the identical shape into this one:
+    /// per-bucket counts add, totals and sums add (saturating), the
+    /// maximum is the max of both. The window ring in `dsra-monitor`
+    /// merges per-window histograms into a sliding view with this.
+    ///
+    /// # Panics
+    /// Panics when the shapes (width or bucket count) differ.
+    pub fn merge(&mut self, other: &Histogram) {
+        assert_eq!(
+            self.bucket_width, other.bucket_width,
+            "bucket width mismatch"
+        );
+        assert_eq!(
+            self.counts.len(),
+            other.counts.len(),
+            "bucket count mismatch"
+        );
+        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
+            *a += b;
+        }
+        self.total += other.total;
+        self.max = self.max.max(other.max);
+        self.sum = self.sum.saturating_add(other.sum);
     }
 
     /// Nearest-rank percentile (`p` in `[0, 100]`): the inclusive upper
@@ -158,6 +191,36 @@ mod tests {
         assert_eq!(h.p50(), 0);
         assert_eq!(h.p99(), 0);
         assert_eq!(h.max(), 0);
+    }
+
+    #[test]
+    fn sum_tracks_recorded_values_and_saturates() {
+        let mut h = Histogram::new(10, 4);
+        h.record_all([5, 15, 1_000]);
+        assert_eq!(h.sum(), 1_020);
+        h.record(u64::MAX);
+        assert_eq!(h.sum(), u64::MAX, "sum saturates instead of wrapping");
+    }
+
+    #[test]
+    fn merge_equals_recording_the_union() {
+        let mut a = Histogram::new(25, 40);
+        let mut b = Histogram::new(25, 40);
+        let mut whole = Histogram::new(25, 40);
+        a.record_all([3, 7, 110]);
+        b.record_all([40, 999, 2_000]);
+        whole.record_all([3, 7, 110, 40, 999, 2_000]);
+        a.merge(&b);
+        assert_eq!(a, whole);
+        assert_eq!(a.p99(), whole.p99());
+        assert_eq!(a.sum(), whole.sum());
+    }
+
+    #[test]
+    #[should_panic(expected = "bucket width mismatch")]
+    fn merge_rejects_shape_mismatch() {
+        let mut a = Histogram::new(1, 4);
+        a.merge(&Histogram::new(2, 4));
     }
 
     #[test]

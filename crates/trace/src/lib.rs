@@ -37,12 +37,14 @@
 
 pub mod chrome;
 pub mod event;
+pub mod health;
 pub mod hist;
 pub mod metrics;
 pub mod sink;
 
 pub use chrome::chrome_trace;
 pub use event::{ArrayPhase, EnergyBreakdown, TraceEvent};
+pub use health::{ArrayHealth, BatteryHealth, HealthSnapshot, LatencyStats, TenantHealth};
 pub use hist::Histogram;
 pub use metrics::MetricsRegistry;
 pub use sink::{EventLog, JobSpan, NoopSink, TraceSink};

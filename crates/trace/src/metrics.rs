@@ -98,6 +98,45 @@ impl MetricsRegistry {
         }
         out
     }
+
+    /// Prometheus text-exposition rendering, deterministic: counters, then
+    /// gauges, then histograms (as summaries with nearest-rank quantiles),
+    /// each in insertion order. Names are prefixed with `prefix_` and
+    /// sanitised to `[a-zA-Z0-9_:]`; integer counters print exactly and
+    /// gauges print with 6 decimals, so same-seed dumps are byte-identical.
+    pub fn render_prometheus(&self, prefix: &str) -> String {
+        let name_of = |raw: &str| {
+            let mut n = String::with_capacity(prefix.len() + raw.len() + 1);
+            n.push_str(prefix);
+            n.push('_');
+            for c in raw.chars() {
+                if c.is_ascii_alphanumeric() || c == '_' || c == ':' {
+                    n.push(c);
+                } else {
+                    n.push('_');
+                }
+            }
+            n
+        };
+        let mut out = String::new();
+        for (raw, v) in &self.counters {
+            let n = name_of(raw);
+            out.push_str(&format!("# TYPE {n} counter\n{n} {v}\n"));
+        }
+        for (raw, v) in &self.gauges {
+            let n = name_of(raw);
+            out.push_str(&format!("# TYPE {n} gauge\n{n} {v:.6}\n"));
+        }
+        for (raw, h) in &self.hists {
+            let n = name_of(raw);
+            out.push_str(&format!("# TYPE {n} summary\n"));
+            for (q, p) in [("0.5", 50.0), ("0.9", 90.0), ("0.99", 99.0)] {
+                out.push_str(&format!("{n}{{quantile=\"{q}\"}} {}\n", h.percentile(p)));
+            }
+            out.push_str(&format!("{n}_sum {}\n{n}_count {}\n", h.sum(), h.count()));
+        }
+        out
+    }
 }
 
 #[cfg(test)]
@@ -143,5 +182,29 @@ mod tests {
         assert!(r.contains("pct = 50.000000"));
         assert!(r.contains("lat: n=1 p50=3 p90=3 p99=3 max=3"));
         assert_eq!(m.counter_names().collect::<Vec<_>>(), ["zebra", "alpha"]);
+    }
+
+    #[test]
+    fn prometheus_rendering_is_typed_prefixed_and_sanitised() {
+        let mut m = MetricsRegistry::new();
+        m.count("jobs", 12);
+        m.set_gauge("util-pct", 62.5);
+        m.hist_mut("latency_us", 1, 64).record_all([10, 20, 30]);
+        let p = m.render_prometheus("dsra");
+        assert_eq!(p, m.render_prometheus("dsra"), "deterministic");
+        assert!(p.contains("# TYPE dsra_jobs counter\ndsra_jobs 12\n"));
+        assert!(
+            p.contains("# TYPE dsra_util_pct gauge\ndsra_util_pct 62.500000\n"),
+            "dash sanitised to underscore: {p}"
+        );
+        assert!(p.contains("# TYPE dsra_latency_us summary\n"));
+        assert!(p.contains("dsra_latency_us{quantile=\"0.5\"} 20\n"));
+        assert!(p.contains("dsra_latency_us{quantile=\"0.99\"} 30\n"));
+        assert!(p.contains("dsra_latency_us_sum 60\n"));
+        assert!(p.contains("dsra_latency_us_count 3\n"));
+        let counters = p.find("dsra_jobs").expect("counter");
+        let gauges = p.find("dsra_util_pct").expect("gauge");
+        let hists = p.find("dsra_latency_us").expect("summary");
+        assert!(counters < gauges && gauges < hists, "section order");
     }
 }

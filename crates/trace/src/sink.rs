@@ -2,6 +2,7 @@
 //! (the default everywhere) and the recording [`EventLog`].
 
 use crate::event::{ArrayPhase, EnergyBreakdown, TraceEvent};
+use crate::health::HealthSnapshot;
 use std::collections::BTreeMap;
 
 /// Receives trace events. Producers must guard event *construction* behind
@@ -31,6 +32,20 @@ pub trait TraceSink: Send {
     /// is one (avoids downcasting through `Any`).
     fn into_log(self: Box<Self>) -> Option<EventLog> {
         None
+    }
+
+    /// Answers a [`HealthSnapshot`] for the virtual instant `now_cycle`,
+    /// if this sink is a streaming monitor. Plain recorders return `None`.
+    fn health_snapshot(&mut self, now_cycle: u64) -> Option<HealthSnapshot> {
+        let _ = now_cycle;
+        None
+    }
+
+    /// Burn-rate alerts latched at `now_cycle`; 0 for non-monitoring
+    /// sinks. Control hooks (`MonitorAwareAdmission`) poll this.
+    fn active_alerts(&mut self, now_cycle: u64) -> u32 {
+        let _ = now_cycle;
+        0
     }
 }
 

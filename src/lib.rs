@@ -23,6 +23,9 @@
 //!   differential check mode that diffs them per job;
 //! * [`trace`] — deterministic virtual-time tracing: job-lifecycle events,
 //!   array state intervals, metrics registry, Chrome-trace exporter;
+//! * [`monitor`] — online windowed SLO monitoring over the trace stream:
+//!   sliding-window percentiles, burn-rate alerting with hysteresis,
+//!   health snapshots driving admission control;
 //! * [`runtime`] — the multi-array SoC runtime: content-addressed bitstream
 //!   cache, diff-aware scheduling, energy-aware serving, worker-thread job
 //!   service;
@@ -50,6 +53,7 @@ pub use dsra_backend as backend;
 pub use dsra_core as core;
 pub use dsra_dct as dct;
 pub use dsra_me as me;
+pub use dsra_monitor as monitor;
 pub use dsra_platform as platform;
 pub use dsra_power as power;
 pub use dsra_runtime as runtime;

@@ -104,6 +104,33 @@ fn experiment_index_references_resolve() {
             "DESIGN.md §11 must cover `{anchor}`"
         );
     }
+    assert!(
+        design.contains("## 12. Online monitoring"),
+        "DESIGN.md must document the dsra-monitor layer (§12)"
+    );
+    for anchor in [
+        "MonitorSink",
+        "HealthSnapshot",
+        "BurnRateConfig",
+        "seal_grace_cycles",
+        "AlertLog",
+        "MonitorAwareAdmission",
+        "monitor_replay.rs",
+        "trace_report --slo",
+        "--metrics <file>",
+        "render_prometheus",
+    ] {
+        assert!(
+            design.contains(anchor),
+            "DESIGN.md §12 must cover `{anchor}`"
+        );
+    }
+    for anchor in ["--monitor", "--metrics <file>", "--slo", "monitor-shed"] {
+        assert!(
+            readme.contains(anchor),
+            "README must document the monitor surface `{anchor}`"
+        );
+    }
     for anchor in [
         "ArrayBackend",
         "GoldenBackend",
@@ -148,6 +175,10 @@ fn experiment_index_references_resolve() {
         readme.contains("`dsra-trace`"),
         "README crate map must list dsra-trace"
     );
+    assert!(
+        readme.contains("`dsra-monitor`"),
+        "README crate map must list dsra-monitor"
+    );
 
     for bin in [
         "table1",
@@ -162,6 +193,7 @@ fn experiment_index_references_resolve() {
         "battery_serve",
         "stream_serve",
         "trace_report",
+        "bench_diff",
     ] {
         let path = root.join(format!("crates/bench/src/bin/{bin}.rs"));
         assert!(path.is_file(), "README indexes missing binary {bin}");

@@ -8,10 +8,13 @@
 
 use dsra::runtime::{DctMapping, RuntimeConfig, SocRuntime};
 use dsra::service::{
-    serve_trace, standard_tenants, AdmitPolicy, PoolConfig, ServiceConfig, ServiceReport,
-    TraceConfig,
+    install_monitor, serve_trace, standard_tenants, AdmitPolicy, PoolConfig, ServiceConfig,
+    ServiceReport, TraceConfig,
 };
+use dsra_bench::hist::Histogram;
 use dsra_bench::latency_histogram;
+use dsra_bench::stream::{LATENCY_BUCKETS, LATENCY_BUCKET_US};
+use dsra_trace::NoopSink;
 
 use std::sync::OnceLock;
 
@@ -32,22 +35,32 @@ fn runtime() -> SocRuntime {
 /// A deliberately overloaded trace: 4 tenants offering several times
 /// what the 1 DA + 1 ME pool can serve (≈3 µs mean gap per tenant), so
 /// backlog — and with it shedding and the policy difference — is
-/// guaranteed to appear.
+/// guaranteed to appear. The duration is long enough for the monitor's
+/// slow burn window (6 × 250 µs) to fill and latch alerts while
+/// arrivals are still flowing, so the monitor-shed gate below exercises
+/// the closed loop, not just the EDF fallback.
 fn overloaded_trace() -> TraceConfig {
     TraceConfig {
         tenants: standard_tenants(4, 3),
-        duration_us: 2_000,
+        duration_us: 6_000,
         ..Default::default()
     }
 }
 
 fn run(policy: AdmitPolicy) -> ServiceReport {
+    let mut rt = runtime();
+    let trace = overloaded_trace();
+    // `monitor-shed` closes the loop through the online monitor; the
+    // other policies serve unobserved, as before.
+    let monitor = (policy == AdmitPolicy::MonitorShed)
+        .then(|| install_monitor(&mut rt, &trace.tenants, Box::new(NoopSink)));
     serve_trace(
-        &mut runtime(),
-        &overloaded_trace(),
+        &mut rt,
+        &trace,
         &ServiceConfig {
             policy,
             pool: PoolConfig::default(),
+            monitor,
         },
     )
     .expect("session")
@@ -63,6 +76,11 @@ fn fifo_report() -> &'static ServiceReport {
 fn edf_report() -> &'static ServiceReport {
     static EDF: OnceLock<ServiceReport> = OnceLock::new();
     EDF.get_or_init(|| run(AdmitPolicy::EdfShed))
+}
+
+fn monitor_report() -> &'static ServiceReport {
+    static MON: OnceLock<ServiceReport> = OnceLock::new();
+    MON.get_or_init(|| run(AdmitPolicy::MonitorShed))
 }
 
 #[test]
@@ -93,6 +111,89 @@ fn edf_with_shedding_beats_fifo_on_p99_and_violation_rate() {
     // was served was mostly worth serving.
     assert!(edf.shed > 0, "overload must trigger shedding");
     assert!(edf.goodput_pct() > fifo.goodput_pct());
+}
+
+/// The PR's closed-loop gate: when the burn-rate alerter latches under
+/// overload, `monitor-shed` sacrifices best-effort and quality-tier
+/// arrivals early — which must buy the latency-critical interactive
+/// tenants strictly fewer deadline violations *and* strictly more good
+/// serves than plain EDF shedding, cut the service-wide p99 tail, and
+/// never worsen interactive p99.
+///
+/// Interactive p99 itself is capped, not improved: EDF's shed-blown
+/// step truncates every served request's latency at its deadline, so
+/// under saturating overload both policies pin the interactive tail at
+/// the 900 µs budget — the win shows up in *how many* requests make
+/// that tail (violations, goodput), and in the service-wide tail,
+/// where early-shed background work stops lingering for tens of ms.
+#[test]
+fn monitor_shed_protects_interactive_tenants_under_overload() {
+    let edf = edf_report();
+    let mon = monitor_report();
+    assert_eq!(edf.requests, mon.requests, "equal offered load");
+    assert!(
+        mon.shed > edf.shed,
+        "the health-driven policy must shed more ({} vs {})",
+        mon.shed,
+        edf.shed
+    );
+
+    let interactive_ids = |r: &ServiceReport| -> Vec<u16> {
+        r.tenants
+            .iter()
+            .filter(|t| t.spec.archetype == "interactive")
+            .map(|t| t.spec.id)
+            .collect()
+    };
+    let ids = interactive_ids(edf);
+    assert_eq!(ids, interactive_ids(mon));
+    assert!(
+        !ids.is_empty(),
+        "the overload trace has interactive tenants"
+    );
+
+    let interactive_p99 = |r: &ServiceReport| -> u64 {
+        let mut h = Histogram::new(LATENCY_BUCKET_US, LATENCY_BUCKETS);
+        for o in r.outcomes.iter().filter(|o| !o.shed) {
+            if ids.contains(&o.tenant) {
+                h.record(o.latency_us);
+            }
+        }
+        h.p99()
+    };
+    let interactive = |r: &ServiceReport| -> (usize, usize) {
+        r.tenants
+            .iter()
+            .filter(|t| t.spec.archetype == "interactive")
+            .fold((0, 0), |(viol, good), t| {
+                (viol + t.violations, good + t.served - t.violations)
+            })
+    };
+    let ((edf_viol, edf_good), (mon_viol, mon_good)) = (interactive(edf), interactive(mon));
+    assert!(
+        mon_viol < edf_viol,
+        "monitor-shed interactive violations {mon_viol} must beat EDF {edf_viol}"
+    );
+    assert!(
+        mon_good > edf_good,
+        "monitor-shed interactive goodput {mon_good} must beat EDF {edf_good}"
+    );
+    assert!(
+        interactive_p99(mon) <= interactive_p99(edf),
+        "monitor-shed interactive p99 {} must not regress EDF's {}",
+        interactive_p99(mon),
+        interactive_p99(edf)
+    );
+    // The service-wide tail (the histogram behind BENCH_stream.json's
+    // p99 key) must come down: early-shed background work no longer
+    // serves after queueing for tens of ms.
+    let (hm, he) = (latency_histogram(mon), latency_histogram(edf));
+    assert!(
+        hm.p99() < he.p99(),
+        "monitor-shed service p99 {} must beat EDF {}",
+        hm.p99(),
+        he.p99()
+    );
 }
 
 #[test]
