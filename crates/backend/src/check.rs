@@ -1,11 +1,73 @@
 //! The differential backend: every job through both engines, diffed.
 
+use std::fmt;
+
 use dsra_core::error::{CoreError, Result};
 use dsra_core::report::ExecOutcome;
 use dsra_dct::DaParams;
 use dsra_video::JobSpec;
 
 use crate::{ArrayBackend, Backend, GoldenBackend};
+
+/// A structured divergence between an executed outcome and the golden
+/// reference for the same job — what the differential harness and the
+/// chaos spot-checker report instead of a pre-formatted string, so
+/// recovery code can branch on the fields (which job, which kernel, how
+/// far off) while `Display` still renders the exact legacy message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Divergence {
+    /// Id of the diverging job.
+    pub job: u32,
+    /// Kernel the job was placed on.
+    pub kernel: String,
+    /// The golden-reference outcome.
+    pub expected: ExecOutcome,
+    /// The outcome actually produced.
+    pub got: ExecOutcome,
+}
+
+impl Divergence {
+    /// Compares an outcome against the golden expectation: `None` when the
+    /// contract holds, the structured divergence otherwise.
+    pub fn compare(
+        job: &JobSpec,
+        kernel: &str,
+        expected: ExecOutcome,
+        got: ExecOutcome,
+    ) -> Option<Divergence> {
+        (expected != got).then(|| Divergence {
+            job: job.id,
+            kernel: kernel.to_owned(),
+            expected,
+            got,
+        })
+    }
+}
+
+impl fmt::Display for Divergence {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "backend divergence on job {} ({}): \
+             array (cycles {}, checksum {:#018x}) vs \
+             golden (cycles {}, checksum {:#018x})",
+            self.job,
+            self.kernel,
+            self.got.exec_cycles,
+            self.got.checksum,
+            self.expected.exec_cycles,
+            self.expected.checksum
+        )
+    }
+}
+
+impl std::error::Error for Divergence {}
+
+impl From<Divergence> for CoreError {
+    fn from(d: Divergence) -> Self {
+        CoreError::Mismatch(d.to_string())
+    }
+}
 
 /// Runs every job through the array simulator *and* the golden reference
 /// and fails on the first divergence — `soc_serve --backend check`. The
@@ -15,6 +77,28 @@ use crate::{ArrayBackend, Backend, GoldenBackend};
 pub struct CheckBackend {
     array: ArrayBackend,
     golden: GoldenBackend,
+}
+
+impl CheckBackend {
+    /// Runs one job through both engines, returning the structured
+    /// [`Divergence`] when they disagree (the array outcome otherwise).
+    ///
+    /// # Errors
+    /// Propagates engine construction/execution failures from either
+    /// backend (not divergences — those come back in the `Ok` branch).
+    pub fn execute_diffed(
+        &mut self,
+        params: DaParams,
+        job: &JobSpec,
+        kernel_name: &str,
+    ) -> Result<std::result::Result<ExecOutcome, Divergence>> {
+        let array = self.array.execute(params, job, kernel_name)?;
+        let golden = self.golden.execute(params, job, kernel_name)?;
+        Ok(match Divergence::compare(job, kernel_name, golden, array) {
+            Some(d) => Err(d),
+            None => Ok(array),
+        })
+    }
 }
 
 impl Backend for CheckBackend {
@@ -28,16 +112,7 @@ impl Backend for CheckBackend {
         job: &JobSpec,
         kernel_name: &str,
     ) -> Result<ExecOutcome> {
-        let array = self.array.execute(params, job, kernel_name)?;
-        let golden = self.golden.execute(params, job, kernel_name)?;
-        if array != golden {
-            return Err(CoreError::Mismatch(format!(
-                "backend divergence on job {} ({kernel_name}): \
-                 array (cycles {}, checksum {:#018x}) vs \
-                 golden (cycles {}, checksum {:#018x})",
-                job.id, array.exec_cycles, array.checksum, golden.exec_cycles, golden.checksum
-            )));
-        }
-        Ok(array)
+        self.execute_diffed(params, job, kernel_name)?
+            .map_err(CoreError::from)
     }
 }

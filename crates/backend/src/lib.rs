@@ -40,7 +40,7 @@ use dsra_video::{
 };
 
 pub use array::ArrayBackend;
-pub use check::CheckBackend;
+pub use check::{CheckBackend, Divergence};
 pub use golden::{golden_me_search, GoldenDct};
 pub use mapping::DctMapping;
 

@@ -130,6 +130,47 @@ fn check_backend_passes_and_reports_array_outcome() {
     assert_eq!(outcome, array, "check mode must surface the array outcome");
 }
 
+/// A divergence on an *ME* job (not just DCT) must surface as the
+/// structured type with the diverging fields intact, and its `Display`
+/// must render the exact legacy message `CheckBackend` used to format
+/// inline — replay tooling greps for that text.
+#[test]
+fn me_divergence_is_structured_and_display_is_stable() {
+    use dsra_backend::Divergence;
+    let params = DaParams::precise();
+    let job = me_job(6000, 0x3E_BAD, (48, 32), (1, -1), 16, 2);
+    let expected = GoldenBackend::default()
+        .execute(params, &job, "ME 16")
+        .expect("golden ME outcome");
+
+    // Agreement: no divergence object is produced.
+    assert_eq!(Divergence::compare(&job, "ME 16", expected, expected), None);
+
+    // A single flipped checksum bit — the signature of a datapath fault —
+    // must produce the structured report.
+    let got = dsra_core::report::ExecOutcome {
+        checksum: expected.checksum ^ (1 << 17),
+        ..expected
+    };
+    let d = Divergence::compare(&job, "ME 16", expected, got).expect("divergence detected");
+    assert_eq!(d.job, job.id);
+    assert_eq!(d.kernel, "ME 16");
+    assert_eq!(d.expected, expected);
+    assert_eq!(d.got, got);
+    assert_eq!(
+        d.to_string(),
+        format!(
+            "backend divergence on job {} (ME 16): \
+             array (cycles {}, checksum {:#018x}) vs \
+             golden (cycles {}, checksum {:#018x})",
+            job.id, got.exec_cycles, got.checksum, expected.exec_cycles, expected.checksum
+        )
+    );
+    // And the error-path conversion carries the same text.
+    let err: dsra_core::error::CoreError = d.into();
+    assert!(err.to_string().contains("backend divergence on job 6000"));
+}
+
 #[test]
 fn backend_kind_round_trips() {
     for kind in BackendKind::ALL {

@@ -1,0 +1,160 @@
+//! E15 — chaos serving (DESIGN.md §13): the E13 multi-tenant stream
+//! under a seeded fault plan — stuck-at lanes, transient upsets,
+//! corrupted configuration writes, array death, battery brownouts — once
+//! with the full recovery stack (golden spot checks, retry-elsewhere,
+//! quarantine + probes) and once fault-*oblivious*, comparing corrupt
+//! results served, corruption-aware goodput and tail latency.
+//!
+//! ```sh
+//! cargo run -p dsra-bench --release --bin chaos_serve
+//! cargo run -p dsra-bench --release --bin chaos_serve -- \
+//!     --tenants 3 --duration 6000 --rate 450 --da 2 --me 2 \
+//!     --seed 7 --json --trace chaos.trace.json
+//! ```
+//!
+//! Output is byte-identical across runs with the same arguments: the
+//! request trace and the fault plan are pure functions of their seeds,
+//! and injection, detection, retries and probes all run in the
+//! dispatcher's virtual time. `--trace <file>` records the recovery
+//! arm's session — fault/divergence/retry/quarantine/restore instants
+//! land on the array tracks next to the intervals they perturb.
+
+use dsra_bench::{
+    arg_value, banner, chaos_metrics, json_flag, latency_histogram, parse_u64, write_chrome_trace,
+    write_json_summary, write_metrics_arg, JsonValue,
+};
+use dsra_chaos::{serve_with_chaos, ChaosConfig, ChaosReport, FaultPlan, RecoveryConfig};
+use dsra_runtime::{RuntimeConfig, SocRuntime};
+use dsra_service::{standard_tenants, ServiceConfig, TraceConfig};
+use dsra_trace::EventLog;
+
+fn main() {
+    let tenants = parse_u64("--tenants", 3) as u16;
+    let duration_us = parse_u64("--duration", 6_000);
+    let rate_per_ms = parse_u64("--rate", 450).max(1);
+    let da = parse_u64("--da", 2) as usize;
+    let me = parse_u64("--me", 2) as usize;
+    // Fault-plan seed; the request trace keeps E13's default seed so the
+    // offered load is the familiar one.
+    let seed = parse_u64("--seed", 7);
+    banner(
+        "E15",
+        "chaos serving: fault injection + detection/retry/quarantine vs. oblivious",
+    );
+    println!(
+        "{tenants} tenants, {duration_us} µs trace, ~{rate_per_ms} req/ms offered, \
+         pool {da} DA + {me} ME, fault seed {seed:#x}\n"
+    );
+
+    let mean_gap_us = (u64::from(tenants).max(1) * 1000 / rate_per_ms).max(1);
+    let trace = TraceConfig {
+        tenants: standard_tenants(tenants, mean_gap_us),
+        duration_us,
+        ..Default::default()
+    };
+    let plan = FaultPlan::generate(&ChaosConfig {
+        seed,
+        duration_us,
+        arrays: da + me,
+        ..Default::default()
+    });
+    println!("fault plan         : {} events", plan.len());
+    for e in plan.events() {
+        println!("  t={:>6} µs  array {}  {}", e.at_us, e.array, e.kind.tag());
+    }
+    println!();
+
+    let arms = [
+        ("recovery", RecoveryConfig::default()),
+        ("oblivious", RecoveryConfig::oblivious()),
+    ];
+    let mut reports: Vec<ChaosReport> = Vec::new();
+    for (i, (tag, recovery)) in arms.iter().enumerate() {
+        let mut runtime = SocRuntime::new(RuntimeConfig {
+            da_arrays: da,
+            me_arrays: me,
+            ..Default::default()
+        })
+        .expect("runtime construction");
+        // `--trace <file>` records the recovery arm (the one with chaos
+        // events worth looking at).
+        let trace_path = if i == 0 { arg_value("--trace") } else { None };
+        if trace_path.is_some() {
+            runtime.set_trace_sink(Box::new(EventLog::new()));
+        }
+        let report = serve_with_chaos(
+            &mut runtime,
+            &trace,
+            &ServiceConfig::default(),
+            &plan,
+            *recovery,
+        )
+        .expect("chaos session");
+        println!("--- {tag} ---");
+        print!("{}", report.service.render());
+        let c = report.counts;
+        println!(
+            "chaos              : {} faults, {} divergences, {} retries, \
+             {} quarantines, {} restores, {} failed jobs",
+            c.faults_injected, c.divergences, c.retries, c.quarantines, c.restores, c.failed_jobs
+        );
+        println!(
+            "corruption         : {} of {} executions corrupted, {} corrupt results served",
+            report.corrupt_execs, report.total_execs, report.corrupt_served
+        );
+        println!(
+            "useful goodput     : {:.2} % (served, on time, and correct)",
+            report.useful_goodput_pct()
+        );
+        let h = latency_histogram(&report.service);
+        println!(
+            "serve latency      : p50 {} µs, p99 {} µs",
+            h.p50(),
+            h.p99()
+        );
+        println!("chaos digest       : {:#018x}\n", report.digest());
+        if let Some(path) = &trace_path {
+            write_chrome_trace(&mut runtime, path);
+        }
+        reports.push(report);
+    }
+
+    let (recovered, oblivious) = (&reports[0], &reports[1]);
+    println!(
+        "recovery vs oblivious: corrupt served {} vs {}, useful goodput {:.2} % vs {:.2} % — \
+         detection plus retry-elsewhere turns silent corruption into served-correct results.",
+        recovered.corrupt_served,
+        oblivious.corrupt_served,
+        recovered.useful_goodput_pct(),
+        oblivious.useful_goodput_pct()
+    );
+    // The E15 gate only means something once the plan actually corrupted
+    // results the oblivious arm went on to serve.
+    if oblivious.corrupt_served > 0 {
+        assert_eq!(
+            recovered.corrupt_served, 0,
+            "E15 gate: per-job spot checks must withhold every corrupt result"
+        );
+        assert!(
+            recovered.useful_goodput_pct() > oblivious.useful_goodput_pct(),
+            "E15 gate: recovery must beat oblivious on corruption-aware goodput"
+        );
+    }
+
+    let mut metrics: Vec<(String, JsonValue)> = vec![
+        ("tenants".into(), JsonValue::Int(u64::from(tenants))),
+        ("duration_us".into(), JsonValue::Int(duration_us)),
+        ("rate_per_ms".into(), JsonValue::Int(rate_per_ms)),
+        ("da_arrays".into(), JsonValue::Int(da as u64)),
+        ("me_arrays".into(), JsonValue::Int(me as u64)),
+        ("fault_seed".into(), JsonValue::Int(seed)),
+        ("faults_planned".into(), JsonValue::Int(plan.len() as u64)),
+    ];
+    for (report, (tag, _)) in reports.iter().zip(&arms) {
+        metrics.extend(chaos_metrics(report, tag));
+    }
+    if json_flag() {
+        write_json_summary("chaos", "E15", &metrics);
+    }
+    write_metrics_arg(&metrics);
+}

@@ -1,0 +1,74 @@
+//! E15 metric assembly: one definition of the `BENCH_chaos.json`
+//! payload, shared by the `chaos_serve` binary, the JSON-contract test
+//! and the tier-1 integration gate (`tests/chaos_serve.rs`) — so the
+//! artifact, its schema test and the acceptance gate cannot drift apart.
+
+use dsra_chaos::ChaosReport;
+
+use crate::stream::latency_histogram;
+use crate::JsonValue;
+
+/// The per-arm metric block of `BENCH_chaos.json`, keys prefixed with
+/// the arm tag (`recovery_…` / `oblivious_…`): the dispatch totals, the
+/// tail, the injection/recovery tallies, the corruption ground truth and
+/// the corruption-aware goodput the E15 gate compares on.
+pub fn chaos_metrics(report: &ChaosReport, tag: &str) -> Vec<(String, JsonValue)> {
+    let s = &report.service;
+    let h = latency_histogram(s);
+    vec![
+        (format!("{tag}_requests"), JsonValue::Int(s.requests as u64)),
+        (format!("{tag}_served"), JsonValue::Int(s.served as u64)),
+        (format!("{tag}_shed"), JsonValue::Int(s.shed as u64)),
+        (format!("{tag}_failed"), JsonValue::Int(s.failed as u64)),
+        (
+            format!("{tag}_violations"),
+            JsonValue::Int(s.violations as u64),
+        ),
+        (format!("{tag}_p50_latency_us"), JsonValue::Int(h.p50())),
+        (format!("{tag}_p99_latency_us"), JsonValue::Int(h.p99())),
+        (
+            format!("{tag}_goodput_pct"),
+            JsonValue::Num(s.goodput_pct()),
+        ),
+        (
+            format!("{tag}_useful_goodput_pct"),
+            JsonValue::Num(report.useful_goodput_pct()),
+        ),
+        (
+            format!("{tag}_corrupt_served"),
+            JsonValue::Int(report.corrupt_served as u64),
+        ),
+        (
+            format!("{tag}_corrupt_execs"),
+            JsonValue::Int(report.corrupt_execs),
+        ),
+        (
+            format!("{tag}_total_execs"),
+            JsonValue::Int(report.total_execs),
+        ),
+        (
+            format!("{tag}_faults_injected"),
+            JsonValue::Int(report.counts.faults_injected),
+        ),
+        (
+            format!("{tag}_divergences"),
+            JsonValue::Int(report.counts.divergences),
+        ),
+        (
+            format!("{tag}_retries"),
+            JsonValue::Int(report.counts.retries),
+        ),
+        (
+            format!("{tag}_quarantines"),
+            JsonValue::Int(report.counts.quarantines),
+        ),
+        (
+            format!("{tag}_restores"),
+            JsonValue::Int(report.counts.restores),
+        ),
+        (
+            format!("{tag}_digest"),
+            JsonValue::Str(format!("{:#018x}", report.digest())),
+        ),
+    ]
+}

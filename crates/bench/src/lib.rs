@@ -19,6 +19,7 @@
 
 #![warn(missing_docs)]
 
+pub mod chaos;
 pub mod diff;
 pub mod discharge;
 pub mod json;
@@ -34,6 +35,7 @@ use dsra_core::netlist::Netlist;
 use dsra_me::Plane;
 use dsra_sim::{Activity, Simulator};
 
+pub use chaos::chaos_metrics;
 pub use diff::{diff_documents, DiffReport, KeyClass};
 pub use discharge::{discharge_battery, discharge_runtime, DischargeOutcome};
 pub use hist::Histogram;

@@ -275,6 +275,11 @@ pub fn analyze_chrome_trace(doc: &Json) -> Result<TraceAnalysis, String> {
                     k.energy_j += args.get(part).and_then(Json::as_f64).unwrap_or(0.0);
                 }
             }
+            ("i", "fault") => metrics.count("chaos_faults", 1),
+            ("i", "divergence") => metrics.count("chaos_divergences", 1),
+            ("i", "retry") => metrics.count("chaos_retries", 1),
+            ("i", "quarantine") => metrics.count("chaos_quarantines", 1),
+            ("i", "restore") => metrics.count("chaos_restores", 1),
             ("C", "battery_j") => {
                 if let Some(j) = args.get("charge_j").and_then(Json::as_f64) {
                     metrics.set_gauge("battery_final_j", j);
@@ -483,6 +488,17 @@ fn static_counter(s: &str) -> Option<&'static str> {
     }
 }
 
+fn static_fault_kind(s: &str) -> &'static str {
+    match s {
+        "stuck_at" => "stuck_at",
+        "transient" => "transient",
+        "reconfig" => "reconfig",
+        "death" => "death",
+        "brownout" => "brownout",
+        _ => "?",
+    }
+}
+
 /// Reconstructs the monitor-relevant [`TraceEvent`] stream from a parsed
 /// `--trace` document, in virtual-time order (ties broken enqueue-first,
 /// so a replaying [`dsra_monitor::Monitor`] joins arrivals before their
@@ -571,6 +587,27 @@ pub fn events_from_chrome(doc: &Json) -> Result<Vec<TraceEvent>, String> {
                 });
             }
             ("i", "admit") => out.push(TraceEvent::JobAdmit { t: ts, job: job()? }),
+            ("i", "fault") => out.push(TraceEvent::FaultInjected {
+                t: ts,
+                array: tid,
+                kind: static_fault_kind(args.get("kind").and_then(Json::as_str).unwrap_or("?")),
+            }),
+            ("i", "divergence") => out.push(TraceEvent::DivergenceDetected {
+                t: ts,
+                job: job()?,
+                array: tid,
+            }),
+            ("i", "retry") => out.push(TraceEvent::JobRetry {
+                t: ts,
+                job: job()?,
+                attempt: arg_u64(args, "attempt").unwrap_or(0) as u32,
+            }),
+            ("i", "quarantine") => out.push(TraceEvent::ArrayQuarantine {
+                t: ts,
+                array: tid,
+                strikes: arg_u64(args, "strikes").unwrap_or(0) as u32,
+            }),
+            ("i", "restore") => out.push(TraceEvent::ArrayRestore { t: ts, array: tid }),
             ("i", "complete") => {
                 let checksum = args
                     .get("checksum")

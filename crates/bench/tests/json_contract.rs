@@ -4,9 +4,10 @@
 //! write-only — nothing in the workspace could read one back.
 
 use dsra_bench::{
-    json_summary, monitor_metrics, parse_json, registry_from_metrics, stream_metrics, Json,
-    JsonValue,
+    chaos_metrics, json_summary, monitor_metrics, parse_json, registry_from_metrics,
+    stream_metrics, Json, JsonValue,
 };
+use dsra_chaos::{serve_with_chaos, ChaosConfig, FaultPlan, RecoveryConfig};
 use dsra_runtime::{DctMapping, PhaseTimings, RuntimeConfig, SocRuntime};
 use dsra_service::{
     install_monitor, serve_trace, standard_tenants, AdmitPolicy, PoolConfig, ServiceConfig,
@@ -401,14 +402,27 @@ fn chrome_trace_document_carries_the_pinned_schema() {
     }
     assert_eq!(other.get("mode").and_then(Json::as_str), Some("stream"));
 
-    // Per-event shape: the pinned phase/category/name sets and the keys
-    // each kind must carry.
+    let seen = assert_chrome_events(&v);
+    // Every pinned event kind actually occurs in a streaming session.
+    for ph in ["M", "X", "i", "C"] {
+        assert!(
+            seen.iter().any(|(p, _, _)| p == ph),
+            "no {ph} events in the document"
+        );
+    }
+}
+
+/// Validates every event of a parsed Chrome document against the pinned
+/// schema — phase/category/name sets and the keys each kind must carry —
+/// returning the `(ph, cat, name)` triples seen. Shared by the plain
+/// streaming schema test and the chaos-session one.
+fn assert_chrome_events(v: &Json) -> Vec<(String, String, String)> {
     let events = v
         .get("traceEvents")
         .and_then(Json::as_array)
         .expect("traceEvents array");
     assert!(!events.is_empty());
-    let mut seen: Vec<&str> = Vec::new();
+    let mut seen: Vec<(String, String, String)> = Vec::new();
     for (i, ev) in events.iter().enumerate() {
         let name = ev.get("name").and_then(Json::as_str).unwrap_or_default();
         let cat = ev.get("cat").and_then(Json::as_str).unwrap_or_default();
@@ -450,20 +464,43 @@ fn chrome_trace_document_carries_the_pinned_schema() {
                 }
             }
             "i" => {
-                assert_eq!(cat, "job");
-                assert!(
-                    matches!(name, "admit" | "complete"),
-                    "unknown instant {name}"
-                );
                 assert_eq!(ev.get("s").and_then(Json::as_str), Some("t"));
-                assert!(args.get("job").and_then(Json::as_f64).is_some());
-                if name == "complete" {
-                    for key in ["checksum", "kernel", "fingerprint"] {
-                        assert!(args.get(key).and_then(Json::as_str).is_some(), "{key}");
+                match cat {
+                    "job" => {
+                        assert!(
+                            matches!(name, "admit" | "complete"),
+                            "unknown instant {name}"
+                        );
+                        assert!(args.get("job").and_then(Json::as_f64).is_some());
+                        if name == "complete" {
+                            for key in ["checksum", "kernel", "fingerprint"] {
+                                assert!(args.get(key).and_then(Json::as_str).is_some(), "{key}");
+                            }
+                            for key in ["dynamic_j", "static_j", "reconfig_j"] {
+                                assert!(args.get(key).is_some(), "{key}");
+                            }
+                        }
                     }
-                    for key in ["dynamic_j", "static_j", "reconfig_j"] {
-                        assert!(args.get(key).is_some(), "{key}");
-                    }
+                    // Chaos/recovery instants (E15): injection, detection
+                    // and quarantine land on the array tracks.
+                    "chaos" => match name {
+                        "fault" => {
+                            assert!(args.get("kind").and_then(Json::as_str).is_some())
+                        }
+                        "divergence" => {
+                            assert!(args.get("job").and_then(Json::as_f64).is_some())
+                        }
+                        "retry" => {
+                            assert!(args.get("job").and_then(Json::as_f64).is_some());
+                            assert!(args.get("attempt").and_then(Json::as_f64).is_some());
+                        }
+                        "quarantine" => {
+                            assert!(args.get("strikes").and_then(Json::as_f64).is_some())
+                        }
+                        "restore" => {}
+                        other => panic!("unknown chaos instant {other}"),
+                    },
+                    other => panic!("unknown i category {other}"),
                 }
             }
             "C" => {
@@ -482,12 +519,110 @@ fn chrome_trace_document_carries_the_pinned_schema() {
             }
             other => panic!("unknown phase {other}"),
         }
-        if !seen.contains(&ph) {
-            seen.push(ph);
-        }
+        seen.push((ph.to_owned(), cat.to_owned(), name.to_owned()));
     }
-    // Every pinned event kind actually occurs in a streaming session.
-    for ph in ["M", "X", "i", "C"] {
-        assert!(seen.contains(&ph), "no {ph} events in the document");
+    seen
+}
+
+/// The `BENCH_chaos.json` payload (E15) and the chaos extension of the
+/// Chrome-trace schema: `chaos_metrics` must emit a parseable per-arm
+/// block with every pinned key, and a chaos session's trace export must
+/// carry the `chaos`-category instants (validated against the same
+/// pinned per-event schema as plain streaming sessions).
+#[test]
+fn chaos_metrics_and_chrome_instants_carry_the_bench_chaos_contract() {
+    let trace = TraceConfig {
+        tenants: standard_tenants(3, 150),
+        duration_us: 6_000,
+        ..Default::default()
+    };
+    let plan = FaultPlan::generate(&ChaosConfig {
+        seed: 7,
+        duration_us: trace.duration_us,
+        arrays: 4,
+        ..Default::default()
+    });
+    let session = |recovery: RecoveryConfig, record: bool| {
+        let mut rt = SocRuntime::new(RuntimeConfig {
+            da_arrays: 2,
+            me_arrays: 2,
+            mappings: vec![DctMapping::BasicDa, DctMapping::MixedRom],
+            ..Default::default()
+        })
+        .expect("runtime");
+        if record {
+            rt.set_trace_sink(Box::new(EventLog::new()));
+        }
+        let report = serve_with_chaos(&mut rt, &trace, &ServiceConfig::default(), &plan, recovery)
+            .expect("chaos session");
+        let log = record.then(|| rt.take_trace_sink().into_log().expect("recording sink"));
+        (report, log)
+    };
+
+    let (recovered, log) = session(RecoveryConfig::default(), true);
+    let (oblivious, _) = session(RecoveryConfig::oblivious(), false);
+
+    // The chaos instants pass the pinned Chrome schema and actually occur.
+    let doc = chrome_trace(&log.expect("recorded"));
+    let v = parse_json(&doc).unwrap_or_else(|e| panic!("chaos trace is not strict JSON: {e}"));
+    let seen = assert_chrome_events(&v);
+    for name in ["fault", "divergence", "retry", "quarantine"] {
+        assert!(
+            seen.iter().any(|(_, c, n)| c == "chaos" && n == name),
+            "no chaos/{name} instant in the chaos-session trace"
+        );
+    }
+
+    // The per-arm metric blocks carry every pinned key.
+    let mut metrics: Vec<(String, JsonValue)> = vec![
+        ("duration_us".into(), JsonValue::Int(trace.duration_us)),
+        ("fault_seed".into(), JsonValue::Int(7)),
+        ("faults_planned".into(), JsonValue::Int(plan.len() as u64)),
+    ];
+    metrics.extend(chaos_metrics(&recovered, "recovery"));
+    metrics.extend(chaos_metrics(&oblivious, "oblivious"));
+    let doc = json_summary("E15", &metrics);
+    let v = parse_json(&doc).unwrap_or_else(|e| panic!("unparseable chaos summary: {e}\n{doc}"));
+    assert_eq!(v.get("experiment").and_then(Json::as_str), Some("E15"));
+    let m = v.get("metrics").expect("metrics object");
+    for key in ["duration_us", "fault_seed", "faults_planned"] {
+        assert!(
+            m.get(key).and_then(Json::as_f64).is_some(),
+            "missing run key {key}"
+        );
+    }
+    for tag in ["recovery", "oblivious"] {
+        for key in [
+            "requests",
+            "served",
+            "shed",
+            "failed",
+            "violations",
+            "p50_latency_us",
+            "p99_latency_us",
+            "goodput_pct",
+            "useful_goodput_pct",
+            "corrupt_served",
+            "corrupt_execs",
+            "total_execs",
+            "faults_injected",
+            "divergences",
+            "retries",
+            "quarantines",
+            "restores",
+        ] {
+            assert!(
+                m.get(&format!("{tag}_{key}"))
+                    .and_then(Json::as_f64)
+                    .is_some(),
+                "missing numeric key {tag}_{key}"
+            );
+        }
+        assert!(
+            m.get(&format!("{tag}_digest"))
+                .and_then(Json::as_str)
+                .is_some(),
+            "missing {tag}_digest"
+        );
     }
 }

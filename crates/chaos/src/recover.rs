@@ -1,0 +1,329 @@
+//! The recovery side: a [`DispatchHook`] that injects the plan on
+//! schedule, spot-checks served results against the golden reference,
+//! retries diverged jobs on a different array, and quarantines arrays
+//! that keep diverging — with periodic probes that re-admit them once
+//! healthy.
+//!
+//! Everything runs in virtual time through the dispatcher's event loop:
+//! fault instants and probe instants are folded into the loop's time
+//! advance ([`ChaosHook::next_event_us`]), retries are re-dispatches at
+//! a backed-off virtual arrival, and all bookkeeping is integer state —
+//! so a chaos session is byte-identical across runs for the same seed.
+
+use dsra_backend::{Backend, Divergence, GoldenBackend};
+use dsra_core::error::Result;
+use dsra_runtime::{SocRuntime, StreamedJob};
+use dsra_service::DispatchHook;
+use dsra_trace::TraceEvent;
+use dsra_video::{JobPayload, JobSpec};
+
+use crate::fault::ChaosState;
+use crate::plan::{FaultKind, FaultPlan};
+
+/// Recovery knobs. [`RecoveryConfig::default`] is the full recovery
+/// stack; [`RecoveryConfig::oblivious`] switches every mechanism off —
+/// the fault-*oblivious* baseline E15 compares against, which serves
+/// whatever the arrays produce.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RecoveryConfig {
+    /// Re-verify every Nth served job against the golden reference
+    /// (1 = every job); 0 disables detection entirely. Retries, when
+    /// they happen, are always verified regardless of the cadence.
+    pub spot_check_every: u64,
+    /// Retry budget per job after a detected divergence.
+    pub max_retries: u32,
+    /// Virtual-µs backoff before a retry re-dispatches (scales linearly
+    /// with the attempt number).
+    pub retry_backoff_us: u64,
+    /// Consecutive divergences on one array before it is quarantined;
+    /// 0 disables quarantine.
+    pub quarantine_strikes: u32,
+    /// Virtual µs between probes of a quarantined array.
+    pub probe_interval_us: u64,
+}
+
+impl Default for RecoveryConfig {
+    fn default() -> Self {
+        RecoveryConfig {
+            spot_check_every: 1,
+            max_retries: 3,
+            retry_backoff_us: 20,
+            quarantine_strikes: 2,
+            probe_interval_us: 500,
+        }
+    }
+}
+
+impl RecoveryConfig {
+    /// No detection, no retries, no quarantine: serve whatever comes
+    /// out of the arrays.
+    pub fn oblivious() -> Self {
+        RecoveryConfig {
+            spot_check_every: 0,
+            max_retries: 0,
+            retry_backoff_us: 0,
+            quarantine_strikes: 0,
+            probe_interval_us: 0,
+        }
+    }
+}
+
+/// Recovery-side tallies (the trace carries the same story as events).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RecoveryCounts {
+    /// Faults injected on schedule.
+    pub faults_injected: u64,
+    /// Divergences the spot checks caught.
+    pub divergences: u64,
+    /// Retry dispatches.
+    pub retries: u64,
+    /// Arrays quarantined.
+    pub quarantines: u64,
+    /// Quarantined arrays probed healthy and re-admitted.
+    pub restores: u64,
+    /// Jobs failed after exhausting the retry budget.
+    pub failed_jobs: u64,
+}
+
+/// The chaos [`DispatchHook`]: fault injection plus the full
+/// detect/retry/quarantine/probe recovery loop.
+pub struct ChaosHook {
+    plan: FaultPlan,
+    next_fault: usize,
+    state: ChaosState,
+    recovery: RecoveryConfig,
+    golden: GoldenBackend,
+    /// Consecutive-divergence strikes per array.
+    strikes: Vec<u32>,
+    /// Next probe instant per quarantined array (µs).
+    probe_at: Vec<Option<u64>>,
+    /// First-attempt dispatches seen, for the spot-check cadence.
+    dispatched: u64,
+    counts: RecoveryCounts,
+}
+
+impl ChaosHook {
+    /// A hook for `plan` over a pool of `arrays`, driving `state` (from
+    /// [`crate::install_chaos`] on the same runtime).
+    pub fn new(
+        plan: FaultPlan,
+        state: ChaosState,
+        arrays: usize,
+        recovery: RecoveryConfig,
+    ) -> Self {
+        ChaosHook {
+            plan,
+            next_fault: 0,
+            state,
+            recovery,
+            golden: GoldenBackend::default(),
+            strikes: vec![0; arrays],
+            probe_at: vec![None; arrays],
+            dispatched: 0,
+            counts: RecoveryCounts::default(),
+        }
+    }
+
+    /// The tallies so far.
+    pub fn counts(&self) -> RecoveryCounts {
+        self.counts
+    }
+
+    fn cycles_per_us(runtime: &SocRuntime) -> u64 {
+        (runtime.config().soc.clock_mhz.round() as u64).max(1)
+    }
+
+    fn payload_kind(payload: &JobPayload) -> dsra_runtime::ArrayKind {
+        match payload {
+            JobPayload::MeSearch { .. } => dsra_runtime::ArrayKind::Me,
+            _ => dsra_runtime::ArrayKind::Da,
+        }
+    }
+
+    /// Quarantines `array` unless it is the last healthy array of its
+    /// kind (a degraded pool keeps serving — jobs that keep diverging
+    /// there fail per-job instead of stalling the whole service).
+    fn try_quarantine(&mut self, runtime: &mut SocRuntime, array: usize, now_cycle: u64) -> bool {
+        let status = runtime.stream_array_status();
+        let kind = status[array].kind;
+        let healthy_peers = status
+            .iter()
+            .filter(|a| a.kind == kind && !a.quarantined && a.id != array)
+            .count();
+        if healthy_peers == 0 || !runtime.stream_quarantine(array, now_cycle) {
+            return false;
+        }
+        self.counts.quarantines += 1;
+        // The eviction just dropped the (possibly corrupt) bitstream.
+        self.state.on_quarantine(array);
+        if runtime.trace_sink().enabled() {
+            runtime.trace_sink().emit(TraceEvent::ArrayQuarantine {
+                t: now_cycle,
+                array: array as u32,
+                strikes: self.strikes[array],
+            });
+        }
+        true
+    }
+}
+
+impl DispatchHook for ChaosHook {
+    fn on_tick(&mut self, runtime: &mut SocRuntime, now_us: u64) {
+        let cyc = Self::cycles_per_us(runtime);
+        self.state.set_now(now_us);
+        // Land every fault scheduled at or before this instant. The
+        // dispatcher's clock visits each fault instant exactly (they are
+        // folded into next_event_us), so `t` below is the scheduled time.
+        while let Some(ev) = self.plan.events().get(self.next_fault) {
+            if ev.at_us > now_us {
+                break;
+            }
+            let ev = *ev;
+            self.next_fault += 1;
+            self.counts.faults_injected += 1;
+            if let FaultKind::Brownout { pct } = ev.kind {
+                let step = runtime.config().power.battery_capacity_j * f64::from(pct) / 100.0;
+                runtime.drain_battery(step);
+            } else {
+                self.state.apply(&ev);
+            }
+            if runtime.trace_sink().enabled() {
+                runtime.trace_sink().emit(TraceEvent::FaultInjected {
+                    t: ev.at_us * cyc,
+                    array: ev.array as u32,
+                    kind: ev.kind.tag(),
+                });
+            }
+        }
+        // Probe due quarantined arrays; re-admit the ones that come back
+        // clean (stuck-at windows expire, evicted reconfig corruption is
+        // gone; death never probes healthy).
+        for array in 0..self.probe_at.len() {
+            let Some(due) = self.probe_at[array] else {
+                continue;
+            };
+            if due > now_us {
+                continue;
+            }
+            if self.state.is_faulty(array, now_us) {
+                self.probe_at[array] = Some(now_us + self.recovery.probe_interval_us.max(1));
+            } else if runtime.stream_restore(array, now_us * cyc) {
+                self.probe_at[array] = None;
+                self.strikes[array] = 0;
+                self.counts.restores += 1;
+                if runtime.trace_sink().enabled() {
+                    runtime.trace_sink().emit(TraceEvent::ArrayRestore {
+                        t: now_us * cyc,
+                        array: array as u32,
+                    });
+                }
+            } else {
+                self.probe_at[array] = None; // not actually quarantined
+            }
+        }
+    }
+
+    fn next_event_us(&mut self, now_us: u64) -> Option<u64> {
+        let fault = self
+            .plan
+            .events()
+            .get(self.next_fault)
+            .map(|e| e.at_us)
+            .filter(|&t| t > now_us);
+        let probe = self
+            .probe_at
+            .iter()
+            .filter_map(|p| p.filter(|&t| t > now_us))
+            .min();
+        match (fault, probe) {
+            (Some(f), Some(p)) => Some(f.min(p)),
+            (f, p) => f.or(p),
+        }
+    }
+
+    fn dispatch(
+        &mut self,
+        runtime: &mut SocRuntime,
+        job: &JobSpec,
+        now_us: u64,
+    ) -> Result<Option<StreamedJob>> {
+        let cyc = Self::cycles_per_us(runtime);
+        let kind = Self::payload_kind(&job.payload);
+        self.dispatched += 1;
+        let cadence = self.recovery.spot_check_every;
+        let check_first = cadence > 0 && self.dispatched.is_multiple_of(cadence);
+        let mut exclude: Option<usize> = None;
+        let mut arrival_cycle = job.arrival_cycle;
+        for attempt in 0..=self.recovery.max_retries {
+            // A fully-quarantined pool cannot place the job at all.
+            if !runtime
+                .stream_array_status()
+                .iter()
+                .any(|a| a.kind == kind && !a.quarantined)
+            {
+                self.counts.failed_jobs += 1;
+                return Ok(None);
+            }
+            let attempt_spec = JobSpec {
+                arrival_cycle,
+                ..*job
+            };
+            let served = runtime.stream_serve_job_excluding(&attempt_spec, exclude)?;
+            // Detection: golden spot-check on the cadence; every retry is
+            // verified (the retry only exists because of a divergence).
+            if !(check_first || attempt > 0) {
+                self.strikes[served.array] = 0;
+                return Ok(Some(served));
+            }
+            let expected =
+                self.golden
+                    .execute(runtime.config().da_params, &attempt_spec, &served.kernel)?;
+            let got = dsra_core::report::ExecOutcome {
+                exec_cycles: expected.exec_cycles,
+                checksum: served.checksum,
+            };
+            let Some(divergence) =
+                Divergence::compare(&attempt_spec, &served.kernel, expected, got)
+            else {
+                self.strikes[served.array] = 0;
+                return Ok(Some(served));
+            };
+            // Diverged: trace it, strike the array, maybe quarantine,
+            // then retry elsewhere with a backed-off virtual arrival.
+            self.counts.divergences += 1;
+            self.strikes[served.array] += 1;
+            if runtime.trace_sink().enabled() {
+                runtime.trace_sink().emit(TraceEvent::DivergenceDetected {
+                    t: served.end_cycle,
+                    job: divergence.job,
+                    array: served.array as u32,
+                });
+            }
+            let strikes = self.recovery.quarantine_strikes;
+            if strikes > 0
+                && self.strikes[served.array] >= strikes
+                && self.try_quarantine(runtime, served.array, served.end_cycle)
+            {
+                self.probe_at[served.array] = Some(
+                    now_us.max(served.end_cycle / cyc) + self.recovery.probe_interval_us.max(1),
+                );
+            }
+            if attempt == self.recovery.max_retries {
+                break;
+            }
+            let backoff = self.recovery.retry_backoff_us * u64::from(attempt + 1) * cyc;
+            arrival_cycle = served.end_cycle + backoff;
+            self.counts.retries += 1;
+            if runtime.trace_sink().enabled() {
+                runtime.trace_sink().emit(TraceEvent::JobRetry {
+                    t: arrival_cycle,
+                    job: job.id,
+                    attempt: attempt + 1,
+                });
+            }
+            exclude = Some(served.array);
+        }
+        self.counts.failed_jobs += 1;
+        Ok(None)
+    }
+}

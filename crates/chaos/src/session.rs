@@ -1,0 +1,136 @@
+//! One-call chaos sessions and their report — the E15 entry point.
+
+use dsra_core::error::Result;
+use dsra_core::rng::fnv1a_fold;
+use dsra_runtime::SocRuntime;
+use dsra_service::{
+    generate_trace, serve_requests_with_hook, ServiceConfig, ServiceReport, TraceConfig,
+};
+
+use crate::fault::{install_chaos, ChaosState};
+use crate::plan::FaultPlan;
+use crate::recover::{ChaosHook, RecoveryConfig, RecoveryCounts};
+
+/// A chaos session's outcome: the ordinary SLO report plus the
+/// corruption ground truth only the injector can know.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ChaosReport {
+    /// The dispatch/SLO report of the session.
+    pub service: ServiceReport,
+    /// Injection and recovery tallies.
+    pub counts: RecoveryCounts,
+    /// Served requests whose delivered checksum was corrupt — the number
+    /// that must be zero when recovery is on with a per-job spot check.
+    pub corrupt_served: usize,
+    /// Request ids behind [`ChaosReport::corrupt_served`] (ascending).
+    pub corrupt_ids: std::collections::BTreeSet<u32>,
+    /// Corrupted executions across the session (including the ones
+    /// detection caught and retried away).
+    pub corrupt_execs: u64,
+    /// Total executions the fault decorators saw.
+    pub total_execs: u64,
+}
+
+impl ChaosReport {
+    /// Goodput that only counts *correct* results: served within SLO and
+    /// not corrupt, as a percentage of submitted requests. The honest
+    /// comparison metric between recovery-on and fault-oblivious arms —
+    /// a corrupt frame served on time is not goodput.
+    pub fn useful_goodput_pct(&self) -> f64 {
+        if self.service.requests == 0 {
+            return 100.0;
+        }
+        let useful =
+            self.service.served - self.service.violations - self.corrupt_served_within_slo();
+        useful as f64 * 100.0 / self.service.requests as f64
+    }
+
+    /// Corrupt-but-on-time serves (corrupt late ones are already counted
+    /// out by the violation term).
+    fn corrupt_served_within_slo(&self) -> usize {
+        self.corrupt_outcome_ids()
+            .iter()
+            .filter(|&&id| !self.service.outcomes[id as usize].violated)
+            .count()
+    }
+
+    /// Ids of served outcomes whose checksum was corrupt.
+    pub fn corrupt_outcome_ids(&self) -> Vec<u32> {
+        self.service
+            .outcomes
+            .iter()
+            .filter(|o| !o.shed && !o.failed && self.corrupt_ids.contains(&o.id))
+            .map(|o| o.id)
+            .collect()
+    }
+
+    /// Deterministic digest over the session: dispatch digest, recovery
+    /// tallies and corruption ground truth.
+    pub fn digest(&self) -> u64 {
+        let mut h = self.service.digest();
+        for v in [
+            self.counts.faults_injected,
+            self.counts.divergences,
+            self.counts.retries,
+            self.counts.quarantines,
+            self.counts.restores,
+            self.counts.failed_jobs,
+            self.corrupt_served as u64,
+            self.corrupt_execs,
+            self.total_execs,
+        ] {
+            h = fnv1a_fold(h, v);
+        }
+        h
+    }
+}
+
+/// Runs one streaming session under `plan` with `recovery`: interposes
+/// the fault decorators on every array, drives the dispatcher through a
+/// [`ChaosHook`], and folds the corruption ground truth into the report.
+///
+/// The runtime must be fresh (the decorators stack if installed twice).
+///
+/// # Errors
+/// See [`dsra_service::serve_requests`].
+pub fn serve_with_chaos(
+    runtime: &mut SocRuntime,
+    trace_config: &TraceConfig,
+    service: &ServiceConfig,
+    plan: &FaultPlan,
+    recovery: RecoveryConfig,
+) -> Result<ChaosReport> {
+    let state = install_chaos(runtime);
+    let arrays = runtime.engine_count();
+    let mut hook = ChaosHook::new(plan.clone(), state.clone(), arrays, recovery);
+    let trace = generate_trace(trace_config);
+    let service_report = serve_requests_with_hook(
+        runtime,
+        &trace_config.tenants,
+        trace_config.duration_us,
+        &trace,
+        service,
+        &mut hook,
+    )?;
+    Ok(assemble(service_report, hook.counts(), &state))
+}
+
+/// Builds the [`ChaosReport`] for a finished session (exposed for
+/// callers that drive [`ChaosHook`] themselves).
+pub fn assemble(service: ServiceReport, counts: RecoveryCounts, state: &ChaosState) -> ChaosReport {
+    let corrupt_ids: std::collections::BTreeSet<u32> = service
+        .outcomes
+        .iter()
+        .filter(|o| !o.shed && !o.failed && state.was_last_corrupt(o.id))
+        .map(|o| o.id)
+        .collect();
+    let (corrupt_execs, total_execs) = state.exec_counts();
+    ChaosReport {
+        corrupt_served: corrupt_ids.len(),
+        corrupt_ids,
+        service,
+        counts,
+        corrupt_execs,
+        total_execs,
+    }
+}

@@ -50,5 +50,5 @@ pub mod sink;
 pub use alert::{AlertEvent, AlertLog, BudgetPoint};
 pub use config::{BurnRateConfig, MonitorConfig};
 pub use dashboard::{render_dashboard, render_timeline};
-pub use monitor::{event_end_cycle, Monitor};
+pub use monitor::{event_end_cycle, ChaosCounts, Monitor};
 pub use sink::{MonitorHandle, MonitorSink};

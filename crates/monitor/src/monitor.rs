@@ -112,6 +112,23 @@ struct ArrayAgg {
     span_end: u64,
 }
 
+/// Cumulative chaos/recovery event counts observed on the stream —
+/// commutative increments, so replay folds them order-insensitively like
+/// every other windowed aggregate.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ChaosCounts {
+    /// Fault-plan injections observed.
+    pub faults: u64,
+    /// Golden spot-check divergences observed.
+    pub divergences: u64,
+    /// Recovery retries dispatched.
+    pub retries: u64,
+    /// Array quarantine transitions.
+    pub quarantines: u64,
+    /// Array restore transitions.
+    pub restores: u64,
+}
+
 /// Battery trajectory endpoints, folded order-insensitively: the first
 /// sample is the one with the smallest cycle (largest charge on ties),
 /// the last the one with the largest cycle (smallest charge on ties).
@@ -144,6 +161,10 @@ pub struct Monitor {
     arrays: BTreeMap<u32, ArrayAgg>,
     battery: Option<BatteryAgg>,
     counters: BTreeMap<&'static str, u64>,
+    chaos: ChaosCounts,
+    /// Arrays currently under quarantine (fault alerts latch while any
+    /// are present; restores clear them).
+    quarantined: std::collections::BTreeSet<u32>,
     completes: u64,
     sheds: u64,
     late_drops: u64,
@@ -188,6 +209,8 @@ impl Monitor {
             arrays: BTreeMap::new(),
             battery: None,
             counters: BTreeMap::new(),
+            chaos: ChaosCounts::default(),
+            quarantined: std::collections::BTreeSet::new(),
             completes: 0,
             sheds: 0,
             late_drops: 0,
@@ -295,6 +318,17 @@ impl Monitor {
                 // Counters carry cumulative values; the last sample wins.
                 self.counters.insert(name, *value);
             }
+            TraceEvent::FaultInjected { .. } => self.chaos.faults += 1,
+            TraceEvent::DivergenceDetected { .. } => self.chaos.divergences += 1,
+            TraceEvent::JobRetry { .. } => self.chaos.retries += 1,
+            TraceEvent::ArrayQuarantine { array, .. } => {
+                self.chaos.quarantines += 1;
+                self.quarantined.insert(*array);
+            }
+            TraceEvent::ArrayRestore { array, .. } => {
+                self.chaos.restores += 1;
+                self.quarantined.remove(array);
+            }
             TraceEvent::JobSchedule { .. } | TraceEvent::Meta { .. } => {}
         }
     }
@@ -320,10 +354,23 @@ impl Monitor {
         self.finalized_at = Some(end_cycle);
     }
 
-    /// Burn-rate alerts latched at `now_cycle` (seals up to it first).
+    /// Alerts latched at `now_cycle` (seals up to it first): burn-rate
+    /// alerts per tenant plus one fault alert per quarantined array, so
+    /// recovery-driven capacity loss feeds the same admission hook the
+    /// SLO alerter does.
     pub fn active_alerts(&mut self, now_cycle: u64) -> u32 {
         self.seal_to(now_cycle);
-        self.tenants.values().filter(|t| t.latched).count() as u32
+        self.tenants.values().filter(|t| t.latched).count() as u32 + self.quarantined.len() as u32
+    }
+
+    /// Cumulative chaos/recovery event counts observed so far.
+    pub fn chaos_counts(&self) -> ChaosCounts {
+        self.chaos
+    }
+
+    /// Arrays currently under quarantine, ascending.
+    pub fn quarantined_arrays(&self) -> Vec<u32> {
+        self.quarantined.iter().copied().collect()
     }
 
     /// Health at `now_cycle` (seals up to it first).
@@ -462,7 +509,8 @@ impl Monitor {
             arrays,
             battery,
             tenants,
-            alerts_active: self.tenants.values().filter(|t| t.latched).count() as u32,
+            alerts_active: self.tenants.values().filter(|t| t.latched).count() as u32
+                + self.quarantined.len() as u32,
             completes: self.completes,
             sheds: self.sheds,
         }
@@ -606,7 +654,12 @@ pub fn event_end_cycle(ev: &TraceEvent) -> u64 {
         | TraceEvent::JobSchedule { t, .. }
         | TraceEvent::JobComplete { t, .. }
         | TraceEvent::BatteryLevel { t, .. }
-        | TraceEvent::Counter { t, .. } => *t,
+        | TraceEvent::Counter { t, .. }
+        | TraceEvent::FaultInjected { t, .. }
+        | TraceEvent::DivergenceDetected { t, .. }
+        | TraceEvent::JobRetry { t, .. }
+        | TraceEvent::ArrayQuarantine { t, .. }
+        | TraceEvent::ArrayRestore { t, .. } => *t,
         TraceEvent::ArrayInterval { end, .. } => *end,
     }
 }

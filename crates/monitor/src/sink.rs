@@ -70,6 +70,16 @@ impl MonitorHandle {
     pub fn final_snapshot(&self) -> HealthSnapshot {
         self.lock().final_snapshot()
     }
+
+    /// Cumulative chaos/recovery counts observed so far.
+    pub fn chaos_counts(&self) -> crate::ChaosCounts {
+        self.lock().chaos_counts()
+    }
+
+    /// Arrays currently under quarantine, ascending.
+    pub fn quarantined_arrays(&self) -> Vec<u32> {
+        self.lock().quarantined_arrays()
+    }
 }
 
 /// A [`TraceSink`] that tees every event into the shared monitor and

@@ -192,6 +192,10 @@ struct KernelSeed {
 struct StreamState {
     sched: DiffAwareScheduler,
     gated: Vec<bool>,
+    /// Arrays pulled from placement by the fault-recovery layer
+    /// (`dsra-chaos`): still powered, bitstream evicted, excluded from
+    /// `stream_serve_job` until restored.
+    quarantined: Vec<bool>,
     accounts: Vec<EnergyAccount>,
     jobs: Vec<usize>,
     reconfig_events: Vec<usize>,
@@ -217,6 +221,9 @@ pub struct StreamArrayStatus {
     pub free_at: u64,
     /// `true` while the elastic pool holds the array powered off.
     pub gated: bool,
+    /// `true` while the fault-recovery layer holds the array out of
+    /// placement (see [`SocRuntime::stream_quarantine`]).
+    pub quarantined: bool,
 }
 
 /// One incrementally served job: what [`SocRuntime::stream_serve_job`]
@@ -451,6 +458,37 @@ impl SocRuntime {
         self.battery.recharge_full();
     }
 
+    /// Drains `joules` straight from the battery, outside any job's
+    /// energy attribution — the hook fault injection uses to model a
+    /// brownout step. Returns the joules actually removed (clamped at
+    /// empty), exactly as [`dsra_power::Battery::drain`] reports.
+    pub fn drain_battery(&mut self, joules: f64) -> f64 {
+        self.battery.drain(joules)
+    }
+
+    /// Number of per-array execution backends (== the pool size).
+    pub fn engine_count(&self) -> usize {
+        self.engines.len()
+    }
+
+    /// Rebuilds every per-array backend through `wrap`, which receives
+    /// the array id and the current engine and returns the engine to use
+    /// from now on — the hook `dsra-chaos` uses to interpose its
+    /// fault-injecting decorator between the scheduler and the real
+    /// backends. Call it before serving; engines carry memoised compile
+    /// state, so wrapping mid-session only affects subsequent jobs.
+    pub fn wrap_engines(
+        &mut self,
+        mut wrap: impl FnMut(usize, Box<dyn Backend>) -> Box<dyn Backend>,
+    ) {
+        let engines = std::mem::take(&mut self.engines);
+        self.engines = engines
+            .into_iter()
+            .enumerate()
+            .map(|(i, engine)| wrap(i, engine))
+            .collect();
+    }
+
     /// The scheduling policy's display name.
     pub fn policy_name(&self) -> &'static str {
         self.policy.name()
@@ -647,6 +685,7 @@ impl SocRuntime {
                 std::mem::take(&mut self.diff_memo),
             ),
             gated: vec![false; arrays],
+            quarantined: vec![false; arrays],
             accounts: (0..arrays)
                 .map(|i| {
                     let kind = if i < self.config.da_arrays {
@@ -683,8 +722,85 @@ impl SocRuntime {
                 kind: a.kind,
                 free_at: a.free_at,
                 gated: stream.gated[a.id],
+                quarantined: stream.quarantined[a.id],
             })
             .collect()
+    }
+
+    /// Pulls an array out of placement at `now_cycle` — the
+    /// fault-recovery hook (`dsra-chaos`) calls this after repeated
+    /// divergences. The array stays powered, any powered-idle span up to
+    /// `now_cycle` is charged (and drained from the battery), and its
+    /// resident configuration is evicted — so a later
+    /// [`SocRuntime::stream_restore`] re-admits it cold, paying a full
+    /// bitstream rewrite, exactly the reload that clears a corrupted
+    /// configuration plane. In-flight work is unaffected (`free_at` is
+    /// kept), so quarantine drains rather than aborts. Returns `false`
+    /// if no session is open, the array is out of range, or it is
+    /// already quarantined.
+    pub fn stream_quarantine(&mut self, array: usize, now_cycle: u64) -> bool {
+        let point = self.config.power.dvfs;
+        let Some(stream) = self.stream.as_mut() else {
+            return false;
+        };
+        if array >= stream.quarantined.len() || stream.quarantined[array] {
+            return false;
+        }
+        let state = &stream.sched.arrays()[array];
+        let free_at = state.free_at;
+        if !stream.gated[array] && now_cycle > free_at {
+            let leak = state
+                .loaded
+                .as_ref()
+                .map_or(0.0, |kernel| kernel.split.leak_power);
+            let account = &mut stream.accounts[array];
+            let before = account.total_j();
+            account.charge_idle(now_cycle - free_at, leak, &point, false);
+            let idle_j = account.total_j() - before;
+            self.battery.drain(idle_j);
+            if self.sink.enabled() {
+                self.sink.emit(TraceEvent::ArrayInterval {
+                    array: array as u32,
+                    phase: ArrayPhase::Idle,
+                    start: free_at,
+                    end: now_cycle,
+                    job: None,
+                    kernel: None,
+                });
+            }
+        }
+        let stream = self.stream.as_mut().expect("checked above");
+        stream.sched.settle(array, free_at.max(now_cycle));
+        stream.sched.evict(array);
+        stream.quarantined[array] = true;
+        true
+    }
+
+    /// Re-admits a quarantined array to placement at `now_cycle` (the
+    /// recovery hook calls this when a probe finds the array healthy
+    /// again). The span it sat quarantined is tallied as idle — it held
+    /// no configuration plane, so it leaked nothing — and its busy-until
+    /// clock settles to the restore instant, so no job can start on it
+    /// before the restore decision existed. It re-enters placement cold.
+    /// Returns `false` if no session is open or the array was not
+    /// quarantined.
+    pub fn stream_restore(&mut self, array: usize, now_cycle: u64) -> bool {
+        let point = self.config.power.dvfs;
+        let Some(stream) = self.stream.as_mut() else {
+            return false;
+        };
+        if array >= stream.quarantined.len() || !stream.quarantined[array] {
+            return false;
+        }
+        let free_at = stream.sched.arrays()[array].free_at;
+        if now_cycle > free_at {
+            // Zero-leak idle (the plane was evicted at quarantine): no
+            // joules move, but the idle-cycle tally stays complete.
+            stream.accounts[array].charge_idle(now_cycle - free_at, 0.0, &point, false);
+        }
+        stream.sched.settle(array, free_at.max(now_cycle));
+        stream.quarantined[array] = false;
+        true
     }
 
     /// Powers an idle array off at `now_cycle`: the leakage it paid while
@@ -779,6 +895,24 @@ impl SocRuntime {
     /// Propagates compile and execution failures; fails if no session is
     /// open or the job's payload has no compatible array in the pool.
     pub fn stream_serve_job(&mut self, job: &JobSpec) -> Result<StreamedJob> {
+        self.stream_serve_job_excluding(job, None)
+    }
+
+    /// [`SocRuntime::stream_serve_job`] with one array barred from
+    /// placement — the retry path of the fault-recovery layer, which
+    /// re-dispatches a diverged job *away* from the array that produced
+    /// the bad result. Quarantined arrays are always excluded; `exclude`
+    /// is dropped (rather than failing the job) when it would leave no
+    /// candidate, so a single-array pool retries in place.
+    ///
+    /// # Errors
+    /// Everything [`SocRuntime::stream_serve_job`] can raise, plus a
+    /// failure when every compatible array is quarantined.
+    pub fn stream_serve_job_excluding(
+        &mut self,
+        job: &JobSpec,
+        exclude: Option<usize>,
+    ) -> Result<StreamedJob> {
         if self.stream.is_none() {
             return Err(CoreError::Mismatch(
                 "stream_serve_job needs an open session (call stream_begin)".into(),
@@ -808,17 +942,39 @@ impl SocRuntime {
                 kernel.array_kind.tag()
             )));
         }
+        // Quarantined arrays never take new work; the recovery layer's
+        // retry exclusion only holds while another candidate remains.
+        if !stream
+            .sched
+            .arrays()
+            .iter()
+            .any(|a| a.kind == kernel.array_kind && !stream.quarantined[a.id])
+        {
+            return Err(CoreError::Mismatch(format!(
+                "job {} needs a {} array but every one is quarantined",
+                job.id,
+                kernel.array_kind.tag()
+            )));
+        }
+        let exclude = exclude.filter(|&x| {
+            stream
+                .sched
+                .arrays()
+                .iter()
+                .any(|a| a.kind == kernel.array_kind && !stream.quarantined[a.id] && a.id != x)
+        });
+        let banned = |i: usize| stream.quarantined[i] || Some(i) == exclude;
         // Gated arrays stay out of placement — except when the whole
-        // compatible pool is gated, which force-wakes the winner (the
+        // candidate pool is gated, which force-wakes the winner (the
         // elastic controller's backlog threshold normally wakes arrays
         // before this fallback fires).
         let all_gated = stream
             .sched
             .arrays()
             .iter()
-            .filter(|a| a.kind == kernel.array_kind)
+            .filter(|a| a.kind == kernel.array_kind && !banned(a.id))
             .all(|a| stream.gated[a.id]);
-        let before: Vec<(u64, f64, bool)> = stream
+        let before: Vec<(u64, f64, bool, bool)> = stream
             .sched
             .arrays()
             .iter()
@@ -829,6 +985,7 @@ impl SocRuntime {
                         .as_ref()
                         .map_or(0.0, |kernel| kernel.split.leak_power),
                     stream.gated[a.id],
+                    banned(a.id),
                 )
             })
             .collect();
@@ -838,10 +995,10 @@ impl SocRuntime {
             est,
             self.policy.as_ref(),
             &power,
-            |i| all_gated || !before[i].2,
+            |i| !before[i].3 && (all_gated || !before[i].2),
         );
         let array = slot.array;
-        let (prev_free, prev_leak, was_gated) = before[array];
+        let (prev_free, prev_leak, was_gated, _) = before[array];
         if was_gated {
             stream.gated[array] = false;
             stream.wakes += 1;

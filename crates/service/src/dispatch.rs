@@ -17,9 +17,59 @@
 
 use dsra_core::error::{CoreError, Result};
 use dsra_monitor::{Monitor, MonitorConfig, MonitorHandle, MonitorSink};
-use dsra_runtime::{ArrayKind, SocRuntime, StreamArrayStatus};
+use dsra_runtime::{ArrayKind, SocRuntime, StreamArrayStatus, StreamedJob};
 use dsra_trace::{TraceEvent, TraceSink};
 use dsra_video::{JobPayload, JobSpec};
+
+/// Interposes on the dispatcher's serve step — the extension point the
+/// fault-recovery layer (`dsra-chaos`) plugs into. The default
+/// ([`NoopDispatch`]) serves every job straight through
+/// [`SocRuntime::stream_serve_job`], so the hooked loop is byte-identical
+/// to the plain one when no hook logic fires.
+pub trait DispatchHook {
+    /// Runs once per dispatcher iteration at virtual instant `now_us`,
+    /// before admission and dispatch — where a chaos hook activates
+    /// scheduled faults and probes quarantined arrays.
+    fn on_tick(&mut self, _runtime: &mut SocRuntime, _now_us: u64) {}
+
+    /// The next virtual instant this hook needs the loop to visit (a
+    /// scheduled fault, a quarantine probe), if any — folded into the
+    /// dispatcher's time advance so hook events are never skipped over.
+    fn next_event_us(&mut self, _now_us: u64) -> Option<u64> {
+        None
+    }
+
+    /// Serves one admitted request, with full freedom to retry through
+    /// [`SocRuntime::stream_serve_job_excluding`] or quarantine arrays.
+    /// `Ok(None)` marks the request *failed* — detected as corrupt and
+    /// not recoverable within the retry budget — which the dispatcher
+    /// reports as a [`RequestOutcome`] with `failed` set (neither served
+    /// nor shed).
+    ///
+    /// # Errors
+    /// Propagates runtime compile/execution failures.
+    fn dispatch(
+        &mut self,
+        runtime: &mut SocRuntime,
+        job: &JobSpec,
+        now_us: u64,
+    ) -> Result<Option<StreamedJob>>;
+}
+
+/// The identity [`DispatchHook`]: serve every job directly.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NoopDispatch;
+
+impl DispatchHook for NoopDispatch {
+    fn dispatch(
+        &mut self,
+        runtime: &mut SocRuntime,
+        job: &JobSpec,
+        _now_us: u64,
+    ) -> Result<Option<StreamedJob>> {
+        runtime.stream_serve_job(job).map(Some)
+    }
+}
 
 use crate::admit::{AdmissionQueue, AdmitPolicy, MonitorAwareAdmission};
 use crate::report::{RequestOutcome, ServiceReport, TenantReport};
@@ -170,6 +220,30 @@ pub fn serve_requests(
     trace: &[Request],
     service: &ServiceConfig,
 ) -> Result<ServiceReport> {
+    serve_requests_with_hook(
+        runtime,
+        tenants,
+        duration_us,
+        trace,
+        service,
+        &mut NoopDispatch,
+    )
+}
+
+/// [`serve_requests`] with a [`DispatchHook`] interposed on the serve
+/// step — the E15 chaos entry point. With [`NoopDispatch`] this is
+/// exactly [`serve_requests`].
+///
+/// # Errors
+/// See [`serve_requests`].
+pub fn serve_requests_with_hook(
+    runtime: &mut SocRuntime,
+    tenants: &[TenantSpec],
+    duration_us: u64,
+    trace: &[Request],
+    service: &ServiceConfig,
+    hook: &mut dyn DispatchHook,
+) -> Result<ServiceReport> {
     for (i, r) in trace.iter().enumerate() {
         if r.id != i as u32 || (i > 0 && trace[i - 1].arrival_us > r.arrival_us) {
             return Err(CoreError::Mismatch(format!(
@@ -246,6 +320,10 @@ pub fn serve_requests(
     runtime.stream_begin();
 
     loop {
+        // 0 — hook tick: scheduled fault injection and quarantine
+        // probes land before this instant's admission and dispatch.
+        hook.on_tick(runtime, now_us);
+
         // 1 — admission: everything that has arrived by `now` enters the
         // queue (open loop: admission never says no; the EDF policy says
         // no at dispatch time by shedding). Exception: under monitor-shed
@@ -290,6 +368,7 @@ pub fn serve_requests(
                         arrival_us: r.arrival_us,
                         deadline_us: r.deadline_us,
                         shed: true,
+                        failed: false,
                         array: usize::MAX,
                         start_us: now_us,
                         end_us: now_us,
@@ -324,6 +403,7 @@ pub fn serve_requests(
                 arrival_us: r.arrival_us,
                 deadline_us: r.deadline_us,
                 shed: true,
+                failed: false,
                 array: usize::MAX,
                 start_us: now_us,
                 end_us: now_us,
@@ -346,6 +426,7 @@ pub fn serve_requests(
         if service.pool.elastic {
             for a in status.iter_mut() {
                 if !a.gated
+                    && !a.quarantined
                     && us_of(a.free_at) + service.pool.gate_idle_us <= now_us
                     && queue.depth(a.kind) == 0
                     && runtime.stream_gate(a.id, now_us * cyc)
@@ -357,7 +438,11 @@ pub fn serve_requests(
             for kind in [ArrayKind::Da, ArrayKind::Me] {
                 if queue.depth(kind) >= service.pool.wake_backlog {
                     for a in status.iter_mut() {
-                        if a.kind == kind && a.gated && runtime.stream_wake(a.id, now_us * cyc) {
+                        if a.kind == kind
+                            && a.gated
+                            && !a.quarantined
+                            && runtime.stream_wake(a.id, now_us * cyc)
+                        {
                             a.gated = false;
                             a.free_at = a.free_at.max(now_us * cyc);
                         }
@@ -367,12 +452,14 @@ pub fn serve_requests(
         }
         for kind in [ArrayKind::Da, ArrayKind::Me] {
             if queue.depth(kind) > 0
-                && status.iter().any(|a| a.kind == kind)
-                && status.iter().all(|a| a.kind != kind || a.gated)
+                && status.iter().any(|a| a.kind == kind && !a.quarantined)
+                && status
+                    .iter()
+                    .all(|a| a.kind != kind || a.quarantined || a.gated)
             {
                 let first = status
                     .iter_mut()
-                    .find(|a| a.kind == kind)
+                    .find(|a| a.kind == kind && !a.quarantined)
                     .expect("checked above");
                 if runtime.stream_wake(first.id, now_us * cyc) {
                     first.gated = false;
@@ -386,7 +473,7 @@ pub fn serve_requests(
         let free = |kind: ArrayKind| {
             status
                 .iter()
-                .any(|a| a.kind == kind && !a.gated && us_of(a.free_at) <= now_us)
+                .any(|a| a.kind == kind && !a.gated && !a.quarantined && us_of(a.free_at) <= now_us)
         };
         if let Some(r) = queue.pop_available(free) {
             let job = JobSpec {
@@ -396,26 +483,53 @@ pub fn serve_requests(
                 payload: r.payload,
                 seed: r.seed,
             };
-            let served = runtime.stream_serve_job(&job)?;
-            let end_us = us_of(served.end_cycle);
-            makespan_us = makespan_us.max(end_us);
-            outcomes[r.id as usize] = Some(RequestOutcome {
-                id: r.id,
-                tenant: r.tenant,
-                kind: payload_tag(&r.payload),
-                arrival_us: r.arrival_us,
-                deadline_us: r.deadline_us,
-                shed: false,
-                array: served.array,
-                start_us: us_of(served.start_cycle),
-                end_us,
-                latency_us: end_us - r.arrival_us,
-                violated: end_us > r.deadline_us,
-                shed_wait_us: 0,
-                reconfig_bits: served.reconfig_bits,
-                checksum: served.checksum,
-                energy_j: served.energy_j,
-            });
+            match hook.dispatch(runtime, &job, now_us)? {
+                Some(served) => {
+                    let end_us = us_of(served.end_cycle);
+                    makespan_us = makespan_us.max(end_us);
+                    outcomes[r.id as usize] = Some(RequestOutcome {
+                        id: r.id,
+                        tenant: r.tenant,
+                        kind: payload_tag(&r.payload),
+                        arrival_us: r.arrival_us,
+                        deadline_us: r.deadline_us,
+                        shed: false,
+                        failed: false,
+                        array: served.array,
+                        start_us: us_of(served.start_cycle),
+                        end_us,
+                        latency_us: end_us - r.arrival_us,
+                        violated: end_us > r.deadline_us,
+                        shed_wait_us: 0,
+                        reconfig_bits: served.reconfig_bits,
+                        checksum: served.checksum,
+                        energy_j: served.energy_j,
+                    });
+                }
+                // Failed after retries: the hook detected corruption it
+                // could not recover from. The request is neither served
+                // nor shed — its checksum never reaches a tenant.
+                None => {
+                    outcomes[r.id as usize] = Some(RequestOutcome {
+                        id: r.id,
+                        tenant: r.tenant,
+                        kind: payload_tag(&r.payload),
+                        arrival_us: r.arrival_us,
+                        deadline_us: r.deadline_us,
+                        shed: false,
+                        failed: true,
+                        array: usize::MAX,
+                        start_us: now_us,
+                        end_us: now_us,
+                        latency_us: 0,
+                        violated: false,
+                        shed_wait_us: 0,
+                        reconfig_bits: 0,
+                        checksum: 0,
+                        energy_j: 0.0,
+                    });
+                }
+            }
             continue; // same instant — maybe another pool is free too
         }
 
@@ -430,12 +544,15 @@ pub fn serve_requests(
             }
         };
         for a in &status {
-            if !a.gated {
+            if !a.gated && !a.quarantined {
                 consider(us_of(a.free_at));
                 if service.pool.elastic {
                     consider(us_of(a.free_at) + service.pool.gate_idle_us);
                 }
             }
+        }
+        if let Some(t) = hook.next_event_us(now_us) {
+            consider(t);
         }
         now_us = next_event
             .ok_or_else(|| CoreError::Mismatch("dispatcher stalled with work queued".into()))?;
@@ -456,7 +573,7 @@ pub fn serve_requests(
 
     let outcomes: Vec<RequestOutcome> = outcomes
         .into_iter()
-        .map(|o| o.expect("every request is served or shed"))
+        .map(|o| o.expect("every request is served, shed, or failed"))
         .collect();
     let tenants = tenants
         .iter()
@@ -464,8 +581,8 @@ pub fn serve_requests(
             let mine: Vec<&RequestOutcome> =
                 outcomes.iter().filter(|o| o.tenant == spec.id).collect();
             let submitted = mine.len();
-            let served = mine.iter().filter(|o| !o.shed).count();
-            let shed = submitted - served;
+            let served = mine.iter().filter(|o| !o.shed && !o.failed).count();
+            let shed = mine.iter().filter(|o| o.shed).count();
             let violations = mine.iter().filter(|o| o.violated).count();
             TenantReport {
                 spec: *spec,
@@ -485,14 +602,15 @@ pub fn serve_requests(
             }
         })
         .collect();
-    let served = outcomes.iter().filter(|o| !o.shed).count();
+    let served = outcomes.iter().filter(|o| !o.shed && !o.failed).count();
     Ok(ServiceReport {
         policy: service.policy.name(),
         duration_us,
         makespan_us,
         requests: outcomes.len(),
         served,
-        shed: outcomes.len() - served,
+        shed: outcomes.iter().filter(|o| o.shed).count(),
+        failed: outcomes.iter().filter(|o| o.failed).count(),
         violations: outcomes.iter().filter(|o| o.violated).count(),
         pool: summary,
         tenants,

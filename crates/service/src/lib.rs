@@ -61,8 +61,8 @@ pub mod trace;
 
 pub use admit::{AdmissionQueue, AdmitPolicy, MonitorAwareAdmission};
 pub use dispatch::{
-    install_monitor, install_monitor_with, monitor_config_for, serve_requests, serve_trace,
-    PoolConfig, ServiceConfig,
+    install_monitor, install_monitor_with, monitor_config_for, serve_requests,
+    serve_requests_with_hook, serve_trace, DispatchHook, NoopDispatch, PoolConfig, ServiceConfig,
 };
 pub use report::{RequestOutcome, ServiceReport, TenantReport};
 pub use trace::{

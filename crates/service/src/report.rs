@@ -25,7 +25,13 @@ pub struct RequestOutcome {
     pub deadline_us: u64,
     /// `true` if the request was shed instead of served.
     pub shed: bool,
-    /// Array that served it (meaningless when shed).
+    /// `true` if the request was dispatched but failed after the
+    /// recovery hook's retry budget (its corrupt result was withheld).
+    /// Always `false` without a chaos hook; like `shed_wait_us`,
+    /// deliberately NOT folded into [`ServiceReport::digest`], so
+    /// fault-free digests are unchanged.
+    pub failed: bool,
+    /// Array that served it (meaningless when shed or failed).
     pub array: usize,
     /// Execution start in virtual µs (shed: the shed instant).
     pub start_us: u64,
@@ -87,6 +93,12 @@ pub struct ServiceReport {
     pub served: usize,
     /// Requests shed.
     pub shed: usize,
+    /// Requests dispatched but failed after the recovery hook's retry
+    /// budget — corrupt results withheld rather than served. Zero
+    /// without a chaos hook, so `requests == served + shed` holds in
+    /// every fault-free session (`requests == served + shed + failed`
+    /// in general).
+    pub failed: usize,
     /// Served requests that missed their deadline.
     pub violations: usize,
     /// Per-array energy and work totals from the runtime, including the
@@ -225,6 +237,14 @@ impl ServiceReport {
             self.violations,
             self.violation_pct()
         ));
+        // Only chaos sessions fail requests; fault-free renders are
+        // byte-identical to what they were before the field existed.
+        if self.failed > 0 {
+            s.push_str(&format!(
+                "failed             : {} requests unrecoverable after retries (corrupt results withheld)\n",
+                self.failed
+            ));
+        }
         s.push_str(&format!(
             "goodput            : {:.1}% of submitted served within SLO\n",
             self.goodput_pct()

@@ -626,6 +626,22 @@ pub struct Simulator<'n> {
     cycle: u64,
     waveform: Option<crate::trace::Waveform>,
     faults: Vec<StuckFault>,
+    /// Per-net or/and fault masks, indexed by net id. Empty while no faults
+    /// are injected; rebuilt incrementally by `inject_fault` and dropped by
+    /// `clear_faults`, so the faulted write path is one indexed load instead
+    /// of a scan over the whole fault list.
+    fault_masks: Vec<FaultMask>,
+}
+
+/// The composed effect of every fault on one net: `(v | or) & and`.
+#[derive(Debug, Clone, Copy)]
+struct FaultMask {
+    or: u64,
+    and: u64,
+}
+
+impl FaultMask {
+    const CLEAN: FaultMask = FaultMask { or: 0, and: !0 };
 }
 
 /// A stuck-at fault injected on one bit of a net (testability experiments).
@@ -682,6 +698,7 @@ impl<'n> Simulator<'n> {
             cycle: 0,
             waveform: None,
             faults: Vec::new(),
+            fault_masks: Vec::new(),
         }
     }
 
@@ -803,16 +820,32 @@ impl<'n> Simulator<'n> {
     }
 
     /// Injects a stuck-at fault on one bit of a net. The fault applies from
-    /// the next evaluation onward; several faults may be active at once.
-    /// While no faults are injected (the common case) the per-output fault
-    /// scan is skipped entirely.
+    /// the next evaluation onward; several faults may be active at once and
+    /// later injections on the same bit win, exactly as if the fault list
+    /// were replayed in order. While no faults are injected (the common
+    /// case) the write path skips fault handling entirely; with faults
+    /// present each write costs one indexed mask load, not a list scan.
     pub fn inject_fault(&mut self, fault: StuckFault) {
+        if self.fault_masks.is_empty() {
+            self.fault_masks = vec![FaultMask::CLEAN; self.net_values.len()];
+        }
+        if let Some(m) = self.fault_masks.get_mut(fault.net.0 as usize) {
+            let bit = 1u64 << fault.bit;
+            if fault.stuck_high {
+                m.or |= bit;
+                m.and |= bit;
+            } else {
+                m.and &= !bit;
+                m.or &= !bit;
+            }
+        }
         self.faults.push(fault);
     }
 
     /// Removes all injected faults.
     pub fn clear_faults(&mut self) {
         self.faults.clear();
+        self.fault_masks.clear();
     }
 
     /// Runs `n` cycles.
@@ -838,23 +871,16 @@ impl<'n> Simulator<'n> {
     }
 
     /// Writes one settled output value, applying stuck-at faults only when
-    /// any are injected.
+    /// any are injected (one indexed mask load, no fault-list scan).
     #[inline]
     fn write(&mut self, out: u32, value: u64) {
         if out == NO_NET {
             return;
         }
         let mut v = value;
-        if !self.faults.is_empty() {
-            for f in &self.faults {
-                if f.net.0 == out {
-                    if f.stuck_high {
-                        v |= 1u64 << f.bit;
-                    } else {
-                        v &= !(1u64 << f.bit);
-                    }
-                }
-            }
+        if !self.fault_masks.is_empty() {
+            let m = self.fault_masks[out as usize];
+            v = (v | m.or) & m.and;
         }
         self.net_values[out as usize] = v;
     }

@@ -9,6 +9,7 @@
 
 use dsra_core::prelude::*;
 use dsra_sim::{ExecPlan, Simulator, StuckFault};
+use proptest::prelude::*;
 
 /// A two-stage datapath: |a - b| into a registered accumulator — small
 /// enough to reason about exactly, deep enough that a fault on an internal
@@ -115,4 +116,92 @@ fn clearing_faults_restores_the_clean_output() {
         clean,
         "clear_faults() must fully restore fault-free behaviour"
     );
+}
+
+/// A one-stage pipeline whose faulted net is directly observable: the
+/// abs-diff output drives the top-level `y`, so the masked word can be
+/// compared bit-for-bit against the clean word without the accumulator
+/// smearing the difference across the bus.
+fn observable_cell() -> Netlist {
+    let mut nl = Netlist::new("observable_fault");
+    let a = nl.input("a", 8).unwrap();
+    let b = nl.input("b", 8).unwrap();
+    let ad = nl
+        .cluster(
+            "ad",
+            ClusterCfg::AbsDiff {
+                width: 8,
+                mode: AbsDiffMode::AbsDiff,
+            },
+        )
+        .unwrap();
+    let y = nl.output("y", 8).unwrap();
+    nl.connect((a, "out"), (ad, "a")).unwrap();
+    nl.connect((b, "out"), (ad, "b")).unwrap();
+    nl.connect((ad, "y"), (y, "in")).unwrap();
+    nl
+}
+
+proptest! {
+    /// Pins the indexed-mask fault path against first principles: for any
+    /// stimulus and any sequence of stuck-at faults on one net, the faulted
+    /// output must equal the clean output with the fault list replayed in
+    /// injection order — later faults on the same bit win — and the two
+    /// words may differ **only** on faulted bit positions.
+    #[test]
+    fn faulted_output_differs_from_clean_only_on_masked_bits(
+        a in 0u64..256,
+        b in 0u64..256,
+        fspec: u64,
+    ) {
+        let nl = observable_cell();
+        let plan = ExecPlan::compile(&nl).unwrap();
+        let net = ad_output_net(&nl);
+
+        // Decode 1..=4 faults from the raw sample: 4 bits of position and
+        // one stuck-value bit per fault, replayed in injection order.
+        let count = (fspec & 3) as usize + 1;
+        let faults: Vec<StuckFault> = (0..count)
+            .map(|i| {
+                let chunk = fspec >> (2 + 4 * i);
+                StuckFault {
+                    net,
+                    bit: (chunk & 7) as u8, // 8-bit bus
+                    stuck_high: chunk & 8 != 0,
+                }
+            })
+            .collect();
+
+        let settled = |fs: &[StuckFault]| -> u64 {
+            let mut sim = Simulator::with_plan(&nl, &plan);
+            for f in fs {
+                sim.inject_fault(*f);
+            }
+            sim.set("a", a).unwrap();
+            sim.set("b", b).unwrap();
+            sim.step();
+            sim.get("y").unwrap()
+        };
+        let clean = settled(&[]);
+        let faulted = settled(&faults);
+
+        // Reference semantics: replay the list in order.
+        let mut expected = clean;
+        let mut masked_bits = 0u64;
+        for f in &faults {
+            let bit = 1u64 << f.bit;
+            masked_bits |= bit;
+            if f.stuck_high {
+                expected |= bit;
+            } else {
+                expected &= !bit;
+            }
+        }
+        prop_assert_eq!(faulted, expected);
+        prop_assert_eq!(
+            (faulted ^ clean) & !masked_bits,
+            0,
+            "faulted and clean outputs may differ only on masked bits"
+        );
+    }
 }

@@ -100,7 +100,12 @@ pub fn chrome_trace(log: &EventLog) -> String {
     let mut arrays: BTreeSet<u32> = BTreeSet::new();
     for ev in log.events() {
         match ev {
-            TraceEvent::ArrayInterval { array, .. } | TraceEvent::JobSchedule { array, .. } => {
+            TraceEvent::ArrayInterval { array, .. }
+            | TraceEvent::JobSchedule { array, .. }
+            | TraceEvent::FaultInjected { array, .. }
+            | TraceEvent::DivergenceDetected { array, .. }
+            | TraceEvent::ArrayQuarantine { array, .. }
+            | TraceEvent::ArrayRestore { array, .. } => {
                 arrays.insert(*array);
             }
             _ => {}
@@ -171,6 +176,68 @@ pub fn chrome_trace(log: &EventLog) -> String {
                 tid: 0,
                 scope: false,
                 args: vec![("value".to_owned(), value.to_string())],
+            }),
+            // Chaos/recovery instants land on the owning array's track
+            // (`JobRetry` carries no array and uses track 0) in a
+            // dedicated category, so fault storms read directly off the
+            // timeline next to the intervals they perturb.
+            TraceEvent::FaultInjected { t, array, kind } => records.push(Record {
+                name: "fault".to_owned(),
+                cat: "chaos",
+                ph: "i",
+                ts: *t,
+                dur: None,
+                pid: 0,
+                tid: *array,
+                scope: true,
+                args: vec![("kind".to_owned(), format!("\"{kind}\""))],
+            }),
+            TraceEvent::DivergenceDetected { t, job, array } => records.push(Record {
+                name: "divergence".to_owned(),
+                cat: "chaos",
+                ph: "i",
+                ts: *t,
+                dur: None,
+                pid: 0,
+                tid: *array,
+                scope: true,
+                args: vec![("job".to_owned(), job.to_string())],
+            }),
+            TraceEvent::JobRetry { t, job, attempt } => records.push(Record {
+                name: "retry".to_owned(),
+                cat: "chaos",
+                ph: "i",
+                ts: *t,
+                dur: None,
+                pid: 0,
+                tid: 0,
+                scope: true,
+                args: vec![
+                    ("job".to_owned(), job.to_string()),
+                    ("attempt".to_owned(), attempt.to_string()),
+                ],
+            }),
+            TraceEvent::ArrayQuarantine { t, array, strikes } => records.push(Record {
+                name: "quarantine".to_owned(),
+                cat: "chaos",
+                ph: "i",
+                ts: *t,
+                dur: None,
+                pid: 0,
+                tid: *array,
+                scope: true,
+                args: vec![("strikes".to_owned(), strikes.to_string())],
+            }),
+            TraceEvent::ArrayRestore { t, array } => records.push(Record {
+                name: "restore".to_owned(),
+                cat: "chaos",
+                ph: "i",
+                ts: *t,
+                dur: None,
+                pid: 0,
+                tid: *array,
+                scope: true,
+                args: Vec::new(),
             }),
             _ => {}
         }
@@ -392,6 +459,47 @@ mod tests {
         assert!(!a.contains("\"dur\": 0,"));
         // Shed span rewinds to the arrival instant.
         assert!(a.contains("\"name\": \"shed\", \"cat\": \"job\", \"ph\": \"X\", \"ts\": 15"));
+    }
+
+    #[test]
+    fn chaos_events_export_as_instants_on_the_array_track() {
+        let mut log = EventLog::new();
+        log.emit(TraceEvent::FaultInjected {
+            t: 10,
+            array: 3,
+            kind: "stuck_at",
+        });
+        log.emit(TraceEvent::DivergenceDetected {
+            t: 20,
+            job: 7,
+            array: 3,
+        });
+        log.emit(TraceEvent::JobRetry {
+            t: 25,
+            job: 7,
+            attempt: 1,
+        });
+        log.emit(TraceEvent::ArrayQuarantine {
+            t: 30,
+            array: 3,
+            strikes: 2,
+        });
+        log.emit(TraceEvent::ArrayRestore { t: 90, array: 3 });
+        let a = chrome_trace(&log);
+        for needle in [
+            "\"name\": \"fault\", \"cat\": \"chaos\", \"ph\": \"i\", \"ts\": 10",
+            "\"kind\": \"stuck_at\"",
+            "\"name\": \"divergence\", \"cat\": \"chaos\", \"ph\": \"i\", \"ts\": 20",
+            "\"name\": \"retry\", \"cat\": \"chaos\", \"ph\": \"i\", \"ts\": 25",
+            "\"attempt\": 1",
+            "\"name\": \"quarantine\", \"cat\": \"chaos\", \"ph\": \"i\", \"ts\": 30",
+            "\"strikes\": 2",
+            "\"name\": \"restore\", \"cat\": \"chaos\", \"ph\": \"i\", \"ts\": 90",
+            // The chaos-only array still gets a named track.
+            "\"thread_name\"",
+        ] {
+            assert!(a.contains(needle), "missing {needle} in:\n{a}");
+        }
     }
 
     #[test]

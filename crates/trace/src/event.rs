@@ -153,6 +153,51 @@ pub enum TraceEvent {
         /// Cumulative value at `t` (session-relative).
         value: u64,
     },
+    /// A chaos fault fired on an array (deterministic fault-plan instant).
+    FaultInjected {
+        /// Injection cycle.
+        t: u64,
+        /// Faulted array.
+        array: u32,
+        /// Fault-kind tag (`"stuck_at"`, `"transient"`, `"reconfig"`,
+        /// `"death"`, `"brownout"`).
+        kind: &'static str,
+    },
+    /// A golden spot-check caught a corrupt outcome on `array`.
+    DivergenceDetected {
+        /// Detection cycle.
+        t: u64,
+        /// Diverging job id.
+        job: u32,
+        /// Array that produced the corrupt outcome.
+        array: u32,
+    },
+    /// Recovery re-dispatched a diverging job onto another array.
+    JobRetry {
+        /// Retry-dispatch cycle.
+        t: u64,
+        /// Retried job id.
+        job: u32,
+        /// 1-based retry attempt number.
+        attempt: u32,
+    },
+    /// K consecutive divergences latched: the array is evicted and
+    /// excluded from placement until a probe job passes.
+    ArrayQuarantine {
+        /// Quarantine cycle.
+        t: u64,
+        /// Quarantined array.
+        array: u32,
+        /// Consecutive divergences that triggered the quarantine.
+        strikes: u32,
+    },
+    /// A probe job passed its golden check: the array rejoins placement.
+    ArrayRestore {
+        /// Restore cycle.
+        t: u64,
+        /// Restored array.
+        array: u32,
+    },
 }
 
 impl TraceEvent {
@@ -169,6 +214,11 @@ impl TraceEvent {
             TraceEvent::ArrayInterval { .. } => "interval",
             TraceEvent::BatteryLevel { .. } => "battery",
             TraceEvent::Counter { .. } => "counter",
+            TraceEvent::FaultInjected { .. } => "fault",
+            TraceEvent::DivergenceDetected { .. } => "divergence",
+            TraceEvent::JobRetry { .. } => "retry",
+            TraceEvent::ArrayQuarantine { .. } => "quarantine",
+            TraceEvent::ArrayRestore { .. } => "restore",
         }
     }
 }

@@ -31,7 +31,11 @@
 //!   service;
 //! * [`service`] — the open-loop multi-tenant streaming frontend: seeded
 //!   traces, admission control and load shedding, elastic array pools,
-//!   SLO tracking.
+//!   SLO tracking;
+//! * [`chaos`] — deterministic fault injection (stuck-at, transients,
+//!   corrupted reconfiguration, array death, battery brownout) with
+//!   golden-spot-check detection, retry/quarantine recovery, and the
+//!   recovery-on vs fault-oblivious chaos-serving experiment.
 //!
 //! ## Quickstart
 //!
@@ -50,6 +54,7 @@
 #![warn(missing_docs)]
 
 pub use dsra_backend as backend;
+pub use dsra_chaos as chaos;
 pub use dsra_core as core;
 pub use dsra_dct as dct;
 pub use dsra_me as me;

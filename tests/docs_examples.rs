@@ -131,6 +131,36 @@ fn experiment_index_references_resolve() {
             "README must document the monitor surface `{anchor}`"
         );
     }
+    assert!(
+        design.contains("## 13. Chaos engineering"),
+        "DESIGN.md must document the dsra-chaos layer (§13)"
+    );
+    for anchor in [
+        "FaultPlan",
+        "install_chaos",
+        "ChaosBackend",
+        "DispatchHook",
+        "spot_check_every",
+        "Divergence",
+        "stream_serve_job_excluding",
+        "stream_quarantine",
+        "stream_restore",
+        "FaultInjected",
+        "ArrayQuarantine",
+        "useful goodput",
+        "BENCH_chaos.json",
+    ] {
+        assert!(
+            design.contains(anchor),
+            "DESIGN.md §13 must cover `{anchor}`"
+        );
+    }
+    for anchor in ["BENCH_chaos.json", "quarantine"] {
+        assert!(
+            readme.contains(anchor),
+            "README must document the chaos surface `{anchor}`"
+        );
+    }
     for anchor in [
         "ArrayBackend",
         "GoldenBackend",
@@ -179,6 +209,10 @@ fn experiment_index_references_resolve() {
         readme.contains("`dsra-monitor`"),
         "README crate map must list dsra-monitor"
     );
+    assert!(
+        readme.contains("`dsra-chaos`"),
+        "README crate map must list dsra-chaos"
+    );
 
     for bin in [
         "table1",
@@ -192,6 +226,7 @@ fn experiment_index_references_resolve() {
         "soc_serve",
         "battery_serve",
         "stream_serve",
+        "chaos_serve",
         "trace_report",
         "bench_diff",
     ] {
