@@ -16,8 +16,9 @@
 //! same definition `tests/battery_serve.rs` gates in tier-1.
 
 use dsra_bench::{
-    banner, discharge_runtime, install_trace_arg, json_flag, parse_f64, parse_u64,
-    write_chrome_trace, write_json_summary, write_metrics_arg, DischargeOutcome, JsonValue,
+    banner, discharge_runtime, install_profile_arg, install_trace_arg, json_flag, parse_f64,
+    parse_u64, write_chrome_trace, write_json_summary, write_metrics_arg, write_profile_arg,
+    DischargeOutcome, JsonValue,
 };
 use dsra_runtime::{
     DefaultPolicy, EnergyAwarePolicy, NaivePolicy, PowerConfig, RuntimeConfig, SchedulePolicy,
@@ -80,7 +81,15 @@ fn main() {
         } else {
             None
         };
+        // `--profile-out <file>` captures the same (last) policy's
+        // discharge as an attribution flamegraph.
+        let profile = if i + 1 == count {
+            install_profile_arg(&mut runtime)
+        } else {
+            None
+        };
         runs.push(discharge_runtime(&mut runtime, base, max_serves).expect("discharge run"));
+        write_profile_arg(&runtime, &profile);
         if let Some(path) = &trace_path {
             write_chrome_trace(&mut runtime, path);
         }

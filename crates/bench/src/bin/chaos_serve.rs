@@ -20,8 +20,8 @@
 //! land on the array tracks next to the intervals they perturb.
 
 use dsra_bench::{
-    arg_value, banner, chaos_metrics, json_flag, latency_histogram, parse_u64, write_chrome_trace,
-    write_json_summary, write_metrics_arg, JsonValue,
+    arg_value, banner, chaos_metrics, install_profile_arg, json_flag, latency_histogram, parse_u64,
+    write_chrome_trace, write_json_summary, write_metrics_arg, write_profile_arg, JsonValue,
 };
 use dsra_chaos::{serve_with_chaos, ChaosConfig, ChaosReport, FaultPlan, RecoveryConfig};
 use dsra_runtime::{RuntimeConfig, SocRuntime};
@@ -82,6 +82,13 @@ fn main() {
         if trace_path.is_some() {
             runtime.set_trace_sink(Box::new(EventLog::new()));
         }
+        // `--profile-out <file>` captures the same (recovery) arm as an
+        // attribution flamegraph, composing with `--trace`.
+        let profile = if i == 0 {
+            install_profile_arg(&mut runtime)
+        } else {
+            None
+        };
         let report = serve_with_chaos(
             &mut runtime,
             &trace,
@@ -113,6 +120,7 @@ fn main() {
             h.p99()
         );
         println!("chaos digest       : {:#018x}\n", report.digest());
+        write_profile_arg(&runtime, &profile);
         if let Some(path) = &trace_path {
             write_chrome_trace(&mut runtime, path);
         }

@@ -6,12 +6,14 @@
 //! cargo run -p dsra-bench --release --bin dynamic_switch
 //! ```
 
-use dsra_bench::{banner, json_flag, write_json_summary, JsonValue};
+use dsra_bench::{arg_value, banner, json_flag, write_flame, write_json_summary, JsonValue};
 use dsra_dct::DaParams;
 use dsra_me::SearchParams;
 use dsra_platform::{
     dynamic_encode, profile_all_impls, standard_da_fabric, Condition, ReconfigManager, SocConfig,
 };
+use dsra_profile::{frame_label, Flame};
+use dsra_sim::ExecPlan;
 use dsra_tech::TechModel;
 use dsra_video::{EncodeConfig, SequenceConfig, SyntheticSequence};
 
@@ -96,6 +98,34 @@ fn main() {
             f.stats.psnr_db,
             rc
         );
+    }
+
+    // `--profile-out <file>`: E7 has no SocRuntime, so the flamegraph is
+    // built straight from the frame schedule — each frame's DCT cycles
+    // split over its implementation's op mix, switch costs under a
+    // reconfig leaf. Same folded format as the runtime experiments.
+    if let Some(path) = arg_value("--profile-out") {
+        let mut flame = Flame::new();
+        for f in &frames {
+            let imp = impls
+                .iter()
+                .find(|p| p.profile.name == f.impl_name)
+                .expect("scenario frame names a profiled impl");
+            let mix = ExecPlan::compile(imp.implementation.netlist())
+                .expect("scenario netlists compile")
+                .op_mix();
+            let name = frame_label(&f.impl_name);
+            for (class, share) in mix.attribute(f.stats.dct_cycles) {
+                flame.add(
+                    &format!("soc;array0;kernel:{name};op:{}", class.tag()),
+                    share,
+                );
+            }
+            if let Some(r) = f.reconfig {
+                flame.add(&format!("soc;array0;kernel:{name};reconfig"), r.cycles);
+            }
+        }
+        write_flame(&flame, &path);
     }
 
     if json_flag() {

@@ -14,8 +14,8 @@
 //! plans — which is exactly what the `outcome digest` line pins.
 
 use dsra_bench::{
-    arg_value, banner, install_trace_arg, json_flag, parse_u64, write_chrome_trace,
-    write_metrics_arg, JsonValue,
+    arg_value, banner, install_profile_arg, install_trace_arg, json_flag, parse_u64,
+    write_chrome_trace, write_metrics_arg, write_profile_arg, JsonValue,
 };
 use dsra_runtime::{BackendKind, RuntimeConfig, SocRuntime};
 use dsra_video::{generate_job_mix, JobMixConfig};
@@ -56,8 +56,12 @@ fn main() {
     })
     .expect("runtime construction");
     let trace_path = install_trace_arg(&mut runtime);
+    // `--profile-out <file>` tees the same event stream into the
+    // attribution profiler and dumps the serve as a flamegraph.
+    let profile = install_profile_arg(&mut runtime);
     let report = runtime.serve(&mix).expect("serve");
     print!("{}", report.render());
+    write_profile_arg(&runtime, &profile);
     if let Some(path) = &trace_path {
         write_chrome_trace(&mut runtime, path);
     }

@@ -24,9 +24,9 @@
 //! which is exactly what each policy's `outcome digest` line pins.
 
 use dsra_bench::{
-    arg_value, banner, json_flag, latency_histogram, monitor_metrics, parse_u64,
-    shed_wait_histogram, stream_metrics, write_chrome_trace, write_json_summary, write_metrics_arg,
-    JsonValue,
+    arg_value, banner, install_profile_arg, json_flag, latency_histogram, monitor_metrics,
+    parse_u64, shed_wait_histogram, stream_metrics, write_chrome_trace, write_json_summary,
+    write_metrics_arg, write_profile_arg, JsonValue,
 };
 use dsra_monitor::{render_dashboard, MonitorHandle};
 use dsra_runtime::{RuntimeConfig, SocRuntime};
@@ -104,6 +104,14 @@ fn main() {
             }
             None
         };
+        // `--profile-out <file>` captures the last policy's session as
+        // an attribution flamegraph; the tee wraps whatever the monitor
+        // and `--trace` wiring installed, so all three compose.
+        let profile = if i + 1 == policies.len() {
+            install_profile_arg(&mut runtime)
+        } else {
+            None
+        };
         let report = serve_trace(
             &mut runtime,
             &trace,
@@ -135,6 +143,7 @@ fn main() {
             shed_wait_histogram(&report).p99(),
             report.shed
         );
+        write_profile_arg(&runtime, &profile);
         if let Some(path) = &trace_path {
             write_chrome_trace(&mut runtime, path);
         }

@@ -23,6 +23,7 @@ pub mod chaos;
 pub mod diff;
 pub mod discharge;
 pub mod json;
+pub mod profpost;
 pub mod stream;
 pub mod tracepost;
 
@@ -40,6 +41,10 @@ pub use diff::{diff_documents, DiffReport, KeyClass};
 pub use discharge::{discharge_battery, discharge_runtime, DischargeOutcome};
 pub use hist::Histogram;
 pub use json::{parse_json, Json};
+pub use profpost::{
+    install_profile_arg, install_profiler, runtime_flame, runtime_profile_report, write_flame,
+    write_profile_arg,
+};
 pub use stream::{latency_histogram, monitor_metrics, shed_wait_histogram, stream_metrics};
 pub use tracepost::{
     analyze_chrome_trace, events_from_chrome, install_trace_arg, slo_config_from_meta,

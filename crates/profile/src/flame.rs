@@ -1,0 +1,199 @@
+//! Collapsed-stack flamegraph export.
+//!
+//! [`Flame`] accumulates `stack value` lines in the folded format that
+//! `inferno-flamegraph` and speedscope consume: semicolon-separated
+//! frames, one line per unique stack, sorted lexicographically so the
+//! rendered text is byte-deterministic. [`flamegraph`] builds the
+//! standard profile view from a [`Profiler`] and the kernel op mixes:
+//!
+//! ```text
+//! soc;array0;kernel:dct8;op:add_sub 450
+//! soc;array0;kernel:dct8;reconfig 100
+//! soc;array1;idle 340
+//! ```
+
+use crate::profiler::Profiler;
+use dsra_sim::OpMix;
+use std::collections::BTreeMap;
+
+/// A folded (collapsed-stack) flamegraph under construction. Repeated
+/// [`Flame::add`] calls on the same stack accumulate.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Flame {
+    lines: BTreeMap<String, u64>,
+}
+
+impl Flame {
+    /// An empty flamegraph.
+    pub fn new() -> Self {
+        Flame::default()
+    }
+
+    /// Adds `value` to the stack's count. Zero-valued adds are dropped
+    /// so the rendered text never carries empty bars.
+    pub fn add(&mut self, stack: &str, value: u64) {
+        if value > 0 {
+            *self.lines.entry(stack.to_owned()).or_default() += value;
+        }
+    }
+
+    /// Number of distinct stacks.
+    pub fn len(&self) -> usize {
+        self.lines.len()
+    }
+
+    /// `true` when nothing was added.
+    pub fn is_empty(&self) -> bool {
+        self.lines.is_empty()
+    }
+
+    /// The accumulated count for one stack (0 when absent).
+    pub fn get(&self, stack: &str) -> u64 {
+        self.lines.get(stack).copied().unwrap_or(0)
+    }
+
+    /// Sum of all stack values.
+    pub fn total(&self) -> u64 {
+        self.lines.values().sum()
+    }
+
+    /// The folded text: `stack value\n` per stack, sorted by stack —
+    /// byte-deterministic for the CI `cmp` gate.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for (stack, value) in &self.lines {
+            out.push_str(stack);
+            out.push(' ');
+            out.push_str(&value.to_string());
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Sanitises a display name into a frame label: the folded format splits
+/// the count off the *last* space and frames on `;`, so both characters
+/// become `_` (`"BASIC DA"` → `"BASIC_DA"`).
+pub fn frame_label(name: &str) -> String {
+    name.replace([' ', ';'], "_")
+}
+
+/// Builds the standard profile flamegraph: every array cycle becomes a
+/// leaf under `soc;array<N>` — busy cycles split per op class through
+/// the kernel's [`OpMix`] (`kernel:<name>;op:<tag>`), reconfiguration
+/// under `kernel:<name>;reconfig`, and the remainder under `idle` /
+/// `gated`. Busy cycles of a fingerprint with no mix fall back to a
+/// `kernel:<name>;exec` leaf so the graph still sums to the pool total.
+pub fn flamegraph(prof: &Profiler, op_mixes: &[(String, String, OpMix)]) -> Flame {
+    let mix_of: BTreeMap<&str, &OpMix> = op_mixes
+        .iter()
+        .map(|(_, fp, mix)| (fp.as_str(), mix))
+        .collect();
+    let name_of: BTreeMap<&str, &str> = prof
+        .energy()
+        .iter()
+        .map(|(fp, e)| (fp.as_str(), e.kernel.as_str()))
+        .collect();
+    let mut flame = Flame::new();
+    for (&array, acct) in prof.arrays() {
+        let base = format!("soc;array{array}");
+        for (fp, k) in &acct.kernels {
+            let name = frame_label(name_of.get(fp.as_str()).copied().unwrap_or("?"));
+            match mix_of.get(fp.as_str()) {
+                Some(mix) if !mix.is_empty() => {
+                    for (class, share) in mix.attribute(k.exec) {
+                        flame.add(&format!("{base};kernel:{name};op:{}", class.tag()), share);
+                    }
+                }
+                _ => flame.add(&format!("{base};kernel:{name};exec"), k.exec),
+            }
+            flame.add(&format!("{base};kernel:{name};reconfig"), k.reconfig);
+        }
+        flame.add(&format!("{base};idle"), acct.phases.idle);
+        flame.add(&format!("{base};gated"), acct.phases.gated);
+    }
+    flame
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dsra_sim::OpClass;
+    use dsra_trace::{ArrayPhase, EnergyBreakdown, TraceEvent};
+
+    #[test]
+    fn folded_lines_accumulate_sort_and_drop_zeros() {
+        let mut f = Flame::new();
+        f.add("soc;array0;idle", 10);
+        f.add("soc;array1;idle", 5);
+        f.add("soc;array0;idle", 2);
+        f.add("soc;array0;never", 0);
+        assert_eq!(f.len(), 2);
+        assert_eq!(f.get("soc;array0;idle"), 12);
+        assert_eq!(f.total(), 17);
+        assert_eq!(f.render(), "soc;array0;idle 12\nsoc;array1;idle 5\n");
+        assert_eq!(f.render(), f.render());
+    }
+
+    #[test]
+    fn frame_labels_escape_the_format_separators() {
+        assert_eq!(frame_label("BASIC DA"), "BASIC_DA");
+        assert_eq!(frame_label("a;b c"), "a_b_c");
+        assert_eq!(frame_label("me_full"), "me_full");
+    }
+
+    #[test]
+    fn flamegraph_covers_every_cycle_of_the_pool() {
+        let mut p = Profiler::new();
+        p.observe(&TraceEvent::JobSchedule {
+            t: 0,
+            job: 1,
+            array: 0,
+            kernel: "dct8".into(),
+            fingerprint: "aa".repeat(16),
+        });
+        p.observe(&TraceEvent::ArrayInterval {
+            array: 0,
+            phase: ArrayPhase::Reconfig,
+            start: 0,
+            end: 100,
+            job: Some(1),
+            kernel: Some("dct8".into()),
+        });
+        p.observe(&TraceEvent::ArrayInterval {
+            array: 0,
+            phase: ArrayPhase::Exec,
+            start: 100,
+            end: 500,
+            job: Some(1),
+            kernel: Some("dct8".into()),
+        });
+        p.observe(&TraceEvent::ArrayInterval {
+            array: 0,
+            phase: ArrayPhase::Idle,
+            start: 500,
+            end: 540,
+            job: None,
+            kernel: None,
+        });
+        p.observe(&TraceEvent::JobComplete {
+            t: 540,
+            job: 1,
+            checksum: 0,
+            energy: EnergyBreakdown::default(),
+        });
+        let mut mix = OpMix::new();
+        mix.add(OpClass::AddSub, 3);
+        mix.add(OpClass::Reg, 1);
+        let flame = flamegraph(&p, &[("dct8".into(), "aa".repeat(16), mix)]);
+        assert_eq!(flame.get("soc;array0;kernel:dct8;op:add_sub"), 300);
+        assert_eq!(flame.get("soc;array0;kernel:dct8;op:reg"), 100);
+        assert_eq!(flame.get("soc;array0;kernel:dct8;reconfig"), 100);
+        assert_eq!(flame.get("soc;array0;idle"), 40);
+        assert_eq!(flame.total(), 540, "every pool cycle lands in a leaf");
+        // Without a mix the busy cycles fall back to an exec leaf.
+        let bare = flamegraph(&p, &[]);
+        assert_eq!(bare.get("soc;array0;kernel:dct8;exec"), 400);
+        assert_eq!(bare.total(), 540);
+    }
+}

@@ -13,6 +13,7 @@ use dsra_core::error::Result;
 use dsra_core::fabric::Fabric;
 use dsra_core::netlist::{Fingerprint, Netlist};
 use dsra_platform::{compile_netlist, profiling_activity, CompiledArtifact};
+use dsra_sim::{ExecPlan, OpMix};
 use dsra_tech::{dsra_cost, EnergySplit, TechModel};
 
 use crate::kernel::ArrayKind;
@@ -33,6 +34,11 @@ pub struct CompiledKernel {
     /// the energy accounts integrate per cycle while this kernel runs
     /// (and leak per cycle while it merely stays loaded).
     pub split: EnergySplit,
+    /// Static per-cycle op-class mix of the kernel's execution plan —
+    /// what one busy cycle on this kernel executes. The attribution
+    /// profiler (`dsra-profile`) splits array-busy cycles across op
+    /// classes with this, so per-op costs never require re-simulation.
+    pub op_mix: OpMix,
 }
 
 impl CompiledKernel {
@@ -130,6 +136,19 @@ impl BitstreamCache {
         self.entries.is_empty()
     }
 
+    /// Every compiled kernel, sorted by `(fingerprint, fabric)` so
+    /// iteration order is deterministic regardless of compile order
+    /// (the map behind the cache is hashed).
+    pub fn kernels_sorted(&self) -> Vec<&Arc<CompiledKernel>> {
+        let mut entries: Vec<(&CacheKey, &Arc<CompiledKernel>)> = self.entries.iter().collect();
+        entries.sort_by(|(a, _), (b, _)| {
+            a.fingerprint
+                .cmp(&b.fingerprint)
+                .then_with(|| a.fabric.cmp(&b.fabric))
+        });
+        entries.into_iter().map(|(_, k)| k).collect()
+    }
+
     /// Looks the fingerprint up for `fabric`; on a miss, builds the netlist
     /// via `netlist` and runs the compile pipeline once.
     ///
@@ -169,12 +188,14 @@ impl BitstreamCache {
         // selected on.
         let activity = profiling_activity(&nl)?;
         let split = dsra_cost(&nl, &artifact.routing.stats, &activity, &self.model).energy_split();
+        let op_mix = ExecPlan::compile(&nl)?.op_mix();
         let kernel = Arc::new(CompiledKernel {
             name: name.to_owned(),
             fingerprint,
             array_kind,
             artifact,
             split,
+            op_mix,
         });
         self.entries.insert(key, Arc::clone(&kernel));
         Ok(kernel)

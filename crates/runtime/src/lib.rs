@@ -443,6 +443,19 @@ impl SocRuntime {
         &self.profiles
     }
 
+    /// Per-kernel `(name, fingerprint-hex, op mix)` of every kernel the
+    /// bitstream cache has compiled, sorted by fingerprint — the join key
+    /// the attribution profiler (`dsra-profile`) uses to split a
+    /// kernel's busy cycles across op classes. Deterministic regardless
+    /// of compile order.
+    pub fn kernel_op_mixes(&self) -> Vec<(String, String, dsra_sim::OpMix)> {
+        self.cache
+            .kernels_sorted()
+            .into_iter()
+            .map(|k| (k.name.clone(), k.fingerprint.to_hex(), k.op_mix.clone()))
+            .collect()
+    }
+
     /// Lifetime cache counters (across all serve calls).
     pub fn cache_stats(&self) -> CacheStats {
         self.cache.stats()

@@ -536,6 +536,7 @@ mod tests {
                 dyn_energy_per_cycle: 10.0,
                 leak_power: 5.0,
             },
+            op_mix: dsra_sim::ExecPlan::compile(&nl).unwrap().op_mix(),
         })
     }
 

@@ -26,6 +26,7 @@ use dsra_core::fixed::{from_signed, mask, to_signed};
 use dsra_core::netlist::{Netlist, NodeId, NodeKind, PortDir, PortRef};
 
 use crate::activity::Activity;
+use crate::prof::{NoopProf, OpClass, OpMix, ProfSink};
 
 /// Sentinel for "no net" in the compiled plan (unconnected optional port or
 /// undriven output).
@@ -285,6 +286,26 @@ impl ExecPlan {
         Ok(plan)
     }
 
+    /// The plan's static per-cycle op mix: how many ops of each class one
+    /// [`Simulator::step`] executes. Every settle evaluates the same
+    /// `phase_a`/`phase_b` nodes and every tick updates the same
+    /// sequential nodes, so this is exact — a live
+    /// [`crate::CountingProf`] over `n` cycles reports precisely
+    /// `n ×` these counts. Attribution layers use it to split busy
+    /// cycles across op classes without per-cycle counting.
+    pub fn op_mix(&self) -> OpMix {
+        let mut mix = OpMix::new();
+        for &idx in self.phase_a.iter().chain(&self.phase_b) {
+            if let Some(class) = op_class(&self.ops[idx as usize]) {
+                mix.add(class, 1);
+            }
+        }
+        for &(_, tick) in &self.ticks {
+            mix.add(tick_class(&tick), 1);
+        }
+        mix
+    }
+
     /// Lowers one node, resolving every port it reads or drives.
     fn lower(&mut self, netlist: &Netlist, id: NodeId) -> EvalOp {
         let node = netlist.node(id);
@@ -520,6 +541,43 @@ fn lower_tick(netlist: &Netlist, id: NodeId) -> TickOp {
     }
 }
 
+/// Profiling class of one settle-phase op (`None` for pure sinks, which
+/// execute nothing).
+fn op_class(op: &EvalOp) -> Option<OpClass> {
+    Some(match op {
+        EvalOp::Sink => return None,
+        EvalOp::Input { .. } => OpClass::Input,
+        EvalOp::Const { .. } => OpClass::Const,
+        EvalOp::Concat { .. } => OpClass::Concat,
+        EvalOp::Slice { .. } => OpClass::Slice,
+        EvalOp::SignExtend { .. } => OpClass::SignExtend,
+        EvalOp::Mux { .. } => OpClass::Mux,
+        EvalOp::RegOut { .. } => OpClass::Reg,
+        EvalOp::AbsDiff { .. } => OpClass::AbsDiff,
+        EvalOp::AddSub { .. } => OpClass::AddSub,
+        EvalOp::AccOut { .. } => OpClass::Acc,
+        EvalOp::CmpMinMax { .. } => OpClass::CmpMinMax,
+        EvalOp::CmpStreamOut { .. } => OpClass::CmpStream,
+        EvalOp::SerialAdd { .. } => OpClass::SerialAdd,
+        EvalOp::SerialRegOut { .. } => OpClass::SerialReg,
+        EvalOp::ShiftAccOut { .. } => OpClass::ShiftAcc,
+        EvalOp::Memory { .. } => OpClass::Memory,
+    })
+}
+
+/// Profiling class of one clock-edge op (the tick rides the same class
+/// as the cluster's Moore publish).
+fn tick_class(op: &TickOp) -> OpClass {
+    match op {
+        TickOp::Reg { .. } => OpClass::Reg,
+        TickOp::Acc { .. } => OpClass::Acc,
+        TickOp::Comp { .. } => OpClass::CmpStream,
+        TickOp::Carry { .. } => OpClass::SerialAdd,
+        TickOp::SerialReg { .. } => OpClass::SerialReg,
+        TickOp::ShiftAcc { .. } => OpClass::ShiftAcc,
+    }
+}
+
 /// The plan a simulator executes: its own, or one shared by the caller.
 #[derive(Debug)]
 enum PlanSource<'n> {
@@ -613,7 +671,7 @@ impl OutputPort {
 /// # }
 /// ```
 #[derive(Debug)]
-pub struct Simulator<'n> {
+pub struct Simulator<'n, P: ProfSink = NoopProf> {
     netlist: &'n Netlist,
     plan: PlanSource<'n>,
     /// Current value per net.
@@ -631,6 +689,10 @@ pub struct Simulator<'n> {
     /// `clear_faults`, so the faulted write path is one indexed load instead
     /// of a scan over the whole fault list.
     fault_masks: Vec<FaultMask>,
+    /// Op-level profiling sink. [`NoopProf`] (the default) has
+    /// `ENABLED = false`, so every record call below const-folds away
+    /// and the hot loop is the unprofiled one.
+    prof: P,
 }
 
 /// The composed effect of every fault on one net: `(v | or) & and`.
@@ -663,8 +725,7 @@ impl<'n> Simulator<'n> {
     /// Propagates netlist validation failures (unconnected mandatory inputs,
     /// combinational loops).
     pub fn new(netlist: &'n Netlist) -> Result<Self> {
-        let plan = ExecPlan::compile(netlist)?;
-        Ok(Self::build(netlist, PlanSource::Owned(Box::new(plan))))
+        Self::new_profiled(netlist, NoopProf)
     }
 
     /// Builds a simulator over a plan compiled earlier with
@@ -675,14 +736,40 @@ impl<'n> Simulator<'n> {
     /// Panics if the plan's node/net counts do not match the netlist (a
     /// plan compiled from a different netlist).
     pub fn with_plan(netlist: &'n Netlist, plan: &'n ExecPlan) -> Self {
+        Self::with_plan_profiled(netlist, plan, NoopProf)
+    }
+}
+
+impl<'n, P: ProfSink> Simulator<'n, P> {
+    /// [`Simulator::new`] with an explicit profiling sink (a
+    /// [`crate::CountingProf`] records per-op/per-class execution
+    /// counts; results are byte-identical either way — the sink only
+    /// observes).
+    ///
+    /// # Errors
+    /// Same as [`Simulator::new`].
+    pub fn new_profiled(netlist: &'n Netlist, prof: P) -> Result<Self> {
+        let plan = ExecPlan::compile(netlist)?;
+        Ok(Self::build(
+            netlist,
+            PlanSource::Owned(Box::new(plan)),
+            prof,
+        ))
+    }
+
+    /// [`Simulator::with_plan`] with an explicit profiling sink.
+    ///
+    /// # Panics
+    /// Same as [`Simulator::with_plan`].
+    pub fn with_plan_profiled(netlist: &'n Netlist, plan: &'n ExecPlan, prof: P) -> Self {
         assert!(
             plan.nodes == netlist.nodes().len() && plan.nets == netlist.nets().len(),
             "execution plan was compiled from a different netlist"
         );
-        Self::build(netlist, PlanSource::Shared(plan))
+        Self::build(netlist, PlanSource::Shared(plan), prof)
     }
 
-    fn build(netlist: &'n Netlist, plan: PlanSource<'n>) -> Self {
+    fn build(netlist: &'n Netlist, plan: PlanSource<'n>, prof: P) -> Self {
         let states = match &plan {
             PlanSource::Owned(p) => p.initial_states.clone(),
             PlanSource::Shared(p) => p.initial_states.clone(),
@@ -699,7 +786,13 @@ impl<'n> Simulator<'n> {
             waveform: None,
             faults: Vec::new(),
             fault_masks: Vec::new(),
+            prof,
         }
+    }
+
+    /// The profiling sink's accumulated state.
+    pub fn prof(&self) -> &P {
+        &self.prof
     }
 
     #[inline]
@@ -806,6 +899,9 @@ impl<'n> Simulator<'n> {
         }
         self.tick();
         self.activity.end_cycle();
+        if P::ENABLED {
+            self.prof.record_cycle();
+        }
         self.cycle += 1;
     }
 
@@ -907,6 +1003,11 @@ impl<'n> Simulator<'n> {
     #[inline]
     fn eval(&mut self, idx: usize) {
         let op = self.plan().ops[idx];
+        if P::ENABLED {
+            if let Some(class) = op_class(&op) {
+                self.prof.record_op(idx as u32, class);
+            }
+        }
         match op {
             EvalOp::Sink => {}
             EvalOp::Input { ext, width, out } => {
@@ -1066,6 +1167,9 @@ impl<'n> Simulator<'n> {
         for i in 0..self.plan().ticks.len() {
             let (idx, op) = self.plan().ticks[i];
             let idx = idx as usize;
+            if P::ENABLED {
+                self.prof.record_op(idx as u32, tick_class(&op));
+            }
             let nets = &self.net_values;
             let new_state = match (op, &self.states[idx]) {
                 (TickOp::Reg { a, b, sel, en }, NodeState::Reg { q }) => {

@@ -9,7 +9,11 @@
 //!   flip-flops in serial adders, right-shift-accumulate with a subtracting
 //!   sign-bit cycle (White's DA, ref. \[4\] of the paper);
 //! * per-net toggle counting for activity-based power estimation
-//!   (`dsra-tech`).
+//!   (`dsra-tech`);
+//! * zero-cost-when-disabled op-level profiling ([`prof`]): the
+//!   interpreter is generic over a [`ProfSink`] (default [`NoopProf`],
+//!   monomorphized away) and every plan exposes its static per-cycle
+//!   [`OpMix`] via [`ExecPlan::op_mix`] for cycle attribution.
 //!
 //! The hot path is allocation-free: a checked netlist compiles once into a
 //! flat [`ExecPlan`] (resolved port slots, enum-dispatched ops, pre-masked
@@ -24,8 +28,10 @@
 
 pub mod activity;
 pub mod engine;
+pub mod prof;
 pub mod trace;
 
 pub use activity::Activity;
 pub use engine::{ExecPlan, InputPort, OutputPort, Simulator, StuckFault};
+pub use prof::{CountingProf, NoopProf, OpClass, OpMix, ProfSink};
 pub use trace::Waveform;

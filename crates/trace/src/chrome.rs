@@ -357,6 +357,51 @@ pub fn chrome_trace(log: &EventLog) -> String {
     out
 }
 
+/// One stacked counter track: Chrome `"C"` events on process 0, track
+/// `tid`, each sample carrying the same series keys (busy/reconfig/…)
+/// so the viewer renders them as a stacked area chart. Produced by
+/// `dsra-profile`'s per-array utilization timelines.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CounterTrack {
+    /// Counter name (e.g. `"array 3 utilization"`).
+    pub name: String,
+    /// Track id on the array process (use the array id).
+    pub tid: u32,
+    /// `(cycle, series values)` samples in ascending cycle order.
+    pub samples: Vec<(u64, Vec<(String, f64)>)>,
+}
+
+/// Renders stacked counter tracks as a standalone Chrome trace-event
+/// JSON document. Deterministic: tracks and samples render in the order
+/// given, values through the same fixed-precision writer as
+/// [`chrome_trace`], so same input means same bytes.
+pub fn counter_tracks_doc(tracks: &[CounterTrack]) -> String {
+    let mut records: Vec<Record> = vec![meta_record(0, 0, "process_name", "arrays")];
+    for track in tracks {
+        for (t, series) in &track.samples {
+            records.push(Record {
+                name: track.name.clone(),
+                cat: "counter",
+                ph: "C",
+                ts: *t,
+                dur: None,
+                pid: 0,
+                tid: track.tid,
+                scope: false,
+                args: series.iter().map(|(k, v)| (k.clone(), num(*v))).collect(),
+            });
+        }
+    }
+    let mut out = String::new();
+    out.push_str("{\n  \"displayTimeUnit\": \"ms\",\n  \"otherData\": {},\n  \"traceEvents\": [\n");
+    for (i, r) in records.iter().enumerate() {
+        out.push_str(&r.render());
+        out.push_str(if i + 1 == records.len() { "\n" } else { ",\n" });
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -500,6 +545,25 @@ mod tests {
         ] {
             assert!(a.contains(needle), "missing {needle} in:\n{a}");
         }
+    }
+
+    #[test]
+    fn counter_tracks_doc_is_deterministic_and_stacked() {
+        let tracks = vec![CounterTrack {
+            name: "array 1 utilization".into(),
+            tid: 1,
+            samples: vec![
+                (0, vec![("busy".into(), 75.0), ("idle".into(), 25.0)]),
+                (100, vec![("busy".into(), 50.0), ("idle".into(), 50.0)]),
+            ],
+        }];
+        let a = counter_tracks_doc(&tracks);
+        assert_eq!(a, counter_tracks_doc(&tracks));
+        assert!(a.contains("\"name\": \"array 1 utilization\""));
+        assert!(a.contains("\"ph\": \"C\""));
+        assert!(a.contains("\"busy\": 75.000000"));
+        assert!(a.contains("\"ts\": 100"));
+        assert!(a.contains("\"tid\": 1"));
     }
 
     #[test]

@@ -102,13 +102,26 @@ impl Histogram {
         self.sum = self.sum.saturating_add(other.sum);
     }
 
-    /// Nearest-rank percentile (`p` in `[0, 100]`): the inclusive upper
-    /// bound of the bucket holding the `ceil(p/100 · n)`-th smallest
-    /// value, clamped to the exact maximum. 0 when empty.
+    /// Nearest-rank percentile: the inclusive upper bound of the bucket
+    /// holding the `ceil(p/100 · n)`-th smallest value, clamped to the
+    /// exact maximum recorded.
+    ///
+    /// Edge cases are total, not panics:
+    /// * an **empty** histogram reads 0 at every quantile;
+    /// * `p ≤ 0` is the first recorded value's bucket, `p ≥ 100` (and
+    ///   non-finite `p`, which clamps to 100) is the exact maximum —
+    ///   including on a single-bucket histogram, whose only bucket is
+    ///   the overflow bucket and therefore always reports [`Histogram::max`]
+    ///   rather than a bucket bound.
     pub fn percentile(&self, p: f64) -> u64 {
         if self.total == 0 {
             return 0;
         }
+        let p = if p.is_finite() {
+            p.clamp(0.0, 100.0)
+        } else {
+            100.0
+        };
         let rank = ((p / 100.0) * self.total as f64).ceil().max(1.0) as u64;
         let mut seen = 0u64;
         for (i, &c) in self.counts.iter().enumerate() {
@@ -191,6 +204,52 @@ mod tests {
         assert_eq!(h.p50(), 0);
         assert_eq!(h.p99(), 0);
         assert_eq!(h.max(), 0);
+    }
+
+    #[test]
+    fn empty_histogram_is_zero_at_every_quantile() {
+        let h = Histogram::new(25, 8);
+        for p in [
+            f64::NEG_INFINITY,
+            -10.0,
+            0.0,
+            50.0,
+            100.0,
+            250.0,
+            f64::INFINITY,
+            f64::NAN,
+        ] {
+            assert_eq!(h.percentile(p), 0, "empty quantile p={p}");
+        }
+    }
+
+    #[test]
+    fn single_bucket_p100_is_the_exact_max() {
+        // One bucket means *everything* lands in the overflow bucket; the
+        // documented answer is the exact maximum, never the (meaningless)
+        // bucket upper bound 9.
+        let mut h = Histogram::new(10, 1);
+        h.record_all([2, 8, 4_321]);
+        assert_eq!(h.percentile(100.0), 4_321);
+        assert_eq!(h.p50(), 4_321, "the only bucket reports the max");
+        let mut small = Histogram::new(10, 1);
+        small.record(3);
+        assert_eq!(small.percentile(100.0), 3);
+    }
+
+    #[test]
+    fn out_of_range_and_non_finite_p_clamp() {
+        let mut h = Histogram::new(1, 128);
+        h.record_all([10, 20, 30]);
+        assert_eq!(h.percentile(-50.0), 10, "p below 0 clamps to 0");
+        assert_eq!(h.percentile(700.0), 30, "p above 100 clamps to 100");
+        assert_eq!(h.percentile(f64::INFINITY), 30);
+        assert_eq!(
+            h.percentile(f64::NEG_INFINITY),
+            30,
+            "non-finite p reads as 100"
+        );
+        assert_eq!(h.percentile(f64::NAN), 30, "NaN p reads as 100");
     }
 
     #[test]

@@ -42,7 +42,7 @@ pub mod hist;
 pub mod metrics;
 pub mod sink;
 
-pub use chrome::chrome_trace;
+pub use chrome::{chrome_trace, counter_tracks_doc, CounterTrack};
 pub use event::{ArrayPhase, EnergyBreakdown, TraceEvent};
 pub use health::{ArrayHealth, BatteryHealth, HealthSnapshot, LatencyStats, TenantHealth};
 pub use hist::Histogram;

@@ -1,19 +1,33 @@
-//! A small metrics registry: named counters, gauges, and histograms in
-//! insertion order, with a deterministic text rendering.
+//! A small metrics registry: named counters, gauges, and histograms,
+//! with deterministic **sorted** text renderings.
 //!
 //! Post-processing (`trace_report`) assembles its summary through one of
 //! these so every number it prints comes from a named, inspectable slot;
-//! tests read the same slots back instead of scraping stdout.
+//! tests read the same slots back instead of scraping stdout. Every
+//! export path ([`MetricsRegistry::render`],
+//! [`MetricsRegistry::render_prometheus`],
+//! [`MetricsRegistry::counter_names`]) iterates in sorted name order, so
+//! two registries holding the same slots dump identical bytes no matter
+//! what order the slots were registered in.
 
 use crate::hist::Histogram;
 
-/// Insertion-ordered counters (`u64`, monotone), gauges (`f64`), and
-/// [`Histogram`]s. Lookup is linear — registries hold tens of entries.
+/// Named counters (`u64`, monotone), gauges (`f64`), and [`Histogram`]s.
+/// Lookup is linear — registries hold tens of entries. Exports iterate
+/// in sorted name order regardless of registration order.
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct MetricsRegistry {
     counters: Vec<(String, u64)>,
     gauges: Vec<(String, f64)>,
     hists: Vec<(String, Histogram)>,
+}
+
+/// Name-sorted view of one slot list (stable: duplicate names cannot
+/// occur — every mutator upserts by name).
+fn by_name<T>(items: &[(String, T)]) -> Vec<&(String, T)> {
+    let mut v: Vec<&(String, T)> = items.iter().collect();
+    v.sort_by(|a, b| a.0.cmp(&b.0));
+    v
 }
 
 impl MetricsRegistry {
@@ -71,22 +85,23 @@ impl MetricsRegistry {
         self.hists.iter().find(|(n, _)| n == name).map(|(_, h)| h)
     }
 
-    /// Registered counter names in insertion order.
+    /// Registered counter names in sorted order (export order).
     pub fn counter_names(&self) -> impl Iterator<Item = &str> {
-        self.counters.iter().map(|(n, _)| n.as_str())
+        by_name(&self.counters).into_iter().map(|(n, _)| n.as_str())
     }
 
     /// Deterministic text rendering: counters, gauges (6 decimals), then
-    /// histogram percentiles, each in insertion order.
+    /// histogram percentiles — each section in sorted name order, so the
+    /// dump is independent of registration order.
     pub fn render(&self) -> String {
         let mut out = String::new();
-        for (n, v) in &self.counters {
+        for (n, v) in by_name(&self.counters) {
             out.push_str(&format!("{n} = {v}\n"));
         }
-        for (n, v) in &self.gauges {
+        for (n, v) in by_name(&self.gauges) {
             out.push_str(&format!("{n} = {v:.6}\n"));
         }
-        for (n, h) in &self.hists {
+        for (n, h) in by_name(&self.hists) {
             out.push_str(&format!(
                 "{n}: n={} p50={} p90={} p99={} max={}\n",
                 h.count(),
@@ -101,9 +116,10 @@ impl MetricsRegistry {
 
     /// Prometheus text-exposition rendering, deterministic: counters, then
     /// gauges, then histograms (as summaries with nearest-rank quantiles),
-    /// each in insertion order. Names are prefixed with `prefix_` and
-    /// sanitised to `[a-zA-Z0-9_:]`; integer counters print exactly and
-    /// gauges print with 6 decimals, so same-seed dumps are byte-identical.
+    /// each section in sorted name order — independent of registration
+    /// order. Names are prefixed with `prefix_` and sanitised to
+    /// `[a-zA-Z0-9_:]`; integer counters print exactly and gauges print
+    /// with 6 decimals, so same-seed dumps are byte-identical.
     pub fn render_prometheus(&self, prefix: &str) -> String {
         let name_of = |raw: &str| {
             let mut n = String::with_capacity(prefix.len() + raw.len() + 1);
@@ -119,15 +135,15 @@ impl MetricsRegistry {
             n
         };
         let mut out = String::new();
-        for (raw, v) in &self.counters {
+        for (raw, v) in by_name(&self.counters) {
             let n = name_of(raw);
             out.push_str(&format!("# TYPE {n} counter\n{n} {v}\n"));
         }
-        for (raw, v) in &self.gauges {
+        for (raw, v) in by_name(&self.gauges) {
             let n = name_of(raw);
             out.push_str(&format!("# TYPE {n} gauge\n{n} {v:.6}\n"));
         }
-        for (raw, h) in &self.hists {
+        for (raw, h) in by_name(&self.hists) {
             let n = name_of(raw);
             out.push_str(&format!("# TYPE {n} summary\n"));
             for (q, p) in [("0.5", 50.0), ("0.9", 90.0), ("0.99", 99.0)] {
@@ -168,7 +184,7 @@ mod tests {
     }
 
     #[test]
-    fn render_is_insertion_ordered_and_deterministic() {
+    fn render_is_sorted_and_deterministic() {
         let mut m = MetricsRegistry::new();
         m.count("zebra", 1);
         m.count("alpha", 2);
@@ -178,10 +194,36 @@ mod tests {
         assert_eq!(r, m.render());
         let zebra = r.find("zebra = 1").expect("zebra line");
         let alpha = r.find("alpha = 2").expect("alpha line");
-        assert!(zebra < alpha, "insertion order, not sorted order");
+        assert!(alpha < zebra, "sorted order, not insertion order");
         assert!(r.contains("pct = 50.000000"));
         assert!(r.contains("lat: n=1 p50=3 p90=3 p99=3 max=3"));
-        assert_eq!(m.counter_names().collect::<Vec<_>>(), ["zebra", "alpha"]);
+        assert_eq!(m.counter_names().collect::<Vec<_>>(), ["alpha", "zebra"]);
+    }
+
+    #[test]
+    fn export_order_is_independent_of_registration_order() {
+        let names = ["zebra", "mid", "alpha"];
+        let mut forward = MetricsRegistry::new();
+        let mut backward = MetricsRegistry::new();
+        for (i, n) in names.iter().enumerate() {
+            forward.count(n, i as u64 + 1);
+            forward.set_gauge(&format!("g_{n}"), i as f64);
+            forward.hist_mut(&format!("h_{n}"), 1, 8).record(i as u64);
+        }
+        for (i, n) in names.iter().enumerate().rev() {
+            backward.count(n, i as u64 + 1);
+            backward.set_gauge(&format!("g_{n}"), i as f64);
+            backward.hist_mut(&format!("h_{n}"), 1, 8).record(i as u64);
+        }
+        assert_eq!(forward.render(), backward.render());
+        assert_eq!(
+            forward.render_prometheus("dsra"),
+            backward.render_prometheus("dsra")
+        );
+        assert_eq!(
+            forward.counter_names().collect::<Vec<_>>(),
+            ["alpha", "mid", "zebra"]
+        );
     }
 
     #[test]

@@ -32,6 +32,9 @@
 //! * [`service`] — the open-loop multi-tenant streaming frontend: seeded
 //!   traces, admission control and load shedding, elastic array pools,
 //!   SLO tracking;
+//! * [`profile`] — cycle-exact attribution profiling over the trace
+//!   stream: per-op/per-kernel cycle and energy accounting, utilization
+//!   timelines, collapsed-stack flamegraph export;
 //! * [`chaos`] — deterministic fault injection (stuck-at, transients,
 //!   corrupted reconfiguration, array death, battery brownout) with
 //!   golden-spot-check detection, retry/quarantine recovery, and the
@@ -61,6 +64,7 @@ pub use dsra_me as me;
 pub use dsra_monitor as monitor;
 pub use dsra_platform as platform;
 pub use dsra_power as power;
+pub use dsra_profile as profile;
 pub use dsra_runtime as runtime;
 pub use dsra_service as service;
 pub use dsra_sim as sim;

@@ -161,6 +161,34 @@ fn experiment_index_references_resolve() {
             "README must document the chaos surface `{anchor}`"
         );
     }
+    assert!(
+        design.contains("## 14. Profiling & attribution"),
+        "DESIGN.md must document the dsra-profile layer (§14)"
+    );
+    for anchor in [
+        "ProfSink",
+        "OpMix",
+        "op_mix",
+        "ProfileSink",
+        "kernel_op_mixes",
+        "unrouted_cycles",
+        "flamegraph",
+        "utilization_tracks",
+        "profile_neutrality.rs",
+        "BENCH_profile.json",
+        "--profile-out <file>",
+    ] {
+        assert!(
+            design.contains(anchor),
+            "DESIGN.md §14 must cover `{anchor}`"
+        );
+    }
+    for anchor in ["BENCH_profile.json", "--profile-out <file>", "flamegraph"] {
+        assert!(
+            readme.contains(anchor),
+            "README must document the profiling surface `{anchor}`"
+        );
+    }
     for anchor in [
         "ArrayBackend",
         "GoldenBackend",
@@ -213,6 +241,10 @@ fn experiment_index_references_resolve() {
         readme.contains("`dsra-chaos`"),
         "README crate map must list dsra-chaos"
     );
+    assert!(
+        readme.contains("`dsra-profile`"),
+        "README crate map must list dsra-profile"
+    );
 
     for bin in [
         "table1",
@@ -227,6 +259,7 @@ fn experiment_index_references_resolve() {
         "battery_serve",
         "stream_serve",
         "chaos_serve",
+        "profile_serve",
         "trace_report",
         "bench_diff",
     ] {
